@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the hot paths.
+
+Not a paper figure, but the quantitative backing for the paper's O(1)
+claim (§3.5): the shedding decision must be constant-time in the
+window size, and Algorithm 1 (CDT construction) must be cheap enough
+for periodic model updates.
+"""
+
+import pytest
+
+from repro.cep.events import Event, StreamBuilder
+from repro.cep.patterns import PatternMatcher, any_of, seq, spec
+from repro.core.cdt import build_cdt
+from repro.core.model import UtilityModel
+from repro.core.position_shares import PositionShares
+from repro.core.shedder import ESpiceShedder
+from repro.core.utility_table import UtilityTable
+from repro.shedding.base import DropCommand
+
+
+def synthetic_model(types=20, positions=2000, bin_size=1, seed=7):
+    import random
+
+    rng = random.Random(seed)
+    matrix = [
+        [rng.randint(0, 100) for _ in range(positions // bin_size)]
+        for _ in range(types)
+    ]
+    names = [f"T{i}" for i in range(types)]
+    table = UtilityTable.from_matrix(matrix, names, bin_size=bin_size)
+    shares = PositionShares.uniform(table.type_ids, table.reference_size, bin_size)
+    return UtilityModel(
+        table=table,
+        shares=shares,
+        reference_size=table.reference_size,
+        bin_size=bin_size,
+    )
+
+
+def armed_shedder(model, partitions=4):
+    shedder = ESpiceShedder(model)
+    psize = model.reference_size / partitions
+    shedder.on_drop_command(
+        DropCommand(x=0.2 * psize, partition_count=partitions, partition_size=psize)
+    )
+    shedder.activate()
+    return shedder
+
+
+class TestSheddingDecision:
+    def test_decision_latency(self, benchmark):
+        """One should_drop call on a paper-scale table (N=2000)."""
+        model = synthetic_model()
+        shedder = armed_shedder(model)
+        event = Event("T3", 0, 0.0)
+        benchmark(shedder.should_drop, event, 700, 2000.0)
+
+    def test_decision_is_constant_in_window_size(self, benchmark):
+        """O(1) claim: decisions on an 8x larger table cost the same.
+
+        pytest-benchmark reports both; the assertion bounds the ratio
+        loosely (interpreter noise) rather than to a constant.
+        """
+        import time
+
+        def mean_decision_time(positions):
+            model = synthetic_model(positions=positions)
+            shedder = armed_shedder(model)
+            event = Event("T3", 0, 0.0)
+            sample = list(range(0, positions, max(positions // 5000, 1)))
+            start = time.perf_counter()
+            for position in sample:
+                shedder.should_drop(event, position, float(positions))
+            return (time.perf_counter() - start) / len(sample)
+
+        small = benchmark.pedantic(
+            lambda: mean_decision_time(1000), rounds=1, iterations=1
+        )
+        large = mean_decision_time(16000)
+        assert large < small * 3.0  # constant-ish, not linear (16x)
+
+
+class TestModelConstruction:
+    def test_cdt_build(self, benchmark):
+        """Algorithm 1 on a paper-scale table (M=20, N=2000)."""
+        model = synthetic_model()
+        benchmark(build_cdt, model.table, model.shares)
+
+    def test_threshold_lookup(self, benchmark):
+        model = synthetic_model()
+        cdt = build_cdt(model.table, model.shares)
+        benchmark(cdt.threshold_for, 123.4)
+
+
+class TestMatcherThroughput:
+    def _window(self, size):
+        builder = StreamBuilder(rate=100.0)
+        for i in range(size):
+            builder.emit(f"T{i % 10}")
+        return list(builder.stream)
+
+    def test_sequence_matcher(self, benchmark):
+        pattern = seq("p", spec("T1"), spec("T2"), spec("T3"))
+        matcher = PatternMatcher(pattern)
+        window = self._window(1000)
+        matches = benchmark(matcher.match_window, window)
+        assert matches
+
+    def test_any_matcher(self, benchmark):
+        pattern = seq(
+            "p", spec("T0"), any_of(3, [spec(f"T{i}") for i in range(1, 8)])
+        )
+        matcher = PatternMatcher(pattern)
+        window = self._window(1000)
+        matches = benchmark(matcher.match_window, window)
+        assert matches

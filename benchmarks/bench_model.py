@@ -1,0 +1,83 @@
+"""Table 1 / Figure 2: utility-table and CDT construction.
+
+Reproduces the paper's running example exactly (the UT of Table 1 and
+the CDT points of Figure 2) and benchmarks model building + Algorithm 1
+at experiment scale.
+"""
+
+import pytest
+
+from repro.core.cdt import build_cdt
+from repro.core.espice import ESpice, ESpiceConfig
+from repro.core.position_shares import PositionShares
+from repro.core.utility_table import UtilityTable
+from repro.experiments import workloads
+from repro.queries import build_q1
+
+PAPER_TABLE = [
+    [70, 15, 10, 5, 0],  # type A
+    [0, 60, 30, 10, 0],  # type B
+]
+FIGURE2 = {0: 1.2, 5: 1.4, 10: 2.3, 15: 2.8, 30: 3.7, 60: 4.2, 70: 5.0}
+
+
+def paper_shares():
+    shares = PositionShares({"A": 0, "B": 1}, reference_size=5)
+    mix = {0: 8, 1: 5, 2: 1, 3: 2, 4: 5}
+    for window_index in range(10):
+        shares.observe_window(
+            [("A" if window_index < mix[pos] else "B", pos) for pos in range(5)]
+        )
+    return shares
+
+
+def test_table1_figure2_exact(report):
+    """The running example: Table 1's UT yields Figure 2's CDT."""
+
+    def runner():
+        table = UtilityTable.from_matrix(PAPER_TABLE, ["A", "B"])
+        return build_cdt(table, paper_shares())
+
+    def describe(cdt):
+        lines = ["Table1/Fig2: CDT(u) from the paper's running example"]
+        ok = True
+        for utility, expected in sorted(FIGURE2.items()):
+            got = cdt.value(utility)
+            match = abs(got - expected) < 1e-9
+            ok = ok and match
+            lines.append(
+                f"  CDT({utility:>2}) = {got:.1f}  (paper: {expected:.1f})"
+                f"  {'ok' if match else 'MISMATCH'}"
+            )
+        lines.append(f"  threshold for x=2: uth={cdt.threshold_for(2.0)} (paper: 10)")
+        return "\n".join(lines), {"figure2_exact": ok}
+
+    cdt = report(runner, describe)
+    for utility, expected in FIGURE2.items():
+        assert cdt.value(utility) == pytest.approx(expected)
+    assert cdt.threshold_for(2.0) == 10
+
+
+def test_model_build_at_scale(report):
+    """Model training (UT + shares) on the Q1 workload."""
+    train, _evaluation = workloads.soccer_streams()
+    query = build_q1(pattern_size=4)
+
+    def runner():
+        espice = ESpice(query, ESpiceConfig(bin_size=1))
+        return espice.train(train)
+
+    def describe(model):
+        text = (
+            "Model building at scale:\n"
+            f"  windows trained: {model.windows_trained}\n"
+            f"  reference size N: {model.reference_size}\n"
+            f"  table: {model.table.type_count} types x {model.table.bins} bins"
+        )
+        return text, {
+            "windows_trained": model.windows_trained,
+            "reference_size": model.reference_size,
+        }
+
+    model = report(runner, describe)
+    assert model.windows_trained > 100

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure benchmark runs its experiment through pytest-benchmark
+(one round -- these are minutes-long macro experiments, not
+microseconds) and prints the figure's series so that
+``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+tables.  Key numbers are also attached to ``benchmark.extra_info`` so
+they land in the benchmark JSON.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, runner, describe):
+    """Run ``runner`` once under the benchmark and print its report.
+
+    ``describe(result)`` must return a (text, extra_info_dict) pair.
+    """
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    text, extra = describe(result)
+    print("\n" + text)
+    benchmark.extra_info.update(extra)
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    """Fixture-ised :func:`run_and_report`."""
+
+    def _run(runner, describe):
+        return run_and_report(benchmark, runner, describe)
+
+    return _run

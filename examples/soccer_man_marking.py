@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Soccer man-marking analytics with a peek inside the utility model.
+
+Reproduces the paper's motivating example (§3): whenever a striker
+possesses the ball, his markers produce defend events within a few
+seconds -- a correlation between event *type* and *relative window
+position*.  This example trains the model and then prints the learned
+utility table so you can see the correlation eSPICE discovered: high
+utilities for defender types in the early window region (right after
+the possession that opened the window), near-zero everywhere else.
+
+Run:  python examples/soccer_man_marking.py
+"""
+
+from repro.core import ESpice, ESpiceConfig
+from repro.core.cdt import build_cdt
+from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.queries import build_q1
+
+
+def main() -> None:
+    config = SoccerStreamConfig(duration_seconds=2400, marking_delay_max=5.0)
+    stream = generate_soccer_stream(config)
+    train, _live = split_stream(stream, train_fraction=0.8)
+
+    query = build_q1(pattern_size=4, window_seconds=15.0, defenders=config.defenders)
+    espice = ESpice(query, ESpiceConfig(latency_bound=1.0, f=0.8, bin_size=16))
+    model = espice.train(train)
+    print(f"model: {model}\n")
+
+    # show each type's utility profile over the window (binned)
+    bins = model.table.bins
+    print("utility table (rows = event types, columns = window bins):")
+    header = "type   " + " ".join(f"b{b:<3}" for b in range(bins))
+    print(header)
+    for type_name in sorted(model.table.type_ids):
+        row = model.table.row(type_name)
+        if not any(row):
+            continue  # background types: all-zero utility
+        cells = " ".join(f"{u:<4}" for u in row)
+        print(f"{type_name:<6} {cells}")
+    print("(types with all-zero rows -- background players -- omitted)\n")
+
+    # the marking correlation: defenders score high only in the bins
+    # right after the window-opening possession
+    striker_row = model.table.row("STR1")
+    print(f"striker utility at window start: {striker_row[0]}")
+    defender_rows = [
+        model.table.row(name)
+        for name in model.table.type_ids
+        if name.startswith("DF")
+    ]
+    early = max(row[0] for row in defender_rows)
+    late = max(row[-1] for row in defender_rows)
+    print(f"max defender utility in first bin: {early}, in last bin: {late}")
+
+    # the CDT answers "which threshold drops x events per window?"
+    cdt = build_cdt(model.table, model.shares)
+    for x in (10, 50, 100):
+        threshold = cdt.threshold_for(float(x))
+        print(
+            f"to drop >= {x:>3} events/window: threshold uth={threshold:>3} "
+            f"(CDT({max(threshold, 0)}) = {cdt.value(max(threshold, 0)):.1f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

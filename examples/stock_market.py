@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Stock-market monitoring: Q2-style influence detection under overload.
+
+The scenario from the paper's evaluation: a stream of intraday quotes
+where moves of leading blue chips are echoed by correlated followers.
+The query detects a leading rise followed by any ``n`` follower rises
+inside a sliding time window.  We compare eSPICE against the BL
+baseline at both of the paper's overload levels (R1 = +20%, R2 = +40%)
+and print a Fig. 5c-style table.
+
+Run:  python examples/stock_market.py
+"""
+
+from repro.datasets import StockStreamConfig, generate_stock_stream, split_stream
+from repro.experiments.common import ExperimentConfig, run_quality_point
+from repro.queries import build_q2
+from repro.runtime import ground_truth
+
+SYMBOLS = 50
+PATTERN_SIZES = (5, 10, 20)
+RATES = (1.2, 1.4)
+
+
+def main() -> None:
+    stream = generate_stock_stream(
+        StockStreamConfig(symbols=SYMBOLS, ticks=400, follow_probability=0.75)
+    )
+    train, live = split_stream(stream, train_fraction=0.5)
+    config = ExperimentConfig()
+
+    print(f"{'n':>4} {'truth':>6}", end="")
+    for strategy in ("espice", "bl"):
+        for rate in RATES:
+            print(f"  {strategy}@R{rate:.1f} FN%", end="")
+    print()
+
+    for n in PATTERN_SIZES:
+        query = build_q2(pattern_size=n, window_seconds=240.0, symbols=SYMBOLS)
+        truth = ground_truth(query, live)
+        print(f"{n:>4} {len(truth):>6}", end="")
+        for strategy in ("espice", "bl"):
+            for rate in RATES:
+                outcome = run_quality_point(
+                    query, train, live, strategy, rate, config, truth
+                )
+                print(f"  {outcome.fn_pct:>13.1f}", end="")
+        print()
+
+    print(
+        "\nExpected shape (paper Fig. 5c): eSPICE is an order of magnitude\n"
+        "below BL at every pattern size, and both degrade as n and the\n"
+        "input rate grow."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` on offline machines where pip's PEP-660
+editable path is unavailable (it needs the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""eSPICE reproduction: probabilistic load shedding for CEP.
+
+A complete Python implementation of "eSPICE: Probabilistic Load
+Shedding from Input Event Streams in Complex Event Processing"
+(Slo, Bhowmik, Rothermel -- Middleware '19), together with every
+substrate the paper's system depends on:
+
+- :mod:`repro.cep` -- a window-based CEP engine (events, windows, a
+  Tesla/SASE-like pattern language and matcher, the operator).
+- :mod:`repro.core` -- eSPICE itself: the utility model, overload
+  detector and O(1) load shedder.
+- :mod:`repro.shedding` -- the shedder interface plus the paper's
+  comparators (BL, random).
+- :mod:`repro.datasets` -- synthetic stand-ins for the NYSE and RTLS
+  soccer datasets.
+- :mod:`repro.queries` -- the evaluation queries Q1..Q4.
+- :mod:`repro.runtime` -- deterministic virtual-time overload
+  simulation, latency and quality metrics.
+- :mod:`repro.experiments` -- one runner per paper figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,129 @@
+"""Virtual time for the discrete-event simulation runtime.
+
+The paper evaluates eSPICE on a wall-clock Java prototype.  The
+reproduction runs the whole pipeline in *virtual time* instead: the
+operator has a configured throughput ``th`` (events/second of virtual
+time) and the source a configured input rate ``R``.  All latency
+quantities of paper §3.4 (queueing latency ``l(q)``, processing latency
+``l(p)``, estimated latency ``l(e)``) are therefore deterministic
+functions of the simulation state, which makes the latency-bound
+experiments (Fig. 7) exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance the clock by ``delta`` seconds and return the new time."""
+        if delta < 0.0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp`` (no-op if in the past)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now:.6f})"
+
+
+class EventScheduler:
+    """A tiny discrete-event scheduler on top of :class:`VirtualClock`.
+
+    Used by the simulation runtime to interleave the periodic overload
+    detector with event arrivals and operator processing.  Callbacks run
+    in timestamp order; ties run in scheduling order.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._counter = itertools.count()
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` when virtual time reaches ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise ValueError(
+                f"cannot schedule at {timestamp} before now {self.clock.now}"
+            )
+        heapq.heappush(self._heap, (timestamp, next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        self.schedule_at(self.clock.now + delay, callback)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        until: Optional[float] = None,
+    ) -> None:
+        """Run ``callback`` every ``interval`` seconds (optionally bounded).
+
+        The callback may return ``False`` to cancel the recurrence.
+        """
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            if until is not None and self.clock.now > until:
+                return
+            if callback() is False:
+                return
+            self.schedule_after(interval, tick)
+
+        self.schedule_after(interval, tick)
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled callbacks not yet run."""
+        return len(self._heap)
+
+    def next_timestamp(self) -> Optional[float]:
+        """Timestamp of the next scheduled callback, or ``None``."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_until(self, timestamp: float) -> int:
+        """Run all callbacks scheduled at or before ``timestamp``.
+
+        Returns the number of callbacks executed.  The clock ends at
+        ``timestamp`` even if no callback was scheduled that late.
+        """
+        executed = 0
+        while self._heap and self._heap[0][0] <= timestamp:
+            when, _tie, callback = heapq.heappop(self._heap)
+            self.clock.advance_to(when)
+            callback()
+            executed += 1
+        self.clock.advance_to(timestamp)
+        return executed
+
+    def run_all(self, limit: int = 1_000_000) -> int:
+        """Run every scheduled callback (bounded by ``limit``)."""
+        executed = 0
+        while self._heap:
+            if executed >= limit:
+                raise RuntimeError(f"scheduler exceeded {limit} callbacks")
+            when, _tie, callback = heapq.heappop(self._heap)
+            self.clock.advance_to(when)
+            callback()
+            executed += 1
+        return executed

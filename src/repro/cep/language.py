@@ -1,0 +1,299 @@
+"""A small Tesla-like textual query language.
+
+The paper assumes queries are written in an event specification
+language (Tesla, Snoop, SASE).  This module provides a compact textual
+front end that compiles to the same :class:`~repro.cep.patterns.Query`
+objects the builder API produces::
+
+    define ManMarking
+    from   seq(STR; any(3, DF1, DF2, DF3, DF4))
+    within 15s
+    select first
+    consume zero
+
+Grammar (case-insensitive keywords, newlines optional):
+
+    query     := "define" NAME "from" pattern "within" extent
+                 [ "open" "on" typeset ] [ "slide" NUMBER ]
+                 [ "select" policy ] [ "consume" cpolicy ]
+    pattern   := "seq(" steps ")" | "and(" typelist ")"
+    steps     := step (";" step)*
+    step      := typeset | "any(" NUMBER "," typelist ")" | "not" typeset
+               | "some(" [NUMBER ","] typeset ")"        -- Kleene plus
+    typeset   := NAME ("|" NAME)*
+    extent    := NUMBER "s" | NUMBER "events"
+    policy    := "first" | "last" | "each" | "cumulative"
+    cpolicy   := "consumed" | "zero"
+
+``within Ns`` windows open on every event unless ``open on`` names the
+opening types (pattern-based windows); ``within N events`` plus
+``slide`` gives count-based sliding windows.  Attribute predicates stay
+in Python -- pass them via ``predicates={"TYPE": callable}``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional
+
+from repro.cep.events import Event
+from repro.cep.patterns.ast import (
+    Conjunction,
+    EventSpec,
+    KleeneStep,
+    NegationStep,
+    Pattern,
+    any_of,
+    seq,
+    spec,
+)
+from repro.cep.patterns.policies import ConsumptionPolicy, SelectionPolicy
+from repro.cep.patterns.query import Query
+from repro.cep.windows import CountSlidingWindows, PredicateWindows
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<number>\d+(?:\.\d+)?)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<punct>[();,|]))"
+)
+
+_KEYWORDS = {
+    "define",
+    "from",
+    "within",
+    "open",
+    "on",
+    "slide",
+    "select",
+    "consume",
+    "seq",
+    "any",
+    "and",
+    "not",
+    "s",
+    "events",
+}
+
+
+class QueryParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.items: List[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise QueryParseError(f"cannot tokenise near {remainder[:20]!r}")
+            self.items.append(match.group().strip())
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.next()
+        if token.lower() != expected.lower():
+            raise QueryParseError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    def accept(self, candidate: str) -> bool:
+        token = self.peek()
+        if token is not None and token.lower() == candidate.lower():
+            self.index += 1
+            return True
+        return False
+
+
+def parse_query(
+    text: str,
+    predicates: Optional[Dict[str, Callable[[Event], bool]]] = None,
+) -> Query:
+    """Compile query ``text`` to a deployable :class:`Query`.
+
+    ``predicates`` optionally attaches an attribute predicate to every
+    spec of the named event type.
+    """
+    predicates = predicates or {}
+    tokens = _Tokens(text)
+
+    tokens.expect("define")
+    name = tokens.next()
+    if name.lower() in _KEYWORDS:
+        raise QueryParseError(f"query name cannot be the keyword {name!r}")
+    tokens.expect("from")
+    pattern = _parse_pattern(tokens, name, predicates)
+
+    tokens.expect("within")
+    amount = float(tokens.next())
+    unit = tokens.next().lower()
+    if unit not in ("s", "events"):
+        raise QueryParseError(f"extent unit must be 's' or 'events', got {unit!r}")
+
+    open_types: Optional[List[str]] = None
+    slide: Optional[int] = None
+    selection = SelectionPolicy.FIRST
+    consumption = ConsumptionPolicy.CONSUMED
+    while tokens.peek() is not None:
+        if tokens.accept("open"):
+            tokens.expect("on")
+            open_types = _parse_typelist_names(tokens)
+        elif tokens.accept("slide"):
+            slide = int(float(tokens.next()))
+        elif tokens.accept("select"):
+            selection = SelectionPolicy(tokens.next().lower())
+        elif tokens.accept("consume"):
+            consumption = ConsumptionPolicy(tokens.next().lower())
+        else:
+            raise QueryParseError(f"unexpected token {tokens.peek()!r}")
+
+    window_factory = _window_factory(amount, unit, open_types, slide)
+    return Query(
+        name=name,
+        pattern=pattern,
+        window_factory=window_factory,
+        selection=selection,
+        consumption=consumption,
+    )
+
+
+def _window_factory(amount, unit, open_types, slide):
+    if open_types is not None:
+        opener_set = frozenset(open_types)
+
+        def opens(event: Event) -> bool:
+            return event.event_type in opener_set
+
+        if unit == "s":
+            return lambda: PredicateWindows(opens, extent_seconds=amount)
+        return lambda: PredicateWindows(opens, extent_events=int(amount))
+    if unit == "s":
+        raise QueryParseError(
+            "time-extent windows need 'open on TYPE' (sliding time windows "
+            "without an opener are not expressible in this front end)"
+        )
+    return lambda: CountSlidingWindows(int(amount), slide)
+
+
+def _parse_pattern(tokens: _Tokens, name: str, predicates) -> object:
+    keyword = tokens.next().lower()
+    if keyword == "seq":
+        tokens.expect("(")
+        steps = []
+        while True:
+            steps.append(_parse_step(tokens, predicates))
+            token = tokens.next()
+            if token == ")":
+                break
+            if token != ";":
+                raise QueryParseError(f"expected ';' or ')', got {token!r}")
+        return seq(name, *steps)
+    if keyword == "and":
+        tokens.expect("(")
+        specs = [_parse_typeset(tokens, predicates)]
+        while True:
+            token = tokens.next()
+            if token == ")":
+                break
+            if token != ",":
+                raise QueryParseError(f"expected ',' or ')', got {token!r}")
+            specs.append(_parse_typeset(tokens, predicates))
+        return Conjunction(name, tuple(specs))
+    raise QueryParseError(f"pattern must start with seq( or and(, got {keyword!r}")
+
+
+def _parse_step(tokens: _Tokens, predicates):
+    if tokens.accept("any"):
+        tokens.expect("(")
+        n = int(float(tokens.next()))
+        tokens.expect(",")
+        specs = [_parse_typeset(tokens, predicates)]
+        while tokens.accept(","):
+            specs.append(_parse_typeset(tokens, predicates))
+        tokens.expect(")")
+        return any_of(n, specs)
+    if tokens.accept("some"):
+        tokens.expect("(")
+        min_count = 1
+        peeked = tokens.peek()
+        if peeked is not None and peeked[0].isdigit():
+            min_count = int(float(tokens.next()))
+            tokens.expect(",")
+        inner = _parse_typeset(tokens, predicates)
+        tokens.expect(")")
+        return KleeneStep(inner, min_count)
+    if tokens.accept("not"):
+        return NegationStep(_parse_typeset(tokens, predicates))
+    return _parse_typeset(tokens, predicates)
+
+
+def _parse_typeset(tokens: _Tokens, predicates) -> EventSpec:
+    names = [tokens.next()]
+    first_char = names[0][0]
+    if not (first_char.isalpha() or first_char == "_"):
+        raise QueryParseError(f"expected an event type name, got {names[0]!r}")
+    while tokens.accept("|"):
+        names.append(tokens.next())
+    predicate = None
+    for type_name in names:
+        if type_name in predicates:
+            predicate = predicates[type_name]
+            break
+    return spec(names, predicate=predicate)
+
+
+def _parse_typelist_names(tokens: _Tokens) -> List[str]:
+    names = [tokens.next()]
+    while tokens.accept("|") or tokens.accept(","):
+        names.append(tokens.next())
+    return names
+
+
+# ---------------------------------------------------------------------------
+# rendering (the inverse direction: AST -> query text)
+# ---------------------------------------------------------------------------
+
+
+def _render_spec(s: EventSpec) -> str:
+    if s.types is None:
+        raise ValueError("wildcard specs are not expressible in the language")
+    return "|".join(sorted(s.types))
+
+
+def render_pattern(pattern) -> str:
+    """Render a pattern back to the language's ``from`` clause.
+
+    Inverse of the pattern part of :func:`parse_query` (predicates are
+    Python callables and cannot be rendered; they are dropped).
+    """
+    from repro.cep.patterns.ast import AnyStep, SingleStep
+
+    if isinstance(pattern, Conjunction):
+        inner = ", ".join(_render_spec(s) for s in pattern.specs)
+        return f"and({inner})"
+    parts: List[str] = []
+    for step in pattern.steps:
+        if isinstance(step, SingleStep):
+            parts.append(_render_spec(step.spec))
+        elif isinstance(step, AnyStep):
+            inner = ", ".join(_render_spec(s) for s in step.specs)
+            parts.append(f"any({step.n}, {inner})")
+        elif isinstance(step, KleeneStep):
+            parts.append(f"some({step.min_count}, {_render_spec(step.spec)})")
+        elif isinstance(step, NegationStep):
+            parts.append(f"not {_render_spec(step.spec)}")
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"cannot render step {step!r}")
+    return "seq(" + "; ".join(parts) + ")"

@@ -1,0 +1,14 @@
+"""The CEP operator: input queue + pattern-matching process function.
+
+Mirrors Figure 1 of the paper: windows of primitive events are pushed
+into the operator's input queue; the process function performs pattern
+matching per window and emits complex events.  The load shedder (when
+installed) sits between the queue and the process function and decides,
+per (event, window) pair, whether the event is dropped from that
+window.
+"""
+
+from repro.cep.operator.queue import InputQueue, QueuedItem
+from repro.cep.operator.operator import CEPOperator, OperatorStats
+
+__all__ = ["CEPOperator", "InputQueue", "OperatorStats", "QueuedItem"]

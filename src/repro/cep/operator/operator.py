@@ -1,0 +1,203 @@
+"""The single CEP operator eSPICE attaches to.
+
+The operator consumes :class:`~repro.cep.operator.queue.QueuedItem`
+entries (event + window memberships), maintains per-window buffers of
+the events *kept* by the load shedder, and, when a window closes, runs
+the query's pattern matcher over the kept contents to emit complex
+events.
+
+Processing is synchronous -- the discrete-event simulation runtime
+(:mod:`repro.runtime.simulation`) wraps it with virtual-time cost
+accounting; batch ground-truth runs call :meth:`CEPOperator.detect_all`
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cep.events import ComplexEvent, Event
+from repro.cep.operator.queue import QueuedItem
+from repro.cep.patterns.matcher import Match
+from repro.cep.patterns.query import Query
+from repro.cep.windows import Window, WindowRef
+
+# Listener signatures: (window with full unshedded content, matches found).
+WindowListener = Callable[[Window, List[Match]], None]
+
+
+@dataclass
+class _WindowBuffer:
+    """Kept (position, event) pairs of one in-flight window."""
+
+    kept: List[Tuple[int, Event]] = field(default_factory=list)
+    arrivals: int = 0
+    dropped: int = 0
+
+
+@dataclass
+class OperatorStats:
+    """Counters exposed for experiments and tests."""
+
+    events_processed: int = 0
+    memberships_kept: int = 0
+    memberships_dropped: int = 0
+    windows_completed: int = 0
+    complex_events: int = 0
+
+    def drop_ratio(self) -> float:
+        """Fraction of (event, window) memberships dropped."""
+        total = self.memberships_kept + self.memberships_dropped
+        return self.memberships_dropped / total if total else 0.0
+
+
+@dataclass
+class ProcessResult:
+    """Outcome of processing one queue item."""
+
+    complex_events: List[ComplexEvent] = field(default_factory=list)
+    memberships_kept: int = 0
+    memberships_dropped: int = 0
+
+
+class CEPOperator:
+    """Window-buffering, pattern-matching CEP operator.
+
+    Parameters
+    ----------
+    query:
+        The deployed :class:`~repro.cep.patterns.query.Query`.
+    shedder:
+        Optional load shedder implementing
+        :class:`repro.shedding.base.LoadShedder`.  ``None`` (or an
+        inactive shedder) keeps every event.
+    """
+
+    def __init__(self, query: Query, shedder: Optional[object] = None) -> None:
+        self.query = query
+        self.shedder = shedder
+        self.stats = OperatorStats()
+        self._matcher = query.new_matcher()
+        self._buffers: Dict[int, _WindowBuffer] = {}
+        self._window_listeners: List[WindowListener] = []
+        self._size_sum = 0
+        self._size_count = 0
+
+    # ------------------------------------------------------------------
+    # listeners (used by the eSPICE model builder)
+    # ------------------------------------------------------------------
+    def add_window_listener(self, listener: WindowListener) -> None:
+        """Subscribe to (completed window, matches) notifications."""
+        self._window_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # window size prediction (needed for relative positions, §3.6)
+    # ------------------------------------------------------------------
+    def predicted_window_size(self) -> float:
+        """Running average size of completed windows (their full content).
+
+        Paper §3.6: the incoming window size must be predicted to map an
+        event's relative position onto the utility table.  The running
+        average of seen window sizes is the predictor; the runtime may
+        refine it via :meth:`prime_window_size`.
+        """
+        if self._size_count == 0:
+            return 0.0
+        return self._size_sum / self._size_count
+
+    def prime_window_size(self, size: float, weight: int = 1) -> None:
+        """Seed the window-size predictor (e.g. from the training phase)."""
+        self._size_sum += size * weight
+        self._size_count += weight
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+    def process(self, item: QueuedItem, now: float = 0.0) -> ProcessResult:
+        """Process one queue item; completes any windows it closed.
+
+        Memberships are applied before window completion: a count-based
+        window closes *with* its final event, so that event's shedding
+        decision and buffer append must land before the window is
+        matched.  (Time-based windows close before a later event and
+        carry no membership for it, so the order is safe for both.)
+        """
+        result = ProcessResult()
+        event = item.event
+        predicted = self.predicted_window_size()
+        for ref in item.refs:
+            buffer = self._buffers.setdefault(ref.window_id, _WindowBuffer())
+            buffer.arrivals += 1
+            drop = False
+            if self.shedder is not None and getattr(self.shedder, "active", True):
+                drop = self.shedder.should_drop(event, ref.position, predicted)
+            if drop:
+                buffer.dropped += 1
+                result.memberships_dropped += 1
+            else:
+                buffer.kept.append((ref.position, event))
+                result.memberships_kept += 1
+
+        for window in item.closed_windows:
+            result.complex_events.extend(self._complete_window(window, now))
+
+        self.stats.events_processed += 1
+        self.stats.memberships_kept += result.memberships_kept
+        self.stats.memberships_dropped += result.memberships_dropped
+        return result
+
+    def flush(self, windows: Iterable[Window], now: float = 0.0) -> List[ComplexEvent]:
+        """Complete the given still-open windows at end of stream."""
+        complex_events: List[ComplexEvent] = []
+        for window in windows:
+            complex_events.extend(self._complete_window(window, now))
+        return complex_events
+
+    def _complete_window(self, window: Window, now: float) -> List[ComplexEvent]:
+        buffer = self._buffers.pop(window.window_id, _WindowBuffer())
+        if not window.truncated:
+            # truncated windows would skew the window-size predictor
+            self._size_sum += window.size
+            self._size_count += 1
+        positions = [pos for pos, _e in buffer.kept]
+        events = [e for _pos, e in buffer.kept]
+        matches = self._matcher.match_window(events, positions)
+        complex_events = [
+            ComplexEvent(
+                pattern_name=self.query.name,
+                window_id=window.window_id,
+                events=tuple(e for _pos, e in match),
+                detection_time=now,
+            )
+            for match in matches
+        ]
+        self.stats.windows_completed += 1
+        self.stats.complex_events += len(complex_events)
+        for listener in self._window_listeners:
+            listener(window, matches)
+        return complex_events
+
+    # ------------------------------------------------------------------
+    # batch (no queue, no timing) -- ground truth & model training
+    # ------------------------------------------------------------------
+    def detect_all(self, stream: Iterable[Event]) -> List[ComplexEvent]:
+        """Run the full pipeline over ``stream`` without timing.
+
+        Window assignment, shedding (if a shedder is installed and
+        active) and matching happen inline.  Used for ground-truth
+        computation (without a shedder) and for model training.
+        """
+        assigner = self.query.new_assigner()
+        out: List[ComplexEvent] = []
+        for event in stream:
+            assignment = assigner.on_event(event)
+            item = QueuedItem(
+                event=event,
+                refs=assignment.assignments,
+                closed_windows=assignment.closed,
+                enqueue_time=event.timestamp,
+            )
+            out.extend(self.process(item, now=event.timestamp).complex_events)
+        out.extend(self.flush(assigner.flush()))
+        return out

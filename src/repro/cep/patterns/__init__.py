@@ -1,0 +1,56 @@
+"""Pattern language, policies and matcher for the CEP substrate.
+
+A Tesla/SASE-like subset sufficient for the paper's evaluation queries:
+
+- ``seq(s1; s2; ...; sk)`` -- the *sequence* operator with
+  skip-till-next/any-match semantics (Q3, and Q4 with repetition).
+- ``seq(anchor; any(n, s1..sm))`` -- *sequence with any*: an anchor
+  event followed by any ``n`` events matching any of the given specs
+  (Q1, Q2).
+- ``negation`` -- an event that must *not* occur between two sequence
+  steps.
+- ``conjunction`` -- unordered co-occurrence of specs in a window (the
+  paper's introductory QE example).
+
+Selection policies (*first*, *last*, *each*, *cumulative*) and
+consumption policies (*consumed*, *zero*) follow Snoop/Zimmer as
+described in paper §2.
+"""
+
+from repro.cep.patterns.ast import (
+    AnyStep,
+    Conjunction,
+    EventSpec,
+    KleeneStep,
+    NegationStep,
+    Pattern,
+    SingleStep,
+    Step,
+    any_of,
+    kleene,
+    seq,
+    spec,
+)
+from repro.cep.patterns.policies import ConsumptionPolicy, SelectionPolicy
+from repro.cep.patterns.matcher import Match, PatternMatcher
+from repro.cep.patterns.query import Query
+
+__all__ = [
+    "AnyStep",
+    "Conjunction",
+    "ConsumptionPolicy",
+    "EventSpec",
+    "KleeneStep",
+    "Match",
+    "NegationStep",
+    "Pattern",
+    "PatternMatcher",
+    "Query",
+    "SelectionPolicy",
+    "SingleStep",
+    "Step",
+    "any_of",
+    "kleene",
+    "seq",
+    "spec",
+]

@@ -1,0 +1,222 @@
+"""Incremental (event-at-a-time) pattern matching.
+
+The batch :class:`~repro.cep.patterns.matcher.PatternMatcher` evaluates
+a window once it is complete.  Real CEP engines (SASE, Tesla runtimes)
+instead advance an automaton per arriving event and emit the complex
+event the moment the pattern completes -- detection latency is bound to
+the *completing* event, not to the window close.
+
+:class:`IncrementalWindowMatcher` implements that evaluation style for
+sequence patterns under the *first* selection policy with *consumed*
+consumption: a greedy run advances step by step as relevant events
+arrive; negation guards poison the gap they watch; ``any`` and
+``kleene`` steps accumulate occurrences online.  With one match per
+window (the paper's evaluation setting) it emits exactly the match the
+batch matcher finds -- an equivalence that is property-tested -- just
+earlier.  With multiple matches per window the single pass cannot
+revisit anchors it already passed (that would need full NFA state), so
+it reports a prefix of the batch matcher's matches.
+
+This module also backs the "partial match" notion of the pSPICE
+follow-up work: :attr:`IncrementalWindowMatcher.partial_progress`
+exposes how far the current run has advanced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cep.events import Event
+from repro.cep.patterns.ast import (
+    AnyStep,
+    KleeneStep,
+    NegationStep,
+    Pattern,
+    SingleStep,
+    Step,
+)
+from repro.cep.patterns.matcher import Match
+
+
+class IncrementalWindowMatcher:
+    """Online matcher for one window (first selection, consumed).
+
+    Feed events in window order with :meth:`feed`; each call returns
+    the matches completed *by that event* (usually empty, at most one
+    unless ``max_matches`` allows more and later events complete runs).
+    Call :meth:`finish` at window close to flush a trailing kleene run.
+    """
+
+    def __init__(self, pattern: Pattern, max_matches: int = 1) -> None:
+        if max_matches <= 0:
+            raise ValueError("max_matches must be positive")
+        self.pattern = pattern
+        self.max_matches = max_matches
+        self._matches_found = 0
+        self._consumed: set = set()
+        self._reset_run()
+
+    # ------------------------------------------------------------------
+    def _reset_run(self) -> None:
+        self._step_index = 0
+        self._bound: List[Tuple[int, Event]] = []
+        self._any_used_specs: set = set()
+        self._any_taken: List[Tuple[int, Event]] = []
+        self._kleene_taken: List[Tuple[int, Event]] = []
+
+    def _current(self) -> Optional[Tuple[Optional[NegationStep], Step]]:
+        """(pending negation, positive step) at the run's frontier."""
+        steps = self.pattern.steps
+        index = self._step_index
+        negation: Optional[NegationStep] = None
+        if index < len(steps) and isinstance(steps[index], NegationStep):
+            negation = steps[index]
+            index += 1
+        if index >= len(steps):
+            return None
+        return negation, steps[index]
+
+    def _advance_step(self) -> None:
+        steps = self.pattern.steps
+        if isinstance(steps[self._step_index], NegationStep):
+            self._step_index += 1
+        self._step_index += 1
+        self._any_used_specs = set()
+        self._any_taken = []
+        self._kleene_taken = []
+
+    def _next_positive_after_kleene(self) -> Optional[Step]:
+        steps = self.pattern.steps
+        index = self._step_index
+        if isinstance(steps[index], NegationStep):
+            index += 1
+        for step in steps[index + 1 :]:
+            if not isinstance(step, NegationStep):
+                return step
+        return None
+
+    @property
+    def partial_progress(self) -> float:
+        """Fraction of the pattern's minimal match already bound.
+
+        The "partial match completion" quantity pSPICE reasons about.
+        """
+        total = self.pattern.match_size()
+        bound = len(self._bound) + len(self._any_taken) + len(self._kleene_taken)
+        return min(1.0, bound / total) if total else 1.0
+
+    # ------------------------------------------------------------------
+    def feed(self, event: Event, position: int) -> List[Match]:
+        """Process one window event; return matches it completed."""
+        if self._matches_found >= self.max_matches:
+            return []
+        frontier = self._current()
+        if frontier is None:  # pragma: no cover - run completes eagerly
+            return []
+        negation, step = frontier
+
+        # a kleene run may be completed by an event that belongs to the
+        # *next* step; handle that before the generic logic
+        if isinstance(step, KleeneStep) and self._kleene_taken:
+            following = self._next_positive_after_kleene()
+            if (
+                len(self._kleene_taken) >= step.min_count
+                and following is not None
+                and following.accepts(event)
+                and not step.spec.matches(event)
+            ):
+                self._bound.extend(self._kleene_taken)
+                self._advance_step()
+                return self.feed(event, position)
+
+        if negation is not None and negation.accepts(event):
+            if not (isinstance(step, (AnyStep, KleeneStep)) and (
+                self._any_taken or self._kleene_taken
+            )):
+                # the guarded gap is poisoned: the greedy run dies; a
+                # fresh run may start on later events
+                self._reset_run()
+                return []
+
+        if isinstance(step, SingleStep):
+            if step.accepts(event):
+                self._bound.append((position, event))
+                self._advance_step()
+                return self._maybe_complete()
+            return []
+
+        if isinstance(step, AnyStep):
+            if step.distinct_specs:
+                spec_index = None
+                for si, s in enumerate(step.specs):
+                    if si not in self._any_used_specs and s.matches(event):
+                        spec_index = si
+                        break
+                if spec_index is None:
+                    return []
+                self._any_used_specs.add(spec_index)
+            elif not step.accepts(event):
+                return []
+            self._any_taken.append((position, event))
+            if len(self._any_taken) == step.n:
+                self._bound.extend(self._any_taken)
+                self._advance_step()
+                return self._maybe_complete()
+            return []
+
+        if isinstance(step, KleeneStep):
+            if step.spec.matches(event):
+                self._kleene_taken.append((position, event))
+                if (
+                    step.max_count is not None
+                    and len(self._kleene_taken) == step.max_count
+                ):
+                    self._bound.extend(self._kleene_taken)
+                    self._advance_step()
+                    return self._maybe_complete()
+            return []
+
+        raise AssertionError(f"unknown step type {step!r}")  # pragma: no cover
+
+    def _maybe_complete(self) -> List[Match]:
+        if self._current() is not None:
+            return []
+        match = sorted(self._bound, key=lambda pe: pe[0])
+        self._matches_found += 1
+        self._consumed.update(pos for pos, _e in match)
+        self._reset_run()
+        return [match]
+
+    def finish(self) -> List[Match]:
+        """Window close: flush a trailing kleene run if it suffices."""
+        if self._matches_found >= self.max_matches:
+            return []
+        frontier = self._current()
+        if frontier is None:
+            return []
+        _negation, step = frontier
+        if (
+            isinstance(step, KleeneStep)
+            and len(self._kleene_taken) >= step.min_count
+        ):
+            self._bound.extend(self._kleene_taken)
+            self._advance_step()
+            return self._maybe_complete()
+        return []
+
+
+def match_window_incrementally(
+    pattern: Pattern,
+    events,
+    positions=None,
+    max_matches: int = 1,
+) -> List[Match]:
+    """Convenience wrapper mirroring ``PatternMatcher.match_window``."""
+    matcher = IncrementalWindowMatcher(pattern, max_matches)
+    if positions is None:
+        positions = range(len(events))
+    out: List[Match] = []
+    for event, position in zip(events, positions):
+        out.extend(matcher.feed(event, position))
+    out.extend(matcher.finish())
+    return out

@@ -1,0 +1,431 @@
+"""Pattern matching over windows with skip-till-next/any-match semantics.
+
+The matcher operates on a *window content*: the ordered list of events
+the operator actually processes for that window (after shedding, if
+any).  It returns matches as lists of ``(position, event)`` pairs where
+``position`` is the index of the event in the **unshedded** window --
+callers pass positions alongside events so that the utility model can
+learn true window positions even when some events were shed.
+
+Supported:
+
+- sequence patterns (:class:`~repro.cep.patterns.ast.Pattern`) with
+  single, ``any(n, ...)`` and negation steps,
+- conjunction patterns (:class:`~repro.cep.patterns.ast.Conjunction`),
+- *first*, *last*, *each* and *cumulative* selection policies,
+- *consumed* and *zero* consumption policies,
+- a cap on matches per window (the paper's default setting is one
+  complex event per window).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.cep.events import Event
+from repro.cep.patterns.ast import (
+    AnyStep,
+    Conjunction,
+    KleeneStep,
+    NegationStep,
+    Pattern,
+    SingleStep,
+    Step,
+)
+from repro.cep.patterns.policies import ConsumptionPolicy, SelectionPolicy
+
+# One binding of the pattern: (window position, event) in position order.
+Match = List[Tuple[int, Event]]
+
+# The matcher's working view of a window: parallel (position, event) data.
+_Positioned = Sequence[Tuple[int, Event]]
+
+
+class PatternMatcher:
+    """Matches one pattern against window contents.
+
+    Parameters
+    ----------
+    pattern:
+        A sequence :class:`Pattern` or a :class:`Conjunction`.
+    selection:
+        Selection policy; default ``FIRST``.
+    consumption:
+        Consumption policy; default ``CONSUMED``.  Only relevant when
+        ``max_matches > 1``.
+    max_matches:
+        Maximum complex events detected per window.  The paper's
+        evaluation uses 1.
+    """
+
+    def __init__(
+        self,
+        pattern: Union[Pattern, Conjunction],
+        selection: SelectionPolicy = SelectionPolicy.FIRST,
+        consumption: ConsumptionPolicy = ConsumptionPolicy.CONSUMED,
+        max_matches: int = 1,
+    ) -> None:
+        if max_matches <= 0:
+            raise ValueError("max_matches must be positive")
+        self.pattern = pattern
+        self.selection = selection
+        self.consumption = consumption
+        self.max_matches = max_matches
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def match_window(
+        self,
+        events: Sequence[Event],
+        positions: Optional[Sequence[int]] = None,
+    ) -> List[Match]:
+        """Return up to ``max_matches`` matches in ``events``.
+
+        ``positions[i]`` is the unshedded-window position of
+        ``events[i]``; defaults to ``range(len(events))`` when the
+        window was not shed.
+        """
+        if positions is None:
+            positioned: _Positioned = list(enumerate(events))
+        else:
+            if len(positions) != len(events):
+                raise ValueError("positions and events must align")
+            positioned = list(zip(positions, events))
+
+        if isinstance(self.pattern, Conjunction):
+            return self._match_conjunction(positioned)
+        return self._match_sequence(positioned)
+
+    # ------------------------------------------------------------------
+    # sequence patterns
+    # ------------------------------------------------------------------
+    def _match_sequence(self, positioned: _Positioned) -> List[Match]:
+        if self.selection is SelectionPolicy.FIRST:
+            return self._collect(positioned, reverse=False)
+        if self.selection is SelectionPolicy.LAST:
+            return self._collect(positioned, reverse=True)
+        if self.selection is SelectionPolicy.EACH:
+            return self._match_each(positioned)
+        if self.selection is SelectionPolicy.CUMULATIVE:
+            match = self._match_cumulative(positioned)
+            return [match] if match else []
+        raise AssertionError(f"unknown selection policy {self.selection}")
+
+    def _collect(self, positioned: _Positioned, reverse: bool) -> List[Match]:
+        """Greedy repeated matching under first (or mirrored last) policy."""
+        assert isinstance(self.pattern, Pattern)
+        steps: List[Step] = list(self.pattern.steps)
+        view: List[Tuple[int, Event]] = list(positioned)
+        if reverse:
+            steps = list(reversed(steps))
+            view = list(reversed(view))
+
+        matches: List[Match] = []
+        consumed: set = set()  # window positions consumed by earlier matches
+        start = 0
+        while len(matches) < self.max_matches:
+            found, first_bound_index = self._greedy_once(view, steps, start, consumed)
+            if found is None:
+                if first_bound_index is None:
+                    break  # no anchor at all: nothing further to try
+                # a negation (or exhaustion) killed the run after it had
+                # anchored; retry past the dead anchor -- a later anchor
+                # may sit beyond the poisoning event
+                start = first_bound_index + 1
+                continue
+            match_positions = [pos for pos, _event in found]
+            if self.consumption is ConsumptionPolicy.CONSUMED:
+                consumed.update(match_positions)
+                # next match may start anywhere not consumed
+                start = 0
+            else:
+                # zero consumption: advance past this match's anchor so the
+                # same match is not reported forever
+                anchor_view_index = self._view_index_of(view, found[0][0])
+                start = anchor_view_index + 1
+            ordered = sorted(found, key=lambda pe: pe[0])
+            matches.append(ordered)
+        return matches
+
+    @staticmethod
+    def _view_index_of(view: _Positioned, position: int) -> int:
+        for index, (pos, _event) in enumerate(view):
+            if pos == position:
+                return index
+        raise AssertionError("position vanished from view")
+
+    def _greedy_once(
+        self,
+        view: _Positioned,
+        steps: Sequence[Step],
+        start: int,
+        consumed: set,
+    ) -> Tuple[Optional[Match], Optional[int]]:
+        """One greedy skip-till-next scan of ``view`` from index ``start``.
+
+        Negation steps poison the gap they guard: if an event matching
+        the negated spec appears while scanning for the following
+        positive step, the scan fails.
+
+        Returns ``(match, first_bound_view_index)``; on failure the
+        second element tells the caller where the dead run anchored so
+        it can retry past it (``None`` when nothing anchored at all).
+        """
+        cursor = start
+        bound: Match = []
+        first_bound_index: Optional[int] = None
+        index = 0
+        while index < len(steps):
+            step = steps[index]
+            negation: Optional[NegationStep] = None
+            if isinstance(step, NegationStep):
+                negation = step
+                index += 1
+                if index >= len(steps):  # validated at Pattern construction
+                    raise AssertionError("dangling negation step")
+                step = steps[index]
+
+            if isinstance(step, SingleStep):
+                result = self._scan_single(view, cursor, step, negation, consumed)
+                if result is None:
+                    return None, first_bound_index
+                view_index, pos_event = result
+                bound.append(pos_event)
+                if first_bound_index is None:
+                    first_bound_index = view_index
+                cursor = view_index + 1
+            elif isinstance(step, AnyStep):
+                result_any = self._scan_any(view, cursor, step, negation, consumed)
+                if result_any is None:
+                    return None, first_bound_index
+                view_index, pos_events = result_any
+                bound.extend(pos_events)
+                if first_bound_index is None and pos_events:
+                    first_bound_index = self._view_index_of(view, pos_events[0][0])
+                cursor = view_index + 1
+            elif isinstance(step, KleeneStep):
+                following = self._next_positive_step(steps, index + 1)
+                result_kleene = self._scan_kleene(
+                    view, cursor, step, negation, consumed, following
+                )
+                if result_kleene is None:
+                    return None, first_bound_index
+                view_index, pos_events = result_kleene
+                bound.extend(pos_events)
+                if first_bound_index is None and pos_events:
+                    first_bound_index = self._view_index_of(view, pos_events[0][0])
+                cursor = view_index + 1
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown step type {step!r}")
+            index += 1
+        return bound, first_bound_index
+
+    @staticmethod
+    def _next_positive_step(steps: Sequence[Step], index: int) -> Optional[Step]:
+        for step in steps[index:]:
+            if not isinstance(step, NegationStep):
+                return step
+        return None
+
+    @staticmethod
+    def _scan_kleene(
+        view: _Positioned,
+        cursor: int,
+        step: KleeneStep,
+        negation: Optional[NegationStep],
+        consumed: set,
+        following: Optional[Step],
+    ) -> Optional[Tuple[int, List[Tuple[int, Event]]]]:
+        """Greedy run of step occurrences.
+
+        The run ends when ``max_count`` is reached, the window is
+        exhausted, or -- once ``min_count`` occurrences are bound -- an
+        event that the *following* positive step accepts appears (so
+        ``kleene(A); B`` does not swallow past the B that completes the
+        match).
+        """
+        taken: List[Tuple[int, Event]] = []
+        last_view_index = cursor - 1
+        for view_index in range(cursor, len(view)):
+            pos, event = view[view_index]
+            if pos in consumed:
+                continue
+            if negation is not None and not taken and negation.accepts(event):
+                return None
+            if (
+                len(taken) >= step.min_count
+                and following is not None
+                and following.accepts(event)
+                and not step.spec.matches(event)
+            ):
+                break
+            if step.spec.matches(event):
+                taken.append((pos, event))
+                last_view_index = view_index
+                if step.max_count is not None and len(taken) == step.max_count:
+                    break
+        if len(taken) < step.min_count:
+            return None
+        return last_view_index, taken
+
+    @staticmethod
+    def _scan_single(
+        view: _Positioned,
+        cursor: int,
+        step: SingleStep,
+        negation: Optional[NegationStep],
+        consumed: set,
+    ) -> Optional[Tuple[int, Tuple[int, Event]]]:
+        for view_index in range(cursor, len(view)):
+            pos, event = view[view_index]
+            if pos in consumed:
+                continue
+            if negation is not None and negation.accepts(event):
+                return None
+            if step.accepts(event):
+                return view_index, (pos, event)
+        return None
+
+    @staticmethod
+    def _scan_any(
+        view: _Positioned,
+        cursor: int,
+        step: AnyStep,
+        negation: Optional[NegationStep],
+        consumed: set,
+    ) -> Optional[Tuple[int, List[Tuple[int, Event]]]]:
+        taken: List[Tuple[int, Event]] = []
+        used_specs: set = set()
+        last_view_index = cursor - 1
+        for view_index in range(cursor, len(view)):
+            pos, event = view[view_index]
+            if pos in consumed:
+                continue
+            if negation is not None and not taken and negation.accepts(event):
+                return None
+            if step.distinct_specs:
+                spec_index = None
+                for si, s in enumerate(step.specs):
+                    if si not in used_specs and s.matches(event):
+                        spec_index = si
+                        break
+                if spec_index is None:
+                    continue
+                used_specs.add(spec_index)
+            else:
+                if not step.accepts(event):
+                    continue
+            taken.append((pos, event))
+            last_view_index = view_index
+            if len(taken) == step.n:
+                return last_view_index, taken
+        return None
+
+    # -- each -----------------------------------------------------------
+    def _match_each(self, positioned: _Positioned) -> List[Match]:
+        """Enumerate matches by backtracking, earliest-first, capped."""
+        assert isinstance(self.pattern, Pattern)
+        matches: List[Match] = []
+        consumed: set = set()
+
+        def backtrack(step_index: int, cursor: int, bound: Match) -> None:
+            if len(matches) >= self.max_matches:
+                return
+            steps = self.pattern.steps
+            if step_index == len(steps):
+                matches.append(sorted(bound, key=lambda pe: pe[0]))
+                if self.consumption is ConsumptionPolicy.CONSUMED:
+                    consumed.update(pos for pos, _e in bound)
+                return
+            step = steps[step_index]
+            negation: Optional[NegationStep] = None
+            if isinstance(step, NegationStep):
+                negation = step
+                step_index += 1
+                step = steps[step_index]
+            if isinstance(step, SingleStep):
+                for view_index in range(cursor, len(positioned)):
+                    pos, event = positioned[view_index]
+                    if pos in consumed:
+                        continue
+                    if negation is not None and negation.accepts(event):
+                        return
+                    if step.accepts(event):
+                        backtrack(step_index + 1, view_index + 1, bound + [(pos, event)])
+                        if len(matches) >= self.max_matches:
+                            return
+            elif isinstance(step, AnyStep):
+                found = self._scan_any(positioned, cursor, step, negation, consumed)
+                if found is not None:
+                    view_index, pos_events = found
+                    backtrack(step_index + 1, view_index + 1, bound + pos_events)
+            elif isinstance(step, KleeneStep):
+                # kleene runs are matched greedily, not enumerated
+                following = self._next_positive_step(self.pattern.steps, step_index + 1)
+                found = self._scan_kleene(
+                    positioned, cursor, step, negation, consumed, following
+                )
+                if found is not None:
+                    view_index, pos_events = found
+                    backtrack(step_index + 1, view_index + 1, bound + pos_events)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown step type {step!r}")
+
+        backtrack(0, 0, [])
+        return matches
+
+    # -- cumulative ------------------------------------------------------
+    def _match_cumulative(self, positioned: _Positioned) -> Optional[Match]:
+        """Fold every instance of every step into one composite match.
+
+        An instance of a later step counts only if it occurs after the
+        first instance of the previous step (sequence semantics).
+        """
+        assert isinstance(self.pattern, Pattern)
+        bound: Match = []
+        cursor = 0
+        for step in self.pattern.steps:
+            if isinstance(step, NegationStep):
+                continue
+            instances = [
+                (pos, event)
+                for pos, event in positioned[cursor:]
+                if step.accepts(event)
+            ]
+            if isinstance(step, AnyStep):
+                need = step.n
+            elif isinstance(step, KleeneStep):
+                need = step.min_count
+            else:
+                need = 1
+            if len(instances) < need:
+                return None
+            bound.extend(instances)
+            first_pos = instances[0][0]
+            cursor = self._view_index_of(positioned, first_pos) + 1
+        return sorted(bound, key=lambda pe: pe[0])
+
+    # ------------------------------------------------------------------
+    # conjunction patterns
+    # ------------------------------------------------------------------
+    def _match_conjunction(self, positioned: _Positioned) -> List[Match]:
+        assert isinstance(self.pattern, Conjunction)
+        order = positioned
+        if self.selection is SelectionPolicy.LAST:
+            order = list(reversed(positioned))
+        bound: Match = []
+        used_positions: set = set()
+        for s in self.pattern.specs:
+            chosen: Optional[Tuple[int, Event]] = None
+            for pos, event in order:
+                if pos in used_positions:
+                    continue
+                if s.matches(event):
+                    chosen = (pos, event)
+                    break
+            if chosen is None:
+                return []
+            used_positions.add(chosen[0])
+            bound.append(chosen)
+        return [sorted(bound, key=lambda pe: pe[0])]

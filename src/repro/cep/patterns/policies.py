@@ -1,0 +1,37 @@
+"""Selection and consumption policies (paper §2, after Snoop/Zimmer).
+
+*Selection* decides which event instances participate in a match when
+several candidates exist in a window:
+
+- ``FIRST``: the earliest candidate instances are chosen.
+- ``LAST``: the latest candidate instances are chosen.
+- ``EACH``: every combination is reported (bounded by the matcher's
+  ``max_matches``).
+- ``CUMULATIVE``: all candidate instances are folded into one match.
+
+*Consumption* decides whether an event instance may be reused across
+matches in the same window:
+
+- ``CONSUMED``: instances used by a match cannot be reused.
+- ``ZERO``: instances remain available to later matches.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SelectionPolicy(enum.Enum):
+    """Which candidate event instances participate in a match."""
+
+    FIRST = "first"
+    LAST = "last"
+    EACH = "each"
+    CUMULATIVE = "cumulative"
+
+
+class ConsumptionPolicy(enum.Enum):
+    """Whether matched event instances can be reused by later matches."""
+
+    CONSUMED = "consumed"
+    ZERO = "zero"

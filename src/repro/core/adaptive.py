@@ -1,0 +1,137 @@
+"""Closed-loop adaptation: drift detection driving model retraining.
+
+Completes the paper's §3.6 story: the :class:`DriftDetector` watches
+completed windows; when it signals that the deployed utility model no
+longer describes the stream, the controller retrains a fresh model from
+the windows it has been buffering, swaps it into the live shedder
+atomically (the shedder keeps serving O(1) decisions throughout) and
+rebinds the detector.
+
+The controller is an operator window listener, so wiring it up is one
+line::
+
+    controller = AdaptiveController(espice_model, shedder)
+    operator.add_window_listener(controller.observe)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cep.patterns.matcher import Match
+from repro.cep.windows import Window
+from repro.core.drift import DriftDetector, DriftStatus
+from repro.core.model import ModelBuilder, UtilityModel
+from repro.core.shedder import ESpiceShedder
+
+
+@dataclass
+class RetrainEvent:
+    """Record of one automatic retraining."""
+
+    at_window: int
+    reason: str
+    old_reference_size: int
+    new_reference_size: int
+
+
+class AdaptiveController:
+    """Watches windows, retrains and hot-swaps the model on drift.
+
+    Parameters
+    ----------
+    model:
+        The currently deployed model.
+    shedder:
+        The live shedder whose model is swapped on retrain (may be
+        ``None`` for monitor-only operation).
+    check_every:
+        Drift check cadence in completed windows.
+    min_training_windows:
+        Retraining is deferred until the buffer holds this many
+        (non-truncated) windows.
+    detector_kwargs:
+        Extra arguments for the underlying :class:`DriftDetector`.
+    """
+
+    def __init__(
+        self,
+        model: UtilityModel,
+        shedder: Optional[ESpiceShedder] = None,
+        check_every: int = 25,
+        min_training_windows: int = 40,
+        **detector_kwargs,
+    ) -> None:
+        if check_every <= 0:
+            raise ValueError("check_every must be positive")
+        if min_training_windows <= 0:
+            raise ValueError("min_training_windows must be positive")
+        self.model = model
+        self.shedder = shedder
+        self.check_every = check_every
+        self.min_training_windows = min_training_windows
+        self.detector = DriftDetector(model, **detector_kwargs)
+        self.builder = ModelBuilder(bin_size=model.bin_size)
+        self.retrain_log: List[RetrainEvent] = []
+        self._windows_since_check = 0
+        self.last_status: Optional[DriftStatus] = None
+
+    # ------------------------------------------------------------------
+    def observe(self, window: Window, matches: Sequence[Match]) -> None:
+        """Operator window-listener entry point."""
+        self.detector.observe(window, matches)
+        self.builder.observe(window, matches)
+        self._windows_since_check += 1
+        if self._windows_since_check >= self.check_every:
+            self._windows_since_check = 0
+            self.last_status = self.detector.check()
+            if self.last_status.drifted:
+                self._retrain(self.last_status.reason)
+
+    # ------------------------------------------------------------------
+    def _retrain(self, reason: str) -> None:
+        if self.builder.windows_seen < self.min_training_windows:
+            return  # not enough fresh evidence yet; keep serving
+        old_reference = self.model.reference_size
+        new_model = self.builder.build()
+        self.model = new_model
+        if self.shedder is not None:
+            self._swap_shedder_model(new_model)
+        self.detector.rebind(new_model)
+        self.builder = ModelBuilder(bin_size=new_model.bin_size)
+        self.retrain_log.append(
+            RetrainEvent(
+                at_window=self.detector.model.windows_trained,
+                reason=reason,
+                old_reference_size=old_reference,
+                new_reference_size=new_model.reference_size,
+            )
+        )
+
+    def _swap_shedder_model(self, model: UtilityModel) -> None:
+        """Atomically repoint the live shedder at the fresh model.
+
+        The shedder's hot-path caches and per-partition thresholds are
+        rebuilt by replaying its current drop command against the new
+        model -- decisions before and after the swap are each fully
+        consistent with one model.
+        """
+        assert self.shedder is not None
+        command = self.shedder._command  # noqa: SLF001 - controlled swap
+        was_active = self.shedder.active
+        self.shedder.model = model
+        self.shedder._rows = model.table.rows_by_type()  # noqa: SLF001
+        self.shedder._reference = model.reference_size  # noqa: SLF001
+        self.shedder._bin_size = model.bin_size  # noqa: SLF001
+        self.shedder._plan = None  # force partition/CDT rebuild  # noqa: SLF001
+        if command is not None:
+            self.shedder.on_drop_command(command)
+        if was_active:
+            self.shedder.activate()
+
+    # ------------------------------------------------------------------
+    @property
+    def retrain_count(self) -> int:
+        """How many automatic retrains have happened."""
+        return len(self.retrain_log)

@@ -1,0 +1,113 @@
+"""Cumulative utility-occurrence tables (``CDT``, Algorithm 1).
+
+``CDT(u)`` is the expected number of events per window (or per window
+*partition*) whose utility is at most ``u``.  It is built from the
+utility table and the position shares: every cell ``UT(T, bin)`` adds
+its share ``S(T, bin)`` to the occurrence count of its utility value,
+and the counts are then accumulated over ascending utility.
+
+The utility threshold for dropping ``x`` events is the inverse lookup:
+the smallest ``u`` with ``CDT(u) ≥ x`` (paper §3.2/§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.partitions import PartitionPlan
+from repro.core.position_shares import PositionShares
+from repro.core.utility_table import UtilityTable
+
+
+class CDT:
+    """One cumulative distribution over utility values 0..100."""
+
+    SIZE = UtilityTable.MAX_UTILITY + 1  # 101 distinct utility values
+
+    def __init__(self, occurrences: Optional[Iterable[float]] = None) -> None:
+        values = list(occurrences) if occurrences is not None else [0.0] * self.SIZE
+        if len(values) != self.SIZE:
+            raise ValueError(f"CDT needs exactly {self.SIZE} occurrence counts")
+        self._cumulative: List[float] = []
+        running = 0.0
+        for value in values:
+            if value < 0.0:
+                raise ValueError("occurrence counts must be non-negative")
+            running += value
+            self._cumulative.append(running)
+
+    def value(self, utility: int) -> float:
+        """``CDT(u)``: events per window with utility ≤ ``u``."""
+        if not 0 <= utility < self.SIZE:
+            raise ValueError(f"utility {utility} outside [0, 100]")
+        return self._cumulative[utility]
+
+    @property
+    def total(self) -> float:
+        """Total expected events per window (partition)."""
+        return self._cumulative[-1]
+
+    def threshold_for(self, x: float) -> int:
+        """Smallest utility ``u`` with ``CDT(u) ≥ x``.
+
+        Dropping every event whose utility is ≤ this threshold removes
+        at least ``x`` events per window (partition).  If even the full
+        population cannot supply ``x`` events the maximum utility is
+        returned (drop everything).  ``x ≤ 0`` yields -1: drop nothing
+        (no utility is ≤ -1).
+        """
+        if x <= 0.0:
+            return -1
+        # binary search over the monotone cumulative array
+        lo, hi = 0, self.SIZE - 1
+        if self._cumulative[hi] < x:
+            return UtilityTable.MAX_UTILITY
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] >= x:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def as_list(self) -> List[float]:
+        """Copy of the cumulative array (diagnostics, tests)."""
+        return list(self._cumulative)
+
+    def __repr__(self) -> str:
+        return f"CDT(total={self.total:.3f})"
+
+
+def build_cdt(
+    table: UtilityTable,
+    shares: PositionShares,
+    bins: Optional[Iterable[int]] = None,
+) -> CDT:
+    """Algorithm 1: build a CDT from ``UT`` and the position shares.
+
+    ``bins`` restricts the build to a subset of bins -- used to build
+    one CDT per window partition.  ``None`` covers the whole table.
+    """
+    occurrences = [0.0] * CDT.SIZE
+    bin_range = range(table.bins) if bins is None else bins
+    for type_name in table.type_ids:
+        for bin_index in bin_range:
+            utility = table.cell(type_name, bin_index)
+            occurrences[utility] += shares.share(type_name, bin_index)
+    return CDT(occurrences)
+
+
+def build_partition_cdts(
+    table: UtilityTable,
+    shares: PositionShares,
+    plan: PartitionPlan,
+) -> List[CDT]:
+    """One CDT per partition of ``plan`` (paper §3.4, dropping interval)."""
+    return [
+        build_cdt(
+            table,
+            shares,
+            plan.bins_of_partition(part, table.bin_size, table.bins),
+        )
+        for part in range(plan.partition_count)
+    ]

@@ -1,0 +1,165 @@
+"""Statistical retraining trigger (the paper's §3.6 future work).
+
+"We can either periodically retrain the model ... or we can use a
+statistical approach that triggers the need to retrain the model (we
+leave this approach for future work)."  This module implements that
+statistical approach.
+
+The detector watches completed windows (the same listener feed the
+model builder uses) and maintains, over a sliding window of recent
+matches, the *model hit rate*: the fraction of contributing primitive
+events whose learned utility is above the low boundary.  When the hit
+rate of recent matches drops below ``hit_rate_threshold`` (the learned
+utilities no longer describe where contributions happen -- i.e. the
+(type, position) distribution drifted), retraining is signalled.
+
+A second, cheaper signal guards against silent drift when matching
+*stops* entirely: if the match rate per window collapses relative to
+the training period, retraining is also signalled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence
+
+from repro.cep.patterns.matcher import Match
+from repro.cep.windows import Window
+from repro.core.model import UtilityModel
+
+
+@dataclass
+class DriftStatus:
+    """One evaluation of the drift detector."""
+
+    windows_seen: int
+    hit_rate: Optional[float]  # None before min_matches matches
+    match_rate: Optional[float]
+    drifted: bool
+    reason: str = ""
+
+
+class DriftDetector:
+    """Signals when the utility model no longer fits the stream.
+
+    Parameters
+    ----------
+    model:
+        The currently deployed model.
+    utility_floor:
+        A contributing event whose learned utility is above this floor
+        counts as a *hit* (the model knew it mattered).
+    hit_rate_threshold:
+        Signal drift when the recent-match hit rate falls below this.
+    match_rate_threshold:
+        Signal drift when the matches-per-window rate falls below this
+        fraction of the training-time match rate.
+    history:
+        Number of recent windows considered.
+    min_windows:
+        Do not judge before this many windows were observed.
+    """
+
+    def __init__(
+        self,
+        model: UtilityModel,
+        utility_floor: int = 0,
+        hit_rate_threshold: float = 0.6,
+        match_rate_threshold: float = 0.3,
+        history: int = 50,
+        min_windows: int = 20,
+    ) -> None:
+        if not 0.0 <= hit_rate_threshold <= 1.0:
+            raise ValueError("hit_rate_threshold must lie in [0, 1]")
+        if history <= 0 or min_windows <= 0:
+            raise ValueError("history and min_windows must be positive")
+        self.model = model
+        self.utility_floor = utility_floor
+        self.hit_rate_threshold = hit_rate_threshold
+        self.match_rate_threshold = match_rate_threshold
+        self.history = history
+        self.min_windows = min_windows
+        self._window_hits: Deque[tuple] = deque(maxlen=history)  # (hits, total)
+        self._window_matches: Deque[int] = deque(maxlen=history)
+        self._windows_seen = 0
+        # training-time reference: matches per trained window
+        if model.windows_trained > 0:
+            self.trained_match_rate = model.matches_trained / model.windows_trained
+        else:
+            self.trained_match_rate = 0.0
+
+    # ------------------------------------------------------------------
+    # observation (operator window listener)
+    # ------------------------------------------------------------------
+    def observe(self, window: Window, matches: Sequence[Match]) -> None:
+        """Account one completed window (compatible listener signature)."""
+        if window.truncated or window.size == 0:
+            return
+        self._windows_seen += 1
+        self._window_matches.append(len(matches))
+        hits = total = 0
+        for match in matches:
+            for position, event in match:
+                total += 1
+                utility = self.model.utility(
+                    event.event_type, position, float(window.size)
+                )
+                if utility > self.utility_floor:
+                    hits += 1
+        if total:
+            self._window_hits.append((hits, total))
+
+    # ------------------------------------------------------------------
+    # judgement
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> Optional[float]:
+        """Fraction of recent contributing events the model valued."""
+        totals = sum(t for _h, t in self._window_hits)
+        if totals == 0:
+            return None
+        return sum(h for h, _t in self._window_hits) / totals
+
+    def match_rate(self) -> Optional[float]:
+        """Recent matches per window."""
+        if not self._window_matches:
+            return None
+        return sum(self._window_matches) / len(self._window_matches)
+
+    def check(self) -> DriftStatus:
+        """Evaluate the drift signals."""
+        hit = self.hit_rate()
+        match = self.match_rate()
+        if self._windows_seen < self.min_windows:
+            return DriftStatus(self._windows_seen, hit, match, False, "warming up")
+        if hit is not None and hit < self.hit_rate_threshold:
+            return DriftStatus(
+                self._windows_seen,
+                hit,
+                match,
+                True,
+                f"hit rate {hit:.2f} below {self.hit_rate_threshold:.2f}",
+            )
+        if (
+            match is not None
+            and self.trained_match_rate > 0.0
+            and match < self.match_rate_threshold * self.trained_match_rate
+        ):
+            return DriftStatus(
+                self._windows_seen,
+                hit,
+                match,
+                True,
+                f"match rate {match:.2f} collapsed vs trained "
+                f"{self.trained_match_rate:.2f}",
+            )
+        return DriftStatus(self._windows_seen, hit, match, False, "model fits")
+
+    def rebind(self, model: UtilityModel) -> None:
+        """Point the detector at a freshly retrained model and reset."""
+        self.model = model
+        if model.windows_trained > 0:
+            self.trained_match_rate = model.matches_trained / model.windows_trained
+        self._window_hits.clear()
+        self._window_matches.clear()
+        self._windows_seen = 0

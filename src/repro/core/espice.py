@@ -1,0 +1,146 @@
+"""The eSPICE facade: train a model, get a shedder and a detector.
+
+Typical usage (see ``examples/quickstart.py``)::
+
+    espice = ESpice(query, ESpiceConfig(latency_bound=1.0, f=0.8))
+    espice.train(training_stream)
+
+    shedder = espice.build_shedder()
+    detector = espice.build_detector(shedder)
+    result = simulate(query, live_stream, shedder=shedder, detector=detector, ...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.cep.events import Event
+from repro.cep.operator.operator import CEPOperator
+from repro.cep.patterns.query import Query
+from repro.core.fvalue import select_f
+from repro.core.model import ModelBuilder, UtilityModel
+from repro.core.overload import OverloadDetector
+from repro.core.shedder import ESpiceShedder
+
+
+@dataclass
+class ESpiceConfig:
+    """Knobs of the eSPICE framework.
+
+    Attributes
+    ----------
+    latency_bound:
+        ``LB`` in seconds (paper evaluation default: 1.0).
+    f:
+        Shedding trigger fraction.  ``None`` selects ``f`` automatically
+        from the trained model (paper §3.4); the evaluation default is
+        0.8.
+    bin_size:
+        ``bs``: utility-table positions per bin (§3.6).
+    check_interval:
+        Overload-detector period in seconds.
+    reference_size:
+        Pin the reference window size ``N``; ``None`` derives it from
+        the average seen window size during training.
+    """
+
+    latency_bound: float = 1.0
+    f: Optional[float] = 0.8
+    bin_size: int = 1
+    check_interval: float = 0.1
+    reference_size: Optional[int] = None
+
+
+class ESpice:
+    """Wires the utility model, shedder and overload detector together."""
+
+    def __init__(self, query: Query, config: Optional[ESpiceConfig] = None) -> None:
+        self.query = query
+        self.config = config if config is not None else ESpiceConfig()
+        self.builder = ModelBuilder(
+            bin_size=self.config.bin_size,
+            reference_size=self.config.reference_size,
+        )
+        self.model: Optional[UtilityModel] = None
+
+    # ------------------------------------------------------------------
+    # training (not time-critical, paper §3.1)
+    # ------------------------------------------------------------------
+    def train(self, stream: Iterable[Event]) -> UtilityModel:
+        """Run the operator over ``stream`` (no shedding) and fit the model.
+
+        Can be called repeatedly with fresh streams; statistics
+        accumulate (periodic model updates, §3.3).  Call
+        :meth:`retrain` instead to discard old statistics first.
+        """
+        operator = CEPOperator(self.query, shedder=None)
+        operator.add_window_listener(self.builder.observe)
+        operator.detect_all(stream)
+        self.model = self.builder.build()
+        return self.model
+
+    def retrain(self, stream: Iterable[Event]) -> UtilityModel:
+        """Reset statistics and train from scratch (§3.6, retraining)."""
+        self.builder.reset()
+        return self.train(stream)
+
+    def _require_model(self) -> UtilityModel:
+        if self.model is None:
+            raise RuntimeError("train() must be called before building components")
+        return self.model
+
+    # ------------------------------------------------------------------
+    # component factories
+    # ------------------------------------------------------------------
+    def build_shedder(self) -> ESpiceShedder:
+        """A fresh load shedder backed by the trained model."""
+        return ESpiceShedder(self._require_model())
+
+    def effective_f(
+        self,
+        expected_processing_latency: float,
+        expected_input_rate: float,
+    ) -> float:
+        """The configured ``f``, or the auto-selected one when unset."""
+        if self.config.f is not None:
+            return self.config.f
+        model = self._require_model()
+        if expected_processing_latency <= 0.0:
+            raise ValueError("processing latency must be positive to select f")
+        qmax = self.config.latency_bound / expected_processing_latency
+        throughput = 1.0 / expected_processing_latency
+        surplus = max(0.0, expected_input_rate - throughput)
+        return select_f(model, qmax, surplus, expected_input_rate)
+
+    def build_detector(
+        self,
+        shedder: ESpiceShedder,
+        fixed_processing_latency: Optional[float] = None,
+        fixed_input_rate: Optional[float] = None,
+    ) -> OverloadDetector:
+        """An overload detector driving ``shedder``.
+
+        When ``config.f`` is ``None`` the detector uses the
+        automatically selected ``f`` -- this requires
+        ``fixed_processing_latency`` and ``fixed_input_rate`` so the
+        selection has numbers to work with.
+        """
+        model = self._require_model()
+        if self.config.f is not None:
+            f = self.config.f
+        else:
+            if fixed_processing_latency is None or fixed_input_rate is None:
+                raise ValueError(
+                    "automatic f selection needs fixed latency and rate hints"
+                )
+            f = self.effective_f(fixed_processing_latency, fixed_input_rate)
+        return OverloadDetector(
+            latency_bound=self.config.latency_bound,
+            f=f,
+            reference_size=model.reference_size,
+            shedder=shedder,
+            check_interval=self.config.check_interval,
+            fixed_processing_latency=fixed_processing_latency,
+            fixed_input_rate=fixed_input_rate,
+        )

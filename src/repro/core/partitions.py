@@ -1,0 +1,81 @@
+"""Window partitioning for the dropping interval (paper §3.4).
+
+Once the load shedder starts at queue size ``f·qmax``, the headroom
+before the latency bound is violated is ``qmax − f·qmax`` events (the
+*buffer*).  ``x`` events must therefore be dropped from every stretch
+of at most buffer-many events, not merely from every window: a window
+larger than the buffer is split into ``ρ = ceil(ws / (qmax − f·qmax))``
+equal partitions of size ``psize = ws / ρ``, each with its own CDT and
+utility threshold.
+
+Partitions are defined over the *reference* positions of the utility
+table (size ``N``); incoming windows of different sizes map onto them
+through the usual position scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How a reference window is split into dropping intervals."""
+
+    reference_size: int
+    partition_count: int  # ρ
+    partition_size: float  # psize, in reference positions
+
+    def partition_of_position(self, reference_position: float) -> int:
+        """Partition index of a reference position."""
+        if self.partition_count <= 1:
+            return 0
+        index = int(reference_position / self.partition_size)
+        return min(max(index, 0), self.partition_count - 1)
+
+    def partition_of_bin(self, bin_index: int, bin_size: int) -> int:
+        """Partition owning a bin (by the bin's centre position)."""
+        centre = bin_index * bin_size + bin_size / 2.0
+        return self.partition_of_position(centre)
+
+    def bins_of_partition(self, partition: int, bin_size: int, bins: int) -> List[int]:
+        """All bin indices owned by ``partition``."""
+        return [
+            b
+            for b in range(bins)
+            if self.partition_of_bin(b, bin_size) == partition
+        ]
+
+
+def plan_partitions(
+    reference_size: int, qmax: float, f: float
+) -> PartitionPlan:
+    """Compute ``ρ`` and ``psize`` from the latency-bound headroom.
+
+    Parameters
+    ----------
+    reference_size:
+        Window size ``N`` in events (reference positions).
+    qmax:
+        Maximum tolerable queue size ``LB / l(p)``.
+    f:
+        Shedding trigger fraction, ``0 < f < 1``.
+    """
+    if reference_size <= 0:
+        raise ValueError("reference size must be positive")
+    if not 0.0 <= f < 1.0:
+        raise ValueError("f must lie in [0, 1)")
+    buffer = qmax * (1.0 - f)
+    if buffer <= 0.0:
+        # no headroom at all: every position is its own partition
+        count = reference_size
+    else:
+        count = max(1, math.ceil(reference_size / buffer))
+    count = min(count, reference_size)
+    return PartitionPlan(
+        reference_size=reference_size,
+        partition_count=count,
+        partition_size=reference_size / count,
+    )

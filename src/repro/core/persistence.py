@@ -1,0 +1,77 @@
+"""Saving and loading trained utility models.
+
+In a production deployment the model is trained continuously but
+shipped to operators periodically (paper §3.1: model building is not
+time-critical and can run out-of-band).  This module serialises a
+:class:`~repro.core.model.UtilityModel` to a single JSON document so a
+trained model can be persisted, versioned and loaded into a fresh
+shedder without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.model import UtilityModel
+from repro.core.position_shares import PositionShares
+from repro.core.utility_table import UtilityTable
+
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: UtilityModel) -> dict:
+    """Serialisable representation of ``model``."""
+    type_names = sorted(model.table.type_ids, key=model.table.type_ids.get)
+    return {
+        "format_version": FORMAT_VERSION,
+        "reference_size": model.reference_size,
+        "bin_size": model.bin_size,
+        "windows_trained": model.windows_trained,
+        "matches_trained": model.matches_trained,
+        "type_names": type_names,
+        "utility_matrix": model.table.as_matrix(),
+        "share_matrix": [
+            [model.shares.share(name, b) for b in range(model.shares.bins)]
+            for name in type_names
+        ],
+    }
+
+
+def model_from_dict(payload: dict) -> UtilityModel:
+    """Rebuild a model from :func:`model_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version!r}")
+    type_names = payload["type_names"]
+    reference_size = payload["reference_size"]
+    bin_size = payload["bin_size"]
+    table = UtilityTable.from_matrix(
+        payload["utility_matrix"], type_names, bin_size=bin_size
+    )
+    shares = PositionShares(table.type_ids, reference_size, bin_size)
+    # restore shares as one pseudo-observation carrying the exact means
+    shares._windows_observed = 1  # noqa: SLF001 - controlled rehydration
+    for row_index, row in enumerate(payload["share_matrix"]):
+        if len(row) != shares.bins:
+            raise ValueError("share matrix does not match the bin count")
+        shares._counts[row_index] = [float(v) for v in row]  # noqa: SLF001
+    return UtilityModel(
+        table=table,
+        shares=shares,
+        reference_size=reference_size,
+        bin_size=bin_size,
+        windows_trained=payload.get("windows_trained", 0),
+        matches_trained=payload.get("matches_trained", 0),
+    )
+
+
+def save_model(model: UtilityModel, path: Union[str, Path]) -> None:
+    """Write ``model`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(model_to_dict(model), indent=1))
+
+
+def load_model(path: Union[str, Path]) -> UtilityModel:
+    """Read a model previously written by :func:`save_model`."""
+    return model_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,123 @@
+"""Position shares ``S(T, P)`` (paper §3.3).
+
+When several event types exist, one utility-table position holds one
+utility value *per type*, so a position contributes to the occurrence
+count of multiple utility values.  The paper resolves this by counting
+fractional occurrences: the share ``S(T, P)`` of type ``T`` at position
+``P`` is the probability that the event arriving at position ``P`` has
+type ``T``, estimated from the observed distribution of events in
+training windows.
+
+With bins of size ``bs`` each bin covers ``bs`` positions, so the
+shares of a bin sum to ``bs`` (the expected number of events a window
+contributes to that bin), and the total over the whole table sums to
+the reference window size ``N`` -- which is exactly what makes the
+cumulative table ``CDT`` count *events per window*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import scaling
+
+
+class PositionShares:
+    """Expected per-window event counts by (type, bin)."""
+
+    def __init__(
+        self,
+        type_ids: Dict[str, int],
+        reference_size: int,
+        bin_size: int = 1,
+    ) -> None:
+        if reference_size <= 0:
+            raise ValueError("reference size must be positive")
+        if bin_size <= 0:
+            raise ValueError("bin size must be positive")
+        self.type_ids = dict(type_ids)
+        self.reference_size = reference_size
+        self.bin_size = bin_size
+        self.bins = scaling.bin_count(reference_size, bin_size)
+        self._counts: List[List[float]] = [
+            [0.0] * self.bins for _ in range(len(self.type_ids))
+        ]
+        self._windows_observed = 0
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def observe_window(self, typed_positions: List) -> None:
+        """Account one training window.
+
+        ``typed_positions`` is a list of ``(type_name, reference_position)``
+        pairs -- every event of the window mapped onto reference
+        positions (see :func:`repro.core.scaling.reference_position`).
+        """
+        for type_name, ref_pos in typed_positions:
+            row_index = self.type_ids.get(type_name)
+            if row_index is None:
+                continue
+            bin_index = scaling.bin_of_reference_position(
+                ref_pos, self.reference_size, self.bin_size
+            )
+            self._counts[row_index][bin_index] += 1.0
+        self._windows_observed += 1
+
+    @property
+    def windows_observed(self) -> int:
+        """Number of training windows accounted so far."""
+        return self._windows_observed
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def share(self, type_name: str, bin_index: int) -> float:
+        """``S(T, bin)``: expected events of ``type_name`` in the bin
+        per window (0.0 before any window was observed)."""
+        row_index = self.type_ids.get(type_name)
+        if row_index is None or self._windows_observed == 0:
+            return 0.0
+        return self._counts[row_index][bin_index] / self._windows_observed
+
+    def shares_in_bin(self, bin_index: int) -> List[float]:
+        """Each type's share in ``bin_index`` (row order of ``type_ids``)."""
+        if self._windows_observed == 0:
+            return [0.0] * len(self.type_ids)
+        return [row[bin_index] / self._windows_observed for row in self._counts]
+
+    def total(self) -> float:
+        """Sum of all shares; approximately the mean window size."""
+        if self._windows_observed == 0:
+            return 0.0
+        return sum(sum(row) for row in self._counts) / self._windows_observed
+
+    @classmethod
+    def uniform(
+        cls,
+        type_ids: Dict[str, int],
+        reference_size: int,
+        bin_size: int = 1,
+    ) -> "PositionShares":
+        """Shares assuming types are uniform across positions.
+
+        Useful as a prior before any window has been observed: each of
+        the ``M`` types receives ``bs / M`` per bin.
+        """
+        shares = cls(type_ids, reference_size, bin_size)
+        shares._windows_observed = 1
+        m = max(len(type_ids), 1)
+        for row in shares._counts:
+            for bin_index in range(shares.bins):
+                # last bin may be partial when bs does not divide N
+                covered = min(
+                    bin_size, reference_size - bin_index * bin_size
+                )
+                row[bin_index] = covered / m
+        return shares
+
+    def __repr__(self) -> str:
+        return (
+            f"PositionShares(types={len(self.type_ids)}, bins={self.bins}, "
+            f"windows={self._windows_observed})"
+        )

@@ -1,0 +1,123 @@
+"""The eSPICE load shedder (paper §3.5, Algorithm 2).
+
+Given a drop command "drop ``x`` events from every partition", the
+shedder derives, from the per-partition CDTs, one utility threshold
+``uth(part)`` per partition (the smallest utility ``u`` with
+``CDT(part, u) ≥ x``).  Per (event, window) pair the decision is then a
+single utility-table lookup plus a comparison -- O(1):
+
+    drop  ⇔  UT(T, P) ≤ uth(partition(P))
+
+Positions are scaled onto the model's reference window before both the
+lookup and the partition computation, which is what makes the shedder
+robust to variable window sizes (§3.6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cep.events import Event
+from repro.core import scaling
+from repro.core.cdt import CDT
+from repro.core.model import UtilityModel
+from repro.core.partitions import PartitionPlan
+from repro.shedding.base import DropCommand, LoadShedder
+
+
+class ESpiceShedder(LoadShedder):
+    """Utility-threshold shedder backed by a trained model."""
+
+    def __init__(self, model: UtilityModel) -> None:
+        super().__init__()
+        self.model = model
+        self._plan: Optional[PartitionPlan] = None
+        self._cdts: List[CDT] = []
+        self._thresholds: List[int] = []
+        self._command: Optional[DropCommand] = None
+        # hot-path caches: direct row access and scalar parameters avoid
+        # per-decision attribute chains (the decision is O(1) and must
+        # also be cheap in constants, paper §3.5)
+        self._rows = model.table.rows_by_type()
+        self._reference = model.reference_size
+        self._bin_size = model.bin_size
+        self._partition_size = float(model.reference_size)
+
+    # ------------------------------------------------------------------
+    # drop command handling (Algorithm 2, lines 1-7)
+    # ------------------------------------------------------------------
+    def on_drop_command(self, command: DropCommand) -> None:
+        """Receive a new dropping amount; recompute per-partition ``uth``.
+
+        Per-partition CDTs are rebuilt only when the partitioning
+        changes; a changed ``x`` alone is a cheap threshold re-lookup.
+        """
+        plan_changed = (
+            self._plan is None
+            or self._plan.partition_count != command.partition_count
+        )
+        if plan_changed:
+            self._plan = PartitionPlan(
+                reference_size=self.model.reference_size,
+                partition_count=max(1, command.partition_count),
+                partition_size=(
+                    command.partition_size
+                    if command.partition_size > 0
+                    else self.model.reference_size
+                    / max(1, command.partition_count)
+                ),
+            )
+            self._cdts = self.model.partition_cdts(self._plan)
+        self._command = command
+        self._thresholds = [cdt.threshold_for(command.x) for cdt in self._cdts]
+        self._partition_size = self._plan.partition_size
+
+    @property
+    def thresholds(self) -> List[int]:
+        """Current per-partition utility thresholds (diagnostics)."""
+        return list(self._thresholds)
+
+    @property
+    def plan(self) -> Optional[PartitionPlan]:
+        """Current partition plan (None before any command)."""
+        return self._plan
+
+    # ------------------------------------------------------------------
+    # per-event decision (Algorithm 2, lines 8-17)
+    # ------------------------------------------------------------------
+    def _decide(self, event: Event, position: int, predicted_ws: float) -> bool:
+        thresholds = self._thresholds
+        if not thresholds:
+            return False
+        reference = self._reference
+        window_size = predicted_ws if predicted_ws > 0 else reference
+
+        if window_size >= reference - 1.0:
+            # fast exact path: each window position covers at most one
+            # reference position (scale-down or identity)
+            if window_size <= reference + 1.0:
+                ref_position = position if position < reference else reference - 1
+            else:
+                ref_position = int(position * reference / window_size)
+                if ref_position >= reference:
+                    ref_position = reference - 1
+            row = self._rows.get(event.event_type)
+            utility = row[ref_position // self._bin_size] if row is not None else 0
+        else:
+            # scale-up (ws < N): a position covers several cells whose
+            # utilities are averaged (paper §3.6) -- precise slow path
+            utility = self.model.table.utility(
+                event.event_type, position, window_size
+            )
+            ref_position = int(
+                scaling.scale_position(position, window_size, reference)[0]
+            )
+
+        partition = int(ref_position / self._partition_size)
+        if partition >= len(thresholds):
+            partition = len(thresholds) - 1
+        return utility <= thresholds[partition]
+
+    def threshold_for_partition(self, partition: int) -> int:
+        """``uth(part)`` (diagnostics, tests)."""
+        return self._thresholds[partition]

@@ -1,0 +1,34 @@
+"""Synthetic stand-ins for the paper's two real-world datasets.
+
+The paper evaluates on (1) NYSE intraday quotes of 500 stocks collected
+from Google Finance and (2) the DEBS 2013 RTLS soccer positioning
+stream.  Neither is redistributable, so this package generates
+synthetic streams that plant exactly the statistical structure eSPICE
+exploits -- correlations between event *types* and their *relative
+positions* inside windows (paper §3):
+
+- :mod:`repro.datasets.stock` -- leader/follower stock quotes: a move
+  of a leading symbol is echoed by correlated follower symbols within a
+  bounded lag, and optional cascade chains fire in a fixed symbol order
+  (feeding the exact-sequence queries Q3/Q4).
+- :mod:`repro.datasets.soccer` -- ball-possession and defend events:
+  when a striker possesses the ball, his markers produce defend events
+  within a short interval (feeding Q1).
+
+Both generators are deterministic under a seed, and both emit plain
+:class:`repro.cep.events.EventStream` objects.
+"""
+
+from repro.datasets.stock import StockStreamConfig, generate_stock_stream
+from repro.datasets.soccer import SoccerStreamConfig, generate_soccer_stream
+from repro.datasets.io import load_stream_csv, save_stream_csv, split_stream
+
+__all__ = [
+    "SoccerStreamConfig",
+    "StockStreamConfig",
+    "generate_soccer_stream",
+    "generate_stock_stream",
+    "load_stream_csv",
+    "save_stream_csv",
+    "split_stream",
+]

@@ -1,0 +1,73 @@
+"""Stream persistence and splitting utilities.
+
+The paper streams its datasets "from stored files"; these helpers give
+the reproduction the same workflow -- generate once, save to CSV,
+replay many times -- plus the train/test split used by every
+experiment (train the model at a sustainable rate, then overload).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.cep.events import Event, EventStream
+
+_META_COLUMNS = ("event_type", "seq", "timestamp")
+
+
+def save_stream_csv(stream: EventStream, path: Union[str, Path]) -> None:
+    """Write ``stream`` to ``path`` as CSV (attrs JSON-encoded)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([*_META_COLUMNS, "attrs"])
+        for event in stream:
+            writer.writerow(
+                [
+                    event.event_type,
+                    event.seq,
+                    repr(event.timestamp),
+                    json.dumps(event.attrs, sort_keys=True),
+                ]
+            )
+
+
+def load_stream_csv(path: Union[str, Path]) -> EventStream:
+    """Read a stream previously written by :func:`save_stream_csv`."""
+    path = Path(path)
+    stream = EventStream()
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header[:3]) != _META_COLUMNS:
+            raise ValueError(f"{path} is not a stream CSV")
+        for row in reader:
+            type_name, seq_text, ts_text, attrs_text = row
+            stream.append(
+                Event(
+                    event_type=type_name,
+                    seq=int(seq_text),
+                    timestamp=float(ts_text),
+                    attrs=json.loads(attrs_text),
+                )
+            )
+    return stream
+
+
+def split_stream(
+    stream: EventStream, train_fraction: float
+) -> Tuple[EventStream, EventStream]:
+    """Split a stream into (training, evaluation) prefix/suffix parts.
+
+    The evaluation part keeps its original sequence numbers and
+    timestamps -- windows and positions are unaffected by the split.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must lie strictly between 0 and 1")
+    cut = int(len(stream) * train_fraction)
+    train = EventStream(stream[i] for i in range(cut))
+    test = EventStream(stream[i] for i in range(cut, len(stream)))
+    return train, test

@@ -1,0 +1,188 @@
+"""Synthetic RTLS soccer stream (DEBS 2013 grand-challenge stand-in).
+
+Substitution for the paper's real-time locating system data from a
+soccer game, filtered to one event per second per tracked object.  The
+stream contains:
+
+- **possession events** (``"STR1"``, ``"STR2"``): one of the two
+  strikers (one per team) possesses the ball;
+- **defend events** (``"DF1"``..``"DFk"``): defender position updates.
+  Each carries a ``distance`` attribute -- the distance to the nearest
+  striker.  The man-marking correlation is planted: after a possession
+  by striker ``s``, each of the defenders *assigned to mark s* emits a
+  defend event *within marking distance* (small ``distance``) within
+  ``marking_delay_max`` seconds with probability
+  ``marking_probability``; defender updates outside these reactions
+  carry large distances (the defender roams elsewhere);
+- **background events** (``"PL1"``..``"PLm"``): other players'
+  filtered position updates, which dilute the stream exactly like the
+  non-pattern events of the real dataset.
+
+Event schema: attributes ``x``/``y`` (pitch position, metres) and
+``velocity`` (m/s).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cep.events import Event, EventStream
+
+STRIKER_TYPES = ("STR1", "STR2")
+
+
+def defender_name(index: int) -> str:
+    """Canonical defend-event type for defender ``index`` (1-based)."""
+    return f"DF{index}"
+
+
+@dataclass
+class SoccerStreamConfig:
+    """Knobs of the synthetic soccer stream.
+
+    Attributes
+    ----------
+    defenders:
+        Total number of tracked defenders (defend-event types).
+    markers_per_striker:
+        How many defenders are assigned to man-mark each striker; the
+        first ``markers_per_striker`` defenders mark ``STR1``, the next
+        ones mark ``STR2`` (wrapping if needed).
+    marker_offset:
+        Rotates the marking assignment: defender indices shift by this
+        amount (modulo the defender count).  Changing it mid-season
+        models tactical drift for retraining demos.
+    background_players:
+        Number of background position-update types.
+    duration_seconds:
+        Stream length in event-time seconds.
+    events_per_second:
+        Aggregate rate after redundancy filtering (paper: one event per
+        second per object).
+    possession_interval:
+        Mean seconds between possession events.
+    marking_probability:
+        Probability that an assigned marker reacts to a possession.
+    marking_delay_min / marking_delay_max:
+        Reaction delay window in seconds (the positional correlation
+        eSPICE learns).
+    defender_noise_fraction:
+        Fraction of filler events that are defender position updates
+        unrelated to any possession; the rest are background players.
+        Defenders move all game long, so most defend-type events are
+        *not* marking reactions -- type alone cannot identify the
+        contributing events, position within the window can.
+    seed:
+        RNG seed.
+    """
+
+    defenders: int = 8
+    markers_per_striker: int = 4
+    marker_offset: int = 0
+    background_players: int = 10
+    duration_seconds: float = 1200.0
+    events_per_second: float = 20.0
+    possession_interval: float = 10.0
+    marking_probability: float = 0.85
+    marking_delay_min: float = 0.5
+    marking_delay_max: float = 5.0
+    defender_noise_fraction: float = 0.5
+    seed: int = 11
+
+    def defender_names(self) -> List[str]:
+        """All defend-event type names."""
+        return [defender_name(i) for i in range(1, self.defenders + 1)]
+
+    def markers_of(self, striker: str) -> List[str]:
+        """Defend-event types assigned to mark ``striker``."""
+        if striker not in STRIKER_TYPES:
+            raise ValueError(f"unknown striker {striker!r}")
+        offset = (
+            STRIKER_TYPES.index(striker) * self.markers_per_striker
+            + self.marker_offset
+        )
+        return [
+            defender_name(1 + (offset + i) % self.defenders)
+            for i in range(self.markers_per_striker)
+        ]
+
+
+def generate_soccer_stream(config: Optional[SoccerStreamConfig] = None) -> EventStream:
+    """Generate the synthetic soccer stream described by ``config``."""
+    cfg = config if config is not None else SoccerStreamConfig()
+    if cfg.defenders <= 0:
+        raise ValueError("need at least one defender")
+    if cfg.markers_per_striker <= 0 or cfg.markers_per_striker > cfg.defenders:
+        raise ValueError("markers_per_striker must be in [1, defenders]")
+    if cfg.marking_delay_min >= cfg.marking_delay_max:
+        raise ValueError("marking delay window is empty")
+
+    rng = random.Random(cfg.seed)
+    # (time, type_name, is_marking_reaction)
+    scheduled: List[tuple] = []
+
+    def random_attrs(marking: bool) -> Dict[str, float]:
+        attrs = {
+            "x": round(rng.uniform(0.0, 105.0), 2),
+            "y": round(rng.uniform(0.0, 68.0), 2),
+            "velocity": round(abs(rng.gauss(3.0, 1.5)), 2),
+        }
+        # distance to the nearest striker: marking reactions are close,
+        # roaming updates far (this is what Q1's distance predicate uses)
+        attrs["distance"] = round(
+            rng.uniform(0.5, 3.0) if marking else rng.uniform(8.0, 40.0), 2
+        )
+        return attrs
+
+    # pre-plan possession times
+    possessions: List[tuple] = []  # (time, striker type)
+    time_cursor = rng.uniform(0.5, cfg.possession_interval)
+    while time_cursor < cfg.duration_seconds:
+        striker = rng.choice(STRIKER_TYPES)
+        possessions.append((time_cursor, striker))
+        for marker in cfg.markers_of(striker):
+            if rng.random() < cfg.marking_probability:
+                delay = rng.uniform(cfg.marking_delay_min, cfg.marking_delay_max)
+                scheduled.append((time_cursor + delay, marker, True))
+        time_cursor += rng.expovariate(1.0 / cfg.possession_interval)
+
+    # filler events to reach the target aggregate rate: defenders move
+    # all game long (position updates without a possession trigger), the
+    # rest are other players' updates
+    target_events = int(cfg.duration_seconds * cfg.events_per_second)
+    filler_needed = max(0, target_events - len(possessions) - len(scheduled))
+    background_types = [f"PL{i}" for i in range(1, cfg.background_players + 1)] or [
+        "PL1"
+    ]
+    filler = []
+    for _ in range(filler_needed):
+        timestamp = rng.uniform(0.0, cfg.duration_seconds)
+        if rng.random() < cfg.defender_noise_fraction:
+            type_name = defender_name(rng.randint(1, cfg.defenders))
+        else:
+            type_name = rng.choice(background_types)
+        filler.append((timestamp, type_name, False))
+
+    all_events = [(t, s, False) for t, s in possessions] + scheduled + filler
+    all_events.sort(key=lambda entry: entry[0])
+
+    stream = EventStream()
+    for seq, (timestamp, type_name, marking) in enumerate(all_events):
+        if timestamp >= cfg.duration_seconds:
+            continue
+        stream.append(
+            Event(
+                event_type=type_name,
+                seq=seq,
+                timestamp=timestamp,
+                attrs=random_attrs(marking),
+            )
+        )
+    return stream
+
+
+def is_possession(event: Event) -> bool:
+    """Predicate: the event is a striker possession."""
+    return event.event_type in STRIKER_TYPES

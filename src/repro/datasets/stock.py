@@ -1,0 +1,189 @@
+"""Synthetic NYSE-style stock quote stream.
+
+Substitution for the paper's Google-Finance NYSE dataset (500 symbols,
+one quote per symbol per minute).  The generator plants the two
+correlation structures the evaluation queries rely on:
+
+- **lead/lag following** (Q2): each follower symbol tracks the
+  direction a designated *leader* symbol had ``lag_ticks`` ago with
+  probability ``follow_probability``; otherwise it moves randomly.
+  Inside a window opened by a leader event, correlated follower moves
+  therefore appear at predictable relative positions.
+- **ordered cascades** (Q3/Q4): when a leader rises (or falls), the
+  configured cascade symbols repeat that direction on the next tick.
+  Symbols emit in index order within a tick, so the cascade appears as
+  an exact type sequence -- precisely what the sequence operator of
+  Q3/Q4 matches.
+
+Event schema: type = symbol name (e.g. ``"S17"``); attributes ``price``
+(float), ``change`` (signed float) and ``direction`` (``"rise"`` /
+``"fall"``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cep.events import Event, EventStream
+
+
+def symbol_name(index: int) -> str:
+    """Canonical symbol name for index ``index``."""
+    return f"S{index}"
+
+
+@dataclass
+class StockStreamConfig:
+    """Knobs of the synthetic quote stream.
+
+    Attributes
+    ----------
+    symbols:
+        Total number of stock symbols (paper: 500).
+    leaders:
+        The first ``leaders`` symbols are the "leading blue chips" whose
+        events open windows in Q2/Q3 (paper: 5).
+    ticks:
+        Number of quote rounds; every symbol quotes once per tick
+        (paper resolution: one quote per minute).
+    tick_seconds:
+        Event-time span of one tick (paper: 60 s).
+    follow_probability:
+        Probability that a follower echoes its leader's lagged
+        direction instead of moving randomly.
+    lag_ticks:
+        How many ticks behind followers echo their leader.
+    cascade_symbols:
+        Symbol indices that deterministically repeat the first leader's
+        direction one tick later, in index order (Q3/Q4 fodder); empty
+        disables cascades.
+    cascade_probability:
+        Per-tick probability that a pending cascade actually fires.
+    seed:
+        RNG seed; streams are reproducible.
+    """
+
+    symbols: int = 50
+    leaders: int = 5
+    ticks: int = 200
+    tick_seconds: float = 60.0
+    follow_probability: float = 0.75
+    lag_ticks: int = 1
+    cascade_symbols: Sequence[int] = field(default_factory=tuple)
+    cascade_probability: float = 0.9
+    seed: int = 7
+
+    def leader_names(self) -> List[str]:
+        """Names of the leading symbols."""
+        return [symbol_name(i) for i in range(self.leaders)]
+
+    def follower_names(self) -> List[str]:
+        """Names of every non-leader symbol."""
+        return [symbol_name(i) for i in range(self.leaders, self.symbols)]
+
+    def cascade_names(self) -> List[str]:
+        """Names of the cascade symbols, in cascade (index) order."""
+        return [symbol_name(i) for i in sorted(self.cascade_symbols)]
+
+
+def generate_stock_stream(config: Optional[StockStreamConfig] = None) -> EventStream:
+    """Generate the synthetic quote stream described by ``config``."""
+    cfg = config if config is not None else StockStreamConfig()
+    if cfg.symbols <= 0:
+        raise ValueError("need at least one symbol")
+    if not 0 < cfg.leaders <= cfg.symbols:
+        raise ValueError("leaders must be within the symbol count")
+    for index in cfg.cascade_symbols:
+        if not cfg.leaders <= index < cfg.symbols:
+            raise ValueError(
+                f"cascade symbol {index} must be a follower "
+                f"(in [{cfg.leaders}, {cfg.symbols}))"
+            )
+
+    rng = random.Random(cfg.seed)
+    prices: List[float] = [100.0 + rng.uniform(-20.0, 20.0) for _ in range(cfg.symbols)]
+    # direction history per leader, appended once per tick ("rise"/"fall")
+    leader_history: List[List[str]] = [[] for _ in range(cfg.leaders)]
+    leader_persistence = 0.7  # leaders keep their direction with this probability
+    last_leader_dir: List[str] = [
+        rng.choice(("rise", "fall")) for _ in range(cfg.leaders)
+    ]
+    cascade_order = sorted(cfg.cascade_symbols)
+    pending_cascade: Optional[str] = None  # direction to replay on this tick
+
+    stream = EventStream()
+    seq = 0
+    for tick in range(cfg.ticks):
+        tick_start = tick * cfg.tick_seconds
+        spacing = cfg.tick_seconds / cfg.symbols
+        # decide this tick's leader directions first
+        for leader in range(cfg.leaders):
+            if rng.random() < leader_persistence:
+                direction = last_leader_dir[leader]
+            else:
+                direction = "rise" if last_leader_dir[leader] == "fall" else "fall"
+            last_leader_dir[leader] = direction
+            leader_history[leader].append(direction)
+
+        cascade_fires = (
+            pending_cascade is not None and rng.random() < cfg.cascade_probability
+        )
+        cascade_direction = pending_cascade
+
+        for index in range(cfg.symbols):
+            name = symbol_name(index)
+            if index < cfg.leaders:
+                direction = leader_history[index][-1]
+            elif cascade_fires and index in cascade_order:
+                direction = cascade_direction or "rise"
+            else:
+                leader = index % cfg.leaders
+                history = leader_history[leader]
+                lagged_tick = tick - cfg.lag_ticks
+                if 0 <= lagged_tick < len(history) and rng.random() < cfg.follow_probability:
+                    direction = history[lagged_tick]
+                else:
+                    direction = rng.choice(("rise", "fall"))
+            magnitude = abs(rng.gauss(0.5, 0.2)) + 0.01
+            change = magnitude if direction == "rise" else -magnitude
+            prices[index] = max(1.0, prices[index] + change)
+            stream.append(
+                Event(
+                    event_type=name,
+                    seq=seq,
+                    timestamp=tick_start + index * spacing,
+                    attrs={
+                        "price": round(prices[index], 4),
+                        "change": round(change, 4),
+                        "direction": direction,
+                    },
+                )
+            )
+            seq += 1
+
+        # the first leader's direction this tick seeds next tick's cascade
+        pending_cascade = leader_history[0][-1] if cascade_order else None
+
+    return stream
+
+
+def rising(event: Event) -> bool:
+    """Predicate: the quote is a rising event (paper's RE)."""
+    return event.attr("direction") == "rise"
+
+
+def falling(event: Event) -> bool:
+    """Predicate: the quote is a falling event (paper's FE)."""
+    return event.attr("direction") == "fall"
+
+
+def direction_counts(stream: EventStream) -> Dict[str, int]:
+    """Count rise/fall events (dataset sanity checks)."""
+    counts = {"rise": 0, "fall": 0}
+    for event in stream:
+        direction = event.attr("direction")
+        if direction in counts:
+            counts[direction] += 1
+    return counts

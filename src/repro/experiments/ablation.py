@@ -1,0 +1,276 @@
+"""Ablations of eSPICE's design choices (DESIGN.md §5).
+
+1. **Partitioned CDT vs whole-window CDT** -- the paper argues (§3.4)
+   that dropping per *partition* is needed when the window exceeds the
+   latency-bound buffer; a single whole-window threshold can violate
+   the bound when high-utility events cluster.
+2. **Position shares vs full occurrences** -- counting each utility
+   cell as a full occurrence (ignoring ``S(T, P)``) over-estimates the
+   number of droppable events per window and under-drops.
+3. **f sweep** -- quality vs latency-headroom trade-off (paper §3.4,
+   "appropriate f value").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.cdt import CDT, build_partition_cdts
+from repro.core.espice import ESpice, ESpiceConfig
+from repro.core.overload import OverloadDetector
+from repro.core.partitions import plan_partitions
+from repro.core.position_shares import PositionShares
+from repro.experiments import workloads
+from repro.experiments.common import ExperimentConfig, R1, format_rows
+from repro.queries import build_q1
+from repro.runtime.quality import compare_results, ground_truth
+from repro.runtime.simulation import (
+    SimulationConfig,
+    measure_mean_memberships,
+    simulate,
+)
+
+
+@dataclass
+class AblationRow:
+    """One configuration's quality + latency outcome."""
+
+    label: str
+    fn_pct: float
+    fp_pct: float
+    drop_pct: float
+    latency_violations: int
+    p99_latency_ms: float
+
+
+@dataclass
+class AblationResult:
+    """A small comparison table."""
+
+    title: str
+    rows_data: List[AblationRow] = field(default_factory=list)
+
+    def rows(self) -> str:
+        header = ["config", "%FN", "%FP", "%drop", "LB violations", "p99 (ms)"]
+        body = [
+            [
+                r.label,
+                f"{r.fn_pct:.1f}",
+                f"{r.fp_pct:.1f}",
+                f"{r.drop_pct:.1f}",
+                r.latency_violations,
+                f"{r.p99_latency_ms:.0f}",
+            ]
+            for r in self.rows_data
+        ]
+        return f"{self.title}\n" + format_rows(header, body)
+
+
+def _run_espice_point(
+    query,
+    train_stream,
+    eval_stream,
+    rate_factor: float,
+    config: ExperimentConfig,
+    truth,
+    label: str,
+    partition_override: Optional[int] = None,
+) -> AblationRow:
+    espice = ESpice(
+        query,
+        ESpiceConfig(
+            latency_bound=config.latency_bound,
+            f=config.f,
+            bin_size=config.bin_size,
+            check_interval=config.check_interval,
+        ),
+    )
+    model = espice.train(train_stream)
+    shedder = espice.build_shedder()
+    detector = OverloadDetector(
+        latency_bound=config.latency_bound,
+        f=config.f,
+        reference_size=model.reference_size,
+        shedder=shedder,
+        check_interval=config.check_interval,
+        fixed_processing_latency=1.0 / config.throughput,
+        fixed_input_rate=rate_factor * config.throughput,
+        partition_override=partition_override,
+    )
+    sim = simulate(
+        query,
+        eval_stream,
+        SimulationConfig(
+            input_rate=rate_factor * config.throughput,
+            throughput=config.throughput,
+            latency_bound=config.latency_bound,
+            check_interval=config.check_interval,
+            mean_memberships=measure_mean_memberships(query, eval_stream),
+        ),
+        shedder=shedder,
+        detector=detector,
+        prime_window_size=model.reference_size,
+    )
+    report = compare_results(truth, sim.complex_events)
+    stats = sim.latency.stats()
+    return AblationRow(
+        label=label,
+        fn_pct=report.false_negative_pct,
+        fp_pct=report.false_positive_pct,
+        drop_pct=100.0 * sim.operator_stats.drop_ratio(),
+        latency_violations=stats.violations,
+        p99_latency_ms=stats.p99 * 1000.0,
+    )
+
+
+def ablation_partitioning(
+    pattern_size: int = 4,
+    rate_factor: float = 2.5,
+    config: Optional[ExperimentConfig] = None,
+) -> AblationResult:
+    """Partition-planned CDTs vs a single whole-window CDT.
+
+    Runs at severe overload (default 2.5x) on purpose: at the paper's
+    R1/R2 rates the drop demand fits inside every partition's
+    zero-utility population, so all partitionings choose threshold 0
+    and behave identically.  Under severe demand the partition size
+    becomes the quality dial the paper describes (§3.4): per-position
+    partitions must shed regardless of utility and quality collapses,
+    while buffer-derived partitions keep finding cheap events.
+    """
+    cfg = config or ExperimentConfig()
+    train, eval_stream = workloads.soccer_streams()
+    query = build_q1(pattern_size)
+    truth = ground_truth(query, eval_stream)
+    result = AblationResult(title="Ablation: dropping interval (partitioning)")
+    result.rows_data.append(
+        _run_espice_point(
+            query, train, eval_stream, rate_factor, cfg, truth, "paper (buffer-derived rho)"
+        )
+    )
+    result.rows_data.append(
+        _run_espice_point(
+            query,
+            train,
+            eval_stream,
+            rate_factor,
+            cfg,
+            truth,
+            "single whole-window CDT (rho=1)",
+            partition_override=1,
+        )
+    )
+    result.rows_data.append(
+        _run_espice_point(
+            query,
+            train,
+            eval_stream,
+            rate_factor,
+            cfg,
+            truth,
+            "per-position partitions (rho=N)",
+            partition_override=10_000,
+        )
+    )
+    return result
+
+
+def ablation_f_sweep(
+    pattern_size: int = 4,
+    f_values: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
+    rate_factor: float = R1,
+    config: Optional[ExperimentConfig] = None,
+) -> AblationResult:
+    """Quality / latency-headroom trade-off across ``f``."""
+    cfg = config or ExperimentConfig()
+    train, eval_stream = workloads.soccer_streams()
+    query = build_q1(pattern_size)
+    truth = ground_truth(query, eval_stream)
+    result = AblationResult(title="Ablation: f value sweep")
+    for f in f_values:
+        point_cfg = ExperimentConfig(
+            throughput=cfg.throughput,
+            latency_bound=cfg.latency_bound,
+            f=f,
+            bin_size=cfg.bin_size,
+            check_interval=cfg.check_interval,
+            seed=cfg.seed,
+        )
+        result.rows_data.append(
+            _run_espice_point(
+                query, train, eval_stream, rate_factor, point_cfg, truth, f"f={f:.2f}"
+            )
+        )
+    return result
+
+
+@dataclass
+class SharesAblationRow:
+    """Threshold accuracy with vs without learned position shares."""
+
+    label: str
+    commanded_x: float
+    expected_drops: float  # CDT-predicted drops at the chosen threshold
+
+
+@dataclass
+class SharesAblationResult:
+    """Comparison of CDT calibration strategies."""
+
+    title: str
+    rows_data: List[SharesAblationRow] = field(default_factory=list)
+
+    def rows(self) -> str:
+        header = ["config", "commanded x", "CDT drops at threshold"]
+        body = [
+            [r.label, f"{r.commanded_x:.1f}", f"{r.expected_drops:.1f}"]
+            for r in self.rows_data
+        ]
+        return f"{self.title}\n" + format_rows(header, body)
+
+
+def ablation_position_shares(
+    pattern_size: int = 4,
+    drop_fraction: float = 0.2,
+    config: Optional[ExperimentConfig] = None,
+) -> SharesAblationResult:
+    """Learned ``S(T,P)`` vs counting every cell as a full occurrence.
+
+    Full-occurrence counting inflates the CDT (each position counts
+    once per *type* instead of summing to one event), so the threshold
+    search stops at a lower utility than needed and under-drops.  The
+    comparison reports the expected drops per partition at the chosen
+    threshold for the same commanded ``x``.
+    """
+    cfg = config or ExperimentConfig()
+    train, _eval_stream = workloads.soccer_streams()
+    query = build_q1(pattern_size)
+    espice = ESpice(query, ESpiceConfig(latency_bound=cfg.latency_bound, f=cfg.f))
+    model = espice.train(train)
+    plan = plan_partitions(
+        model.reference_size, cfg.latency_bound * cfg.throughput, cfg.f
+    )
+    x = drop_fraction * plan.partition_size
+
+    learned_cdts = build_partition_cdts(model.table, model.shares, plan)
+    ones = PositionShares.uniform(
+        model.table.type_ids, model.reference_size, model.bin_size
+    )
+    # full occurrence = every (type, bin) cell counts 1.0, i.e. uniform
+    # shares scaled by the number of types
+    for row in ones._counts:  # test-only poke, documented ablation
+        for index in range(len(row)):
+            row[index] = float(model.bin_size)
+    full_cdts = build_partition_cdts(model.table, ones, plan)
+
+    result = SharesAblationResult(title="Ablation: position shares in the CDT")
+    for label, cdts in (("learned shares", learned_cdts), ("full occurrences", full_cdts)):
+        threshold = cdts[0].threshold_for(x)
+        expected = learned_cdts[0].value(max(threshold, 0)) if threshold >= 0 else 0.0
+        result.rows_data.append(
+            SharesAblationRow(
+                label=label, commanded_x=x, expected_drops=expected
+            )
+        )
+    return result

@@ -1,0 +1,139 @@
+"""Burst-absorption experiment: the case for a high ``f`` (paper §3.4).
+
+"A high f value, on one hand, avoids unnecessarily dropping events --
+in cases the events are only queued for a short time as in short burst
+situations."
+
+The runner drives Q1 at a sustainable base rate with one transient
+burst injected (see :mod:`repro.runtime.arrivals`), for several ``f``
+values.  With a short burst, a high ``f`` absorbs the queue spike
+without shedding a single event while a low ``f`` sheds (and loses
+quality) unnecessarily; a sustained burst forces everyone to shed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.espice import ESpice, ESpiceConfig
+from repro.core.overload import OverloadDetector
+from repro.experiments import workloads
+from repro.experiments.common import ExperimentConfig, format_rows
+from repro.queries import build_q1
+from repro.runtime.arrivals import burst_arrivals
+from repro.runtime.quality import compare_results, ground_truth
+from repro.runtime.simulation import (
+    SimulationConfig,
+    measure_mean_memberships,
+    simulate,
+)
+
+
+@dataclass
+class BurstPoint:
+    """Outcome of one (f, burst length) run."""
+
+    f: float
+    burst_seconds: float
+    dropped_memberships: int
+    fn_pct: float
+    latency_violations: int
+    max_latency_ms: float
+
+
+@dataclass
+class BurstResult:
+    """The burst-absorption comparison."""
+
+    points: List[BurstPoint] = field(default_factory=list)
+
+    def rows(self) -> str:
+        header = ["burst (s)", "f", "dropped", "%FN", "LB violations", "max lat (ms)"]
+        body = [
+            [
+                f"{p.burst_seconds:.1f}",
+                f"{p.f:.2f}",
+                p.dropped_memberships,
+                f"{p.fn_pct:.1f}",
+                p.latency_violations,
+                f"{p.max_latency_ms:.0f}",
+            ]
+            for p in sorted(self.points, key=lambda p: (p.burst_seconds, p.f))
+        ]
+        return "Burst absorption vs f\n" + format_rows(header, body)
+
+
+def burst_experiment(
+    f_values: Sequence[float] = (0.5, 0.8, 0.95),
+    burst_seconds: Sequence[float] = (0.5, 6.0),
+    burst_factor: float = 3.0,
+    base_factor: float = 0.9,
+    pattern_size: int = 3,
+    config: Optional[ExperimentConfig] = None,
+) -> BurstResult:
+    """Run the burst sweep.
+
+    The base rate is ``base_factor * th`` (sustainable); during the
+    burst the rate jumps to ``burst_factor * th``.
+    """
+    cfg = config or ExperimentConfig()
+    train, eval_stream = workloads.soccer_streams()
+    query = build_q1(pattern_size)
+    truth = ground_truth(query, eval_stream)
+    mean_memberships = measure_mean_memberships(query, eval_stream)
+
+    espice = ESpice(
+        query,
+        ESpiceConfig(latency_bound=cfg.latency_bound, f=cfg.f, bin_size=8),
+    )
+    model = espice.train(train)
+
+    result = BurstResult()
+    for burst in burst_seconds:
+        arrivals = burst_arrivals(
+            count=len(eval_stream),
+            base_rate=base_factor * cfg.throughput,
+            burst_rate=burst_factor * cfg.throughput,
+            burst_start=2.0,
+            burst_duration=burst,
+        )
+        for f in f_values:
+            shedder = espice.build_shedder()
+            detector = OverloadDetector(
+                latency_bound=cfg.latency_bound,
+                f=f,
+                reference_size=model.reference_size,
+                shedder=shedder,
+                check_interval=cfg.check_interval,
+                fixed_processing_latency=1.0 / cfg.throughput,
+                fixed_input_rate=burst_factor * cfg.throughput,
+            )
+            sim = simulate(
+                query,
+                eval_stream,
+                SimulationConfig(
+                    input_rate=base_factor * cfg.throughput,  # nominal; overridden
+                    throughput=cfg.throughput,
+                    latency_bound=cfg.latency_bound,
+                    check_interval=cfg.check_interval,
+                    mean_memberships=mean_memberships,
+                ),
+                shedder=shedder,
+                detector=detector,
+                prime_window_size=model.reference_size,
+                arrival_times=arrivals,
+            )
+            report = compare_results(truth, sim.complex_events)
+            stats = sim.latency.stats()
+            result.points.append(
+                BurstPoint(
+                    f=f,
+                    burst_seconds=burst,
+                    dropped_memberships=sim.operator_stats.memberships_dropped,
+                    fn_pct=report.false_negative_pct,
+                    latency_violations=stats.violations,
+                    max_latency_ms=stats.maximum * 1000.0,
+                )
+            )
+    return result

@@ -1,0 +1,215 @@
+"""Shared machinery for the paper-figure experiments.
+
+Every quality experiment follows the paper's protocol (§4.1):
+
+1. stream the dataset at a sustainable rate until the model is built
+   (our ``train`` stream),
+2. raise the input rate to ``R1 = 1.2·th`` or ``R2 = 1.4·th`` and
+   replay the evaluation stream through the simulated pipeline,
+3. compare detected complex events against the ground truth of an
+   unconstrained run and report %false negatives / %false positives.
+
+:func:`run_quality_point` performs one such (strategy, rate) run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.cep.events import EventStream
+from repro.cep.patterns.query import Query
+from repro.cep.windows import average_window_size, collect_windows
+from repro.core.espice import ESpice, ESpiceConfig
+from repro.core.overload import OverloadDetector
+from repro.runtime.latency import LatencyStats
+from repro.runtime.quality import QualityReport, compare_results, ground_truth
+from repro.runtime.simulation import (
+    SimulationConfig,
+    measure_mean_memberships,
+    simulate,
+)
+from repro.shedding.base import LoadShedder
+from repro.shedding.baseline import BLShedder
+from repro.shedding.integral import IntegralShedder
+from repro.shedding.random_shedder import RandomShedder
+
+# The paper's two overload levels: input rate exceeds throughput by 20/40 %.
+R1 = 1.2
+R2 = 1.4
+
+STRATEGIES = ("espice", "bl", "bl-integral", "random", "none")
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared knobs of one experiment family."""
+
+    throughput: float = 1000.0  # th, events/second (virtual)
+    latency_bound: float = 1.0  # LB, seconds (paper default)
+    f: float = 0.8  # paper default
+    bin_size: int = 1
+    check_interval: float = 0.05
+    seed: int = 0
+
+
+@dataclass
+class QualityOutcome:
+    """One (strategy, rate) quality point."""
+
+    strategy: str
+    rate_factor: float
+    quality: QualityReport
+    latency: LatencyStats
+    drop_ratio: float
+    truth_count: int
+    detected_count: int
+
+    @property
+    def fn_pct(self) -> float:
+        """% false negatives."""
+        return self.quality.false_negative_pct
+
+    @property
+    def fp_pct(self) -> float:
+        """% false positives."""
+        return self.quality.false_positive_pct
+
+    def __str__(self) -> str:
+        return (
+            f"{self.strategy}@R={self.rate_factor:.1f}: "
+            f"FN={self.fn_pct:.1f}% FP={self.fp_pct:.1f}% "
+            f"drop={100 * self.drop_ratio:.1f}% "
+            f"(truth={self.truth_count}, detected={self.detected_count})"
+        )
+
+
+def reference_window_size(query: Query, stream: EventStream) -> int:
+    """Average seen window size ``N`` for ``stream`` under ``query``."""
+    windows = collect_windows(stream, query.new_assigner())
+    return max(1, round(average_window_size(windows)))
+
+
+def build_strategy(
+    strategy: str,
+    query: Query,
+    train_stream: EventStream,
+    config: ExperimentConfig,
+    rate_factor: float,
+) -> Tuple[Optional[LoadShedder], Optional[OverloadDetector], float]:
+    """Construct (shedder, detector, reference window size) for a run."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
+    input_rate = rate_factor * config.throughput
+    processing_latency = 1.0 / config.throughput
+
+    if strategy == "none":
+        return None, None, float(reference_window_size(query, train_stream))
+
+    if strategy == "espice":
+        espice = ESpice(
+            query,
+            ESpiceConfig(
+                latency_bound=config.latency_bound,
+                f=config.f,
+                bin_size=config.bin_size,
+                check_interval=config.check_interval,
+            ),
+        )
+        model = espice.train(train_stream)
+        shedder: LoadShedder = espice.build_shedder()
+        detector = espice.build_detector(
+            shedder,
+            fixed_processing_latency=processing_latency,
+            fixed_input_rate=input_rate,
+        )
+        return shedder, detector, float(model.reference_size)
+
+    n = reference_window_size(query, train_stream)
+    if strategy in ("bl", "bl-integral"):
+        if strategy == "bl":
+            shedder = BLShedder(query.pattern, seed=config.seed)
+        else:
+            shedder = IntegralShedder(query.pattern, seed=config.seed)
+        # type-level baselines learn frequencies online; warm them up on
+        # the training stream so their plan is informed from the start
+        for event in train_stream:
+            shedder.observe(event)
+    else:  # random
+        shedder = RandomShedder(seed=config.seed)
+    detector = OverloadDetector(
+        latency_bound=config.latency_bound,
+        f=config.f,
+        reference_size=n,
+        shedder=shedder,
+        check_interval=config.check_interval,
+        fixed_processing_latency=processing_latency,
+        fixed_input_rate=input_rate,
+    )
+    return shedder, detector, float(n)
+
+
+def run_quality_point(
+    query: Query,
+    train_stream: EventStream,
+    eval_stream: EventStream,
+    strategy: str,
+    rate_factor: float,
+    config: Optional[ExperimentConfig] = None,
+    truth: Optional[list] = None,
+) -> QualityOutcome:
+    """One full experiment point: train, overload, compare to truth.
+
+    ``truth`` may be precomputed (it does not depend on the strategy or
+    the rate) and shared across points to save time.
+    """
+    cfg = config if config is not None else ExperimentConfig()
+    if truth is None:
+        truth = ground_truth(query, eval_stream)
+    shedder, detector, reference = build_strategy(
+        strategy, query, train_stream, cfg, rate_factor
+    )
+    sim_config = SimulationConfig(
+        input_rate=rate_factor * cfg.throughput,
+        throughput=cfg.throughput,
+        latency_bound=cfg.latency_bound,
+        check_interval=cfg.check_interval,
+        mean_memberships=measure_mean_memberships(query, eval_stream),
+    )
+    result = simulate(
+        query,
+        eval_stream,
+        sim_config,
+        shedder=shedder,
+        detector=detector,
+        prime_window_size=reference,
+    )
+    report = compare_results(truth, result.complex_events)
+    return QualityOutcome(
+        strategy=strategy,
+        rate_factor=rate_factor,
+        quality=report,
+        latency=result.latency.stats(),
+        drop_ratio=result.operator_stats.drop_ratio(),
+        truth_count=report.truth_count,
+        detected_count=report.detected_count,
+    )
+
+
+def format_rows(
+    header: Iterable[str], rows: Iterable[Iterable[object]]
+) -> str:
+    """Simple fixed-width table rendering for runner output."""
+    header = [str(h) for h in header]
+    body = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Figure 5: % false negatives for Q1--Q4, eSPICE vs BL, rates R1/R2.
+
+- 5a/5b: Q1 (first/last selection) over pattern sizes ``n``.
+- 5c/5d: Q2 (first/last selection) over pattern sizes ``n``.
+- 5e:    Q3 (first selection) over window sizes ``ws``.
+- 5f:    Q4 (first selection) over window sizes ``ws``.
+
+Each runner returns a list of :class:`QualitySeriesPoint`; ``rows()``
+renders the figure's series as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cep.patterns.policies import SelectionPolicy
+from repro.experiments import workloads
+from repro.experiments.common import (
+    ExperimentConfig,
+    QualityOutcome,
+    R1,
+    R2,
+    format_rows,
+    run_quality_point,
+)
+from repro.queries import build_q1, build_q2, build_q3, build_q4
+from repro.runtime.quality import ground_truth
+
+DEFAULT_STRATEGIES = ("espice", "bl")
+DEFAULT_RATES = (R1, R2)
+
+
+@dataclass
+class QualitySeriesPoint:
+    """One plotted point of a quality figure."""
+
+    x: float  # pattern size or window size
+    strategy: str
+    rate_factor: float
+    outcome: QualityOutcome
+
+    @property
+    def fn_pct(self) -> float:
+        return self.outcome.fn_pct
+
+    @property
+    def fp_pct(self) -> float:
+        return self.outcome.fp_pct
+
+
+@dataclass
+class QualityFigure:
+    """A full figure panel: points over an x-sweep."""
+
+    title: str
+    x_label: str
+    points: List[QualitySeriesPoint] = field(default_factory=list)
+
+    def series(self, strategy: str, rate_factor: float) -> List[QualitySeriesPoint]:
+        """The points of one plotted line, in x order."""
+        return sorted(
+            (
+                p
+                for p in self.points
+                if p.strategy == strategy and p.rate_factor == rate_factor
+            ),
+            key=lambda p: p.x,
+        )
+
+    def rows(self, metric: str = "fn") -> str:
+        """Render the panel as a fixed-width table (one row per x)."""
+        getter = {
+            "fn": lambda p: f"{p.fn_pct:.1f}",
+            "fp": lambda p: f"{p.fp_pct:.1f}",
+        }[metric]
+        combos = sorted({(p.strategy, p.rate_factor) for p in self.points})
+        header = [self.x_label] + [f"{s}@R{r:.1f} %{metric.upper()}" for s, r in combos]
+        xs = sorted({p.x for p in self.points})
+        by_key: Dict = {
+            (p.x, p.strategy, p.rate_factor): p for p in self.points
+        }
+        body = []
+        for x in xs:
+            row = [x]
+            for s, r in combos:
+                point = by_key.get((x, s, r))
+                row.append(getter(point) if point else "-")
+            body.append(row)
+        return f"{self.title}\n" + format_rows(header, body)
+
+
+def _sweep(
+    figure: QualityFigure,
+    make_query,
+    xs: Sequence[float],
+    train_stream,
+    eval_stream,
+    strategies: Sequence[str],
+    rates: Sequence[float],
+    config: ExperimentConfig,
+) -> QualityFigure:
+    for x in xs:
+        query = make_query(x)
+        truth = ground_truth(query, eval_stream)
+        for strategy in strategies:
+            for rate in rates:
+                outcome = run_quality_point(
+                    query, train_stream, eval_stream, strategy, rate, config, truth
+                )
+                figure.points.append(QualitySeriesPoint(x, strategy, rate, outcome))
+    return figure
+
+
+def fig5_q1(
+    pattern_sizes: Sequence[int] = (2, 3, 4, 5, 6),
+    selection: SelectionPolicy = SelectionPolicy.FIRST,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    config: Optional[ExperimentConfig] = None,
+    window_seconds: float = 15.0,
+) -> QualityFigure:
+    """Fig. 5a (first) / 5b (last): Q1 false negatives over pattern size."""
+    train, eval_stream = workloads.soccer_streams()
+    figure = QualityFigure(
+        title=f"Fig5 Q1 ({selection.value} selection)", x_label="pattern size"
+    )
+    return _sweep(
+        figure,
+        lambda n: build_q1(int(n), window_seconds=window_seconds, selection=selection),
+        pattern_sizes,
+        train,
+        eval_stream,
+        strategies,
+        rates,
+        config or ExperimentConfig(),
+    )
+
+
+def fig5_q2(
+    pattern_sizes: Sequence[int] = (5, 10, 15, 20, 25),
+    selection: SelectionPolicy = SelectionPolicy.FIRST,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    config: Optional[ExperimentConfig] = None,
+    window_seconds: float = 240.0,
+    symbols: int = 50,
+) -> QualityFigure:
+    """Fig. 5c (first) / 5d (last): Q2 false negatives over pattern size.
+
+    The paper sweeps n = 10..80 over 500 symbols; the scaled default
+    sweeps n = 5..25 over 50 symbols (same n-to-pool ratio range).
+    """
+    train, eval_stream = workloads.stock_streams_q2(symbols=symbols)
+    figure = QualityFigure(
+        title=f"Fig5 Q2 ({selection.value} selection)", x_label="pattern size"
+    )
+    return _sweep(
+        figure,
+        lambda n: build_q2(
+            int(n),
+            window_seconds=window_seconds,
+            symbols=symbols,
+            selection=selection,
+        ),
+        pattern_sizes,
+        train,
+        eval_stream,
+        strategies,
+        rates,
+        config or ExperimentConfig(),
+    )
+
+
+def fig5_q3(
+    window_sizes: Sequence[int] = (100, 200, 300, 400),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    config: Optional[ExperimentConfig] = None,
+) -> QualityFigure:
+    """Fig. 5e: Q3 false negatives over window size (paper: 300..2000)."""
+    train, eval_stream = workloads.stock_streams_q3()
+    figure = QualityFigure(title="Fig5 Q3 (first selection)", x_label="window size")
+    return _sweep(
+        figure,
+        lambda ws: build_q3(int(ws)),
+        window_sizes,
+        train,
+        eval_stream,
+        strategies,
+        rates,
+        config or ExperimentConfig(),
+    )
+
+
+def fig5_q4(
+    window_sizes: Sequence[int] = (300, 400, 500, 600),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    config: Optional[ExperimentConfig] = None,
+) -> QualityFigure:
+    """Fig. 5f: Q4 false negatives over window size (paper: 300..2000)."""
+    train, eval_stream = workloads.stock_streams_q4()
+    figure = QualityFigure(title="Fig5 Q4 (first selection)", x_label="window size")
+    return _sweep(
+        figure,
+        lambda ws: build_q4(int(ws), slide_events=100),
+        window_sizes,
+        train,
+        eval_stream,
+        strategies,
+        rates,
+        config or ExperimentConfig(),
+    )

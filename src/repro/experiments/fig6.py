@@ -1,0 +1,50 @@
+"""Figure 6: % false positives for Q1 (6a) and Q3 (6b).
+
+Same sweeps as the corresponding Fig. 5 panels; the plotted metric is
+the false-positive percentage.  (Q2/Q4 and the last selection policy
+behave similarly and are omitted in the paper as well.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cep.patterns.policies import SelectionPolicy
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig5 import (
+    DEFAULT_RATES,
+    DEFAULT_STRATEGIES,
+    QualityFigure,
+    fig5_q1,
+    fig5_q3,
+)
+
+
+def fig6_q1(
+    pattern_sizes: Sequence[int] = (2, 3, 4, 5, 6),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    config: Optional[ExperimentConfig] = None,
+) -> QualityFigure:
+    """Fig. 6a: Q1 false positives over pattern size (first selection)."""
+    figure = fig5_q1(
+        pattern_sizes,
+        SelectionPolicy.FIRST,
+        strategies,
+        rates,
+        config,
+    )
+    figure.title = "Fig6 Q1 false positives (first selection)"
+    return figure
+
+
+def fig6_q3(
+    window_sizes: Sequence[int] = (100, 200, 300, 400),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    config: Optional[ExperimentConfig] = None,
+) -> QualityFigure:
+    """Fig. 6b: Q3 false positives over window size (first selection)."""
+    figure = fig5_q3(window_sizes, strategies, rates, config)
+    figure.title = "Fig6 Q3 false positives (first selection)"
+    return figure

@@ -1,0 +1,202 @@
+"""Figure 8: impact of variable window sizes on quality (paper §3.6).
+
+Protocol (paper §4.2): the model is trained while the window size
+changes randomly among several values, so the utility table (with its
+fixed reference dimension ``N``) has learned from many sizes.  During
+load shedding one fixed window size is used, and the false-negative
+percentage is reported against that size (expressed as % of the
+reference size).
+
+Q1 trains over 12/14/16/18/20 s windows (reference 16 s), Q2 over
+180/200/240/260/300 s (reference 240 s), exactly the paper's ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cep.operator.operator import CEPOperator
+from repro.cep.patterns.query import Query
+from repro.core.model import ModelBuilder, UtilityModel
+from repro.core.overload import OverloadDetector
+from repro.core.shedder import ESpiceShedder
+from repro.experiments import workloads
+from repro.experiments.common import (
+    ExperimentConfig,
+    R1,
+    R2,
+    format_rows,
+)
+from repro.queries import build_q1, build_q2
+from repro.runtime.quality import compare_results, ground_truth
+from repro.runtime.simulation import (
+    SimulationConfig,
+    measure_mean_memberships,
+    simulate,
+)
+
+
+@dataclass
+class Fig8Point:
+    """One (window size, rate) false-negative measurement."""
+
+    window_pct: int  # window size as % of the reference size
+    rate_factor: float
+    fn_pct: float
+    fp_pct: float
+
+
+@dataclass
+class Fig8Result:
+    """One panel of Fig. 8."""
+
+    title: str
+    reference_seconds: float
+    points: List[Fig8Point] = field(default_factory=list)
+
+    def rows(self) -> str:
+        header = ["window %", "R1 %FN", "R2 %FN"]
+        xs = sorted({p.window_pct for p in self.points})
+        by_key = {(p.window_pct, p.rate_factor): p for p in self.points}
+        body = []
+        for x in xs:
+            row = [x]
+            for rate in (R1, R2):
+                point = by_key.get((x, rate))
+                row.append(f"{point.fn_pct:.1f}" if point else "-")
+            body.append(row)
+        return f"{self.title}\n" + format_rows(header, body)
+
+
+def train_mixed_window_model(
+    make_query,
+    window_sizes: Sequence[float],
+    train_stream,
+    bin_size: int = 1,
+) -> UtilityModel:
+    """Train one model while the window size varies (paper protocol).
+
+    Each training pass runs the full training stream under a different
+    window size, feeding a shared model builder; the reference size
+    ``N`` becomes the average over all observed windows.
+    """
+    builder = ModelBuilder(bin_size=bin_size)
+    for window_size in window_sizes:
+        query = make_query(window_size)
+        operator = CEPOperator(query, shedder=None)
+        operator.add_window_listener(builder.observe)
+        operator.detect_all(train_stream)
+    return builder.build()
+
+
+def _run_with_model(
+    query: Query,
+    eval_stream,
+    model: UtilityModel,
+    rate_factor: float,
+    config: ExperimentConfig,
+    truth,
+):
+    shedder = ESpiceShedder(model)
+    detector = OverloadDetector(
+        latency_bound=config.latency_bound,
+        f=config.f,
+        reference_size=model.reference_size,
+        shedder=shedder,
+        check_interval=config.check_interval,
+        fixed_processing_latency=1.0 / config.throughput,
+        fixed_input_rate=rate_factor * config.throughput,
+    )
+    sim = simulate(
+        query,
+        eval_stream,
+        SimulationConfig(
+            input_rate=rate_factor * config.throughput,
+            throughput=config.throughput,
+            latency_bound=config.latency_bound,
+            check_interval=config.check_interval,
+            mean_memberships=measure_mean_memberships(query, eval_stream),
+        ),
+        shedder=shedder,
+        detector=detector,
+    )
+    return compare_results(truth, sim.complex_events)
+
+
+def _variable_window_panel(
+    title: str,
+    make_query,
+    window_seconds: Sequence[float],
+    reference_seconds: float,
+    train_stream,
+    eval_stream,
+    rates: Sequence[float],
+    config: ExperimentConfig,
+) -> Fig8Result:
+    model = train_mixed_window_model(
+        make_query, window_seconds, train_stream, config.bin_size
+    )
+    result = Fig8Result(title=title, reference_seconds=reference_seconds)
+    for window_size in window_seconds:
+        query = make_query(window_size)
+        truth = ground_truth(query, eval_stream)
+        pct = round(100 * window_size / reference_seconds)
+        for rate in rates:
+            report = _run_with_model(
+                query, eval_stream, model, rate, config, truth
+            )
+            result.points.append(
+                Fig8Point(
+                    window_pct=pct,
+                    rate_factor=rate,
+                    fn_pct=report.false_negative_pct,
+                    fp_pct=report.false_positive_pct,
+                )
+            )
+    return result
+
+
+def fig8_q1(
+    pattern_size: int = 5,
+    window_seconds: Sequence[float] = (12.0, 14.0, 16.0, 18.0, 20.0),
+    reference_seconds: float = 16.0,
+    rates: Sequence[float] = (R1, R2),
+    config: Optional[ExperimentConfig] = None,
+) -> Fig8Result:
+    """Fig. 8a: Q1 (n=5) under variable window sizes."""
+    cfg = config or ExperimentConfig()
+    train, eval_stream = workloads.soccer_streams()
+    return _variable_window_panel(
+        "Fig8a Q1 variable window size",
+        lambda ws: build_q1(pattern_size, window_seconds=ws),
+        window_seconds,
+        reference_seconds,
+        train,
+        eval_stream,
+        rates,
+        cfg,
+    )
+
+
+def fig8_q2(
+    pattern_size: int = 10,
+    window_seconds: Sequence[float] = (180.0, 200.0, 240.0, 260.0, 300.0),
+    reference_seconds: float = 240.0,
+    rates: Sequence[float] = (R1, R2),
+    config: Optional[ExperimentConfig] = None,
+    symbols: int = 50,
+) -> Fig8Result:
+    """Fig. 8b: Q2 (n=10) under variable window sizes."""
+    cfg = config or ExperimentConfig()
+    train, eval_stream = workloads.stock_streams_q2(symbols=symbols)
+    return _variable_window_panel(
+        "Fig8b Q2 variable window size",
+        lambda ws: build_q2(pattern_size, window_seconds=ws, symbols=symbols),
+        window_seconds,
+        reference_seconds,
+        train,
+        eval_stream,
+        rates,
+        cfg,
+    )

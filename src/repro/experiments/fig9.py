@@ -1,0 +1,121 @@
+"""Figure 9: impact of the bin size ``bs`` on quality (paper §3.6).
+
+Bins trade utility-table size for positional accuracy: with bin size
+``bs``, ``bs`` neighbouring positions share one utility cell.  The
+paper sweeps bs = 1..64 on Q1 (n=5) and Q2 (n=20) and observes mild
+degradation for Q1 and a clearer one for Q2 (whose longer pattern is
+more position-sensitive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.experiments import workloads
+from repro.experiments.common import (
+    ExperimentConfig,
+    R1,
+    R2,
+    format_rows,
+    run_quality_point,
+)
+from repro.queries import build_q1, build_q2
+from repro.runtime.quality import ground_truth
+
+
+@dataclass
+class Fig9Point:
+    """One (bin size, rate) false-negative measurement."""
+
+    bin_size: int
+    rate_factor: float
+    fn_pct: float
+    fp_pct: float
+
+
+@dataclass
+class Fig9Result:
+    """One panel of Fig. 9."""
+
+    title: str
+    points: List[Fig9Point] = field(default_factory=list)
+
+    def rows(self) -> str:
+        header = ["bin size", "R1 %FN", "R2 %FN"]
+        xs = sorted({p.bin_size for p in self.points})
+        by_key = {(p.bin_size, p.rate_factor): p for p in self.points}
+        body = []
+        for x in xs:
+            row = [x]
+            for rate in (R1, R2):
+                point = by_key.get((x, rate))
+                row.append(f"{point.fn_pct:.1f}" if point else "-")
+            body.append(row)
+        return f"{self.title}\n" + format_rows(header, body)
+
+
+def _bin_sweep(
+    title: str,
+    query,
+    train_stream,
+    eval_stream,
+    bin_sizes: Sequence[int],
+    rates: Sequence[float],
+    base_config: ExperimentConfig,
+) -> Fig9Result:
+    result = Fig9Result(title=title)
+    truth = ground_truth(query, eval_stream)
+    for bin_size in bin_sizes:
+        config = ExperimentConfig(
+            throughput=base_config.throughput,
+            latency_bound=base_config.latency_bound,
+            f=base_config.f,
+            bin_size=bin_size,
+            check_interval=base_config.check_interval,
+            seed=base_config.seed,
+        )
+        for rate in rates:
+            outcome = run_quality_point(
+                query, train_stream, eval_stream, "espice", rate, config, truth
+            )
+            result.points.append(
+                Fig9Point(
+                    bin_size=bin_size,
+                    rate_factor=rate,
+                    fn_pct=outcome.fn_pct,
+                    fp_pct=outcome.fp_pct,
+                )
+            )
+    return result
+
+
+def fig9_q1(
+    pattern_size: int = 5,
+    bin_sizes: Sequence[int] = (1, 2, 4, 8, 16),
+    rates: Sequence[float] = (R1, R2),
+    config: Optional[ExperimentConfig] = None,
+) -> Fig9Result:
+    """Fig. 9a: Q1 (n=5, ws=15 s) over bin sizes."""
+    cfg = config or ExperimentConfig()
+    train, eval_stream = workloads.soccer_streams()
+    query = build_q1(pattern_size, window_seconds=15.0)
+    return _bin_sweep(
+        "Fig9a Q1 bin size", query, train, eval_stream, bin_sizes, rates, cfg
+    )
+
+
+def fig9_q2(
+    pattern_size: int = 20,
+    bin_sizes: Sequence[int] = (1, 2, 4, 8, 16),
+    rates: Sequence[float] = (R1, R2),
+    config: Optional[ExperimentConfig] = None,
+    symbols: int = 50,
+) -> Fig9Result:
+    """Fig. 9b: Q2 (n=20, ws=240 s) over bin sizes."""
+    cfg = config or ExperimentConfig()
+    train, eval_stream = workloads.stock_streams_q2(symbols=symbols)
+    query = build_q2(pattern_size, window_seconds=240.0, symbols=symbols)
+    return _bin_sweep(
+        "Fig9b Q2 bin size", query, train, eval_stream, bin_sizes, rates, cfg
+    )

@@ -1,0 +1,111 @@
+"""Standard scaled-down workloads for the paper-figure experiments.
+
+The paper's windows span 700--16000 events; a pure-Python matcher makes
+that impractical, so the default workloads scale window sizes down by
+roughly an order of magnitude while keeping the *ratios* (pattern size
+to window size, overlap, training volume) that drive every reported
+effect.  All sizes are parameters, so paper-scale runs remain possible.
+
+Streams are deterministic per configuration and memoised, because the
+figure sweeps reuse the same stream across many (strategy, rate)
+points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cep.events import EventStream
+from repro.datasets.io import split_stream
+from repro.datasets.soccer import SoccerStreamConfig, generate_soccer_stream
+from repro.datasets.stock import StockStreamConfig, generate_stock_stream
+from repro.queries.q3 import default_dataset_config as q3_dataset_config
+from repro.queries.q4 import default_dataset_config as q4_dataset_config
+
+_soccer_cache: Dict[Tuple, Tuple[EventStream, EventStream]] = {}
+_stock_cache: Dict[Tuple, Tuple[EventStream, EventStream]] = {}
+
+
+def soccer_streams(
+    duration_seconds: float = 4800.0,
+    events_per_second: float = 20.0,
+    possession_interval: float = 6.0,
+    seed: int = 3,
+    train_fraction: float = 0.6,
+    **overrides,
+) -> Tuple[EventStream, EventStream]:
+    """(train, eval) soccer streams for Q1; memoised per configuration."""
+    config = SoccerStreamConfig(
+        duration_seconds=duration_seconds,
+        events_per_second=events_per_second,
+        possession_interval=possession_interval,
+        seed=seed,
+        **overrides,
+    )
+    key = (tuple(sorted(vars(config).items(), key=lambda kv: kv[0])), train_fraction)
+    if key not in _soccer_cache:
+        stream = generate_soccer_stream(config)
+        _soccer_cache[key] = split_stream(stream, train_fraction)
+    return _soccer_cache[key]
+
+
+def _stock_streams(
+    config: StockStreamConfig, train_fraction: float
+) -> Tuple[EventStream, EventStream]:
+    items = []
+    for name, value in sorted(vars(config).items()):
+        items.append((name, tuple(value) if isinstance(value, (list, tuple)) else value))
+    key = (tuple(items), train_fraction)
+    if key not in _stock_cache:
+        stream = generate_stock_stream(config)
+        _stock_cache[key] = split_stream(stream, train_fraction)
+    return _stock_cache[key]
+
+
+def stock_streams_q2(
+    symbols: int = 50,
+    ticks: int = 400,
+    seed: int = 5,
+    train_fraction: float = 0.5,
+    **overrides,
+) -> Tuple[EventStream, EventStream]:
+    """(train, eval) stock streams for Q2 (lead/lag following)."""
+    config = StockStreamConfig(symbols=symbols, ticks=ticks, seed=seed, **overrides)
+    return _stock_streams(config, train_fraction)
+
+
+def stock_streams_q3(
+    sequence_length: int = 20,
+    ticks: int = 600,
+    seed: int = 9,
+    train_fraction: float = 0.5,
+    **overrides,
+) -> Tuple[EventStream, EventStream]:
+    """(train, eval) stock streams for Q3 (ordered cascades)."""
+    config = q3_dataset_config(sequence_length=sequence_length, ticks=ticks, seed=seed, **overrides)
+    return _stock_streams(config, train_fraction)
+
+
+def stock_streams_q4(
+    distinct_symbols: int = 10,
+    ticks: int = 800,
+    seed: int = 13,
+    cascade_probability: float = 0.95,
+    train_fraction: float = 0.5,
+    **overrides,
+) -> Tuple[EventStream, EventStream]:
+    """(train, eval) stock streams for Q4 (cascades with repetition)."""
+    config = q4_dataset_config(
+        distinct_symbols=distinct_symbols,
+        ticks=ticks,
+        seed=seed,
+        cascade_probability=cascade_probability,
+        **overrides,
+    )
+    return _stock_streams(config, train_fraction)
+
+
+def clear_caches() -> None:
+    """Drop memoised streams (tests that measure memory / fresh state)."""
+    _soccer_cache.clear()
+    _stock_cache.clear()

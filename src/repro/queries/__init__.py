@@ -1,0 +1,24 @@
+"""The paper's evaluation queries Q1--Q4 (§4.1).
+
+Each builder returns a :class:`repro.cep.patterns.query.Query` wired to
+the matching synthetic dataset:
+
+- :func:`~repro.queries.q1.build_q1` -- soccer man-marking: a striker
+  possession followed by any ``n`` defender events within a time
+  window (sequence with *any*).
+- :func:`~repro.queries.q2.build_q2` -- stock influence: a leading
+  symbol's move followed by any ``n`` same-direction follower moves
+  within a time window (sequence with *any*).
+- :func:`~repro.queries.q3.build_q3` -- exact rising/falling cascade of
+  20 specific symbols within a count extent (sequence).
+- :func:`~repro.queries.q4.build_q4` -- 10-symbol cascade with
+  repetitions over a count-based sliding window (sequence with
+  repetition).
+"""
+
+from repro.queries.q1 import build_q1
+from repro.queries.q2 import build_q2
+from repro.queries.q3 import build_q3
+from repro.queries.q4 import build_q4
+
+__all__ = ["build_q1", "build_q2", "build_q3", "build_q4"]

@@ -1,0 +1,79 @@
+"""Q1: soccer man-marking -- sequence with *any* over a time window.
+
+Paper form: ``seq(STR; any(n, DF1, DF2, .., DFm))`` -- a complex event
+when any ``n`` defenders defend against a striker within ``ws`` seconds
+of the striker's ball possession.  A new window opens for each incoming
+striker event (pattern-based window with a time extent).
+"""
+
+from __future__ import annotations
+
+from repro.cep.patterns import SelectionPolicy, any_of, seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import PredicateWindows
+from repro.datasets.soccer import (
+    STRIKER_TYPES,
+    SoccerStreamConfig,
+    defender_name,
+    is_possession,
+)
+
+
+def build_q1(
+    pattern_size: int,
+    window_seconds: float = 15.0,
+    defenders: int = 8,
+    selection: SelectionPolicy = SelectionPolicy.FIRST,
+    marking_distance: float = 5.0,
+) -> Query:
+    """Build Q1.
+
+    Parameters
+    ----------
+    pattern_size:
+        ``n``: defenders required after the possession (paper sweeps
+        2..6).
+    window_seconds:
+        ``ws`` in seconds (paper: 15 s).
+    defenders:
+        Number of defend-event types available to the *any* step; must
+        match the dataset's :class:`SoccerStreamConfig.defenders`.
+    selection:
+        First or last selection policy (paper evaluates both).
+    marking_distance:
+        "The defending action is defined by a certain distance between
+        the striker and the defenders" (paper §4.1): a defend event
+        only matches if its ``distance`` attribute is at most this.
+    """
+    if pattern_size <= 0:
+        raise ValueError("pattern size must be positive")
+    if pattern_size > defenders:
+        raise ValueError("pattern size cannot exceed the defender count")
+
+    def defending(event) -> bool:
+        return event.attr("distance", 0.0) <= marking_distance
+
+    striker = spec(STRIKER_TYPES, label="STR")
+    defender_specs = [
+        spec(defender_name(i), predicate=defending)
+        for i in range(1, defenders + 1)
+    ]
+    pattern = seq(
+        f"q1_man_marking_n{pattern_size}",
+        striker,
+        any_of(pattern_size, defender_specs),
+    )
+    return Query(
+        name=pattern.name,
+        pattern=pattern,
+        window_factory=lambda: PredicateWindows(
+            open_predicate=is_possession,
+            extent_seconds=window_seconds,
+        ),
+        selection=selection,
+    )
+
+
+def default_dataset_config(**overrides) -> SoccerStreamConfig:
+    """Dataset config matching Q1's defaults (tweakable via kwargs)."""
+    return SoccerStreamConfig(**overrides)

@@ -1,0 +1,86 @@
+"""Q2: stock influence -- sequence with *any* over a time window.
+
+Paper form: ``seq(MLE; any(n, RE1, .., REm))`` (adopted from SPECTRE):
+a complex event when any ``n`` rising (or falling) follower quotes
+occur within ``ws`` seconds of a rising (falling) quote of a leading
+symbol.  A new window opens for each leading-symbol event of the
+chosen direction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cep.events import Event
+from repro.cep.patterns import SelectionPolicy, any_of, seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import PredicateWindows
+from repro.datasets.stock import StockStreamConfig, symbol_name
+
+
+def build_q2(
+    pattern_size: int,
+    window_seconds: float = 240.0,
+    direction: str = "rise",
+    leaders: int = 5,
+    follower_pool: Optional[Sequence[str]] = None,
+    symbols: int = 50,
+    selection: SelectionPolicy = SelectionPolicy.FIRST,
+) -> Query:
+    """Build Q2.
+
+    Parameters
+    ----------
+    pattern_size:
+        ``n``: follower moves required (paper sweeps 10..80).
+    window_seconds:
+        ``ws`` in seconds (paper: 240 s).
+    direction:
+        ``"rise"`` (paper's RE variant) or ``"fall"`` (FE variant).
+    leaders:
+        Number of leading symbols; their events of the chosen direction
+        open windows (paper: 5 blue chips).
+    follower_pool:
+        Names eligible for the *any* step; defaults to every non-leader
+        symbol of a universe of ``symbols`` symbols.
+    selection:
+        First or last selection policy.
+    """
+    if direction not in ("rise", "fall"):
+        raise ValueError("direction must be 'rise' or 'fall'")
+    if pattern_size <= 0:
+        raise ValueError("pattern size must be positive")
+    if follower_pool is None:
+        follower_pool = [symbol_name(i) for i in range(leaders, symbols)]
+    if pattern_size > len(follower_pool):
+        raise ValueError("pattern size cannot exceed the follower pool")
+
+    leader_names = frozenset(symbol_name(i) for i in range(leaders))
+
+    def moves(event: Event) -> bool:
+        return event.attr("direction") == direction
+
+    def opens(event: Event) -> bool:
+        return event.event_type in leader_names and moves(event)
+
+    mle = spec(leader_names, predicate=moves, label=f"MLE_{direction}")
+    follower_specs = [spec(name, predicate=moves) for name in follower_pool]
+    pattern = seq(
+        f"q2_influence_{direction}_n{pattern_size}",
+        mle,
+        any_of(pattern_size, follower_specs),
+    )
+    return Query(
+        name=pattern.name,
+        pattern=pattern,
+        window_factory=lambda: PredicateWindows(
+            open_predicate=opens,
+            extent_seconds=window_seconds,
+        ),
+        selection=selection,
+    )
+
+
+def default_dataset_config(**overrides) -> StockStreamConfig:
+    """Dataset config matching Q2's defaults (tweakable via kwargs)."""
+    return StockStreamConfig(**overrides)

@@ -1,0 +1,85 @@
+"""Q3: exact symbol cascade -- the plain sequence operator.
+
+Paper form: ``seq(RE1; RE2; ..; RE20)`` -- a complex event when rising
+(or falling) quotes of 20 *specific* symbols occur in a given order
+within ``ws`` events.  Windows are count-extent and open on each
+leading-symbol event.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cep.events import Event
+from repro.cep.patterns import SelectionPolicy, seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import PredicateWindows
+from repro.datasets.stock import StockStreamConfig, symbol_name
+
+
+def build_q3(
+    window_events: int,
+    direction: str = "rise",
+    sequence_symbols: Optional[Sequence[str]] = None,
+    sequence_length: int = 20,
+    leaders: int = 5,
+    selection: SelectionPolicy = SelectionPolicy.FIRST,
+) -> Query:
+    """Build Q3.
+
+    Parameters
+    ----------
+    window_events:
+        ``ws`` in events (paper sweeps 300..2000).
+    direction:
+        ``"rise"`` (RE variant) or ``"fall"`` (FE variant).
+    sequence_symbols:
+        The exact ordered symbol names to match; defaults to the first
+        ``sequence_length`` follower symbols in index order, which is
+        the order cascades fire in the synthetic dataset.
+    leaders:
+        Leading symbols whose events (of the chosen direction) open
+        windows.
+    """
+    if direction not in ("rise", "fall"):
+        raise ValueError("direction must be 'rise' or 'fall'")
+    if window_events <= 0:
+        raise ValueError("window extent must be positive")
+    if sequence_symbols is None:
+        sequence_symbols = [
+            symbol_name(i) for i in range(leaders, leaders + sequence_length)
+        ]
+    if not sequence_symbols:
+        raise ValueError("the sequence needs at least one symbol")
+
+    leader_names = frozenset(symbol_name(i) for i in range(leaders))
+
+    def moves(event: Event) -> bool:
+        return event.attr("direction") == direction
+
+    def opens(event: Event) -> bool:
+        return event.event_type in leader_names and moves(event)
+
+    steps = [spec(name, predicate=moves) for name in sequence_symbols]
+    pattern = seq(f"q3_cascade_{direction}_len{len(steps)}", *steps)
+    return Query(
+        name=pattern.name,
+        pattern=pattern,
+        window_factory=lambda: PredicateWindows(
+            open_predicate=opens,
+            extent_events=window_events,
+        ),
+        selection=selection,
+    )
+
+
+def default_dataset_config(
+    sequence_length: int = 20, leaders: int = 5, **overrides
+) -> StockStreamConfig:
+    """Dataset config whose cascades feed Q3's default sequence."""
+    overrides.setdefault("symbols", max(50, leaders + sequence_length))
+    overrides.setdefault(
+        "cascade_symbols", tuple(range(leaders, leaders + sequence_length))
+    )
+    overrides.setdefault("leaders", leaders)
+    return StockStreamConfig(**overrides)

@@ -1,0 +1,92 @@
+"""Q4: cascade with repetition -- the sequence operator with repeats.
+
+Paper form: ``seq(RE1; RE1; RE2; RE3; RE2; RE4; RE2; RE5; RE6; RE7;
+RE2; RE8; RE9; RE10)`` -- 10 distinct rising (falling) symbols, some
+repeated, in a fixed 14-step order, over a count-based sliding window
+with slide 100.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cep.events import Event
+from repro.cep.patterns import SelectionPolicy, seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import CountSlidingWindows
+from repro.datasets.stock import StockStreamConfig, symbol_name
+
+# The paper's repetition template over 10 distinct symbols (1-based).
+PAPER_REPETITION_TEMPLATE = (1, 1, 2, 3, 2, 4, 2, 5, 6, 7, 2, 8, 9, 10)
+
+
+def build_q4(
+    window_events: int,
+    slide_events: int = 100,
+    direction: str = "rise",
+    base_symbols: Optional[Sequence[str]] = None,
+    leaders: int = 5,
+    template: Sequence[int] = PAPER_REPETITION_TEMPLATE,
+    selection: SelectionPolicy = SelectionPolicy.FIRST,
+) -> Query:
+    """Build Q4.
+
+    Parameters
+    ----------
+    window_events:
+        ``ws`` in events (paper sweeps 300..2000).
+    slide_events:
+        Window slide (paper: 100 events).
+    direction:
+        ``"rise"`` or ``"fall"``.
+    base_symbols:
+        The 10 distinct symbols the template indexes into; defaults to
+        the first followers in cascade order.
+    template:
+        1-based indices into ``base_symbols`` defining the repetition
+        order; defaults to the paper's 14-step template.
+    """
+    if direction not in ("rise", "fall"):
+        raise ValueError("direction must be 'rise' or 'fall'")
+    if window_events <= 0:
+        raise ValueError("window extent must be positive")
+    if slide_events <= 0:
+        raise ValueError("slide must be positive")
+    distinct = max(template)
+    if base_symbols is None:
+        base_symbols = [symbol_name(i) for i in range(leaders, leaders + distinct)]
+    if len(base_symbols) < distinct:
+        raise ValueError(
+            f"template references {distinct} symbols, got {len(base_symbols)}"
+        )
+
+    def moves(event: Event) -> bool:
+        return event.attr("direction") == direction
+
+    steps: List = [
+        spec(base_symbols[index - 1], predicate=moves) for index in template
+    ]
+    pattern = seq(f"q4_repetition_{direction}_len{len(steps)}", *steps)
+    return Query(
+        name=pattern.name,
+        pattern=pattern,
+        window_factory=lambda: CountSlidingWindows(window_events, slide_events),
+        selection=selection,
+    )
+
+
+def default_dataset_config(
+    distinct_symbols: int = 10, leaders: int = 5, **overrides
+) -> StockStreamConfig:
+    """Dataset config whose cascades can satisfy Q4's template.
+
+    Cascades repeat per tick, so a template symbol repeated in the
+    pattern (e.g. RE2) recurs across consecutive cascade firings within
+    one window.
+    """
+    overrides.setdefault("symbols", max(50, leaders + distinct_symbols))
+    overrides.setdefault(
+        "cascade_symbols", tuple(range(leaders, leaders + distinct_symbols))
+    )
+    overrides.setdefault("leaders", leaders)
+    return StockStreamConfig(**overrides)

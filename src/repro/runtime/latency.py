@@ -1,0 +1,116 @@
+"""Per-event latency tracking and latency-bound accounting (Fig. 7).
+
+Latency of an event = completion time − arrival time, both in virtual
+seconds.  The tracker keeps the full series (for the Fig. 7 timeline)
+plus summary statistics and the count of latency-bound violations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency series."""
+
+    count: int
+    mean: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+    violations: int
+    bound: Optional[float]
+
+    @property
+    def violation_pct(self) -> float:
+        """% of events whose latency exceeded the bound."""
+        if self.count == 0:
+            return 0.0
+        return 100.0 * self.violations / self.count
+
+    def __str__(self) -> str:
+        bound_text = f" bound={self.bound}s" if self.bound is not None else ""
+        return (
+            f"latency: n={self.count} mean={self.mean * 1000:.1f}ms "
+            f"p99={self.p99 * 1000:.1f}ms max={self.maximum * 1000:.1f}ms "
+            f"violations={self.violations} ({self.violation_pct:.2f}%){bound_text}"
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class LatencyTracker:
+    """Collects (completion time, latency) samples for one run."""
+
+    def __init__(self, bound: Optional[float] = None) -> None:
+        self.bound = bound
+        self._samples: List[Tuple[float, float]] = []
+
+    def record(self, completion_time: float, latency: float) -> None:
+        """Add one event's latency sample."""
+        if latency < 0.0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append((completion_time, latency))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def series(self) -> List[Tuple[float, float]]:
+        """The (time, latency) series in completion order."""
+        return list(self._samples)
+
+    def latencies(self) -> List[float]:
+        """Just the latency values, in completion order."""
+        return [latency for _t, latency in self._samples]
+
+    def stats(self) -> LatencyStats:
+        """Summary statistics of the collected series."""
+        values = sorted(self.latencies())
+        if not values:
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, self.bound)
+        violations = 0
+        if self.bound is not None:
+            violations = sum(1 for v in values if v > self.bound)
+        return LatencyStats(
+            count=len(values),
+            mean=sum(values) / len(values),
+            maximum=values[-1],
+            p50=_percentile(values, 0.50),
+            p95=_percentile(values, 0.95),
+            p99=_percentile(values, 0.99),
+            violations=violations,
+            bound=self.bound,
+        )
+
+    def timeline(self, bucket_seconds: float) -> List[Tuple[float, float]]:
+        """Mean latency per time bucket -- the Fig. 7 series.
+
+        Returns (bucket end time, mean latency) pairs for non-empty
+        buckets, in time order.
+        """
+        if bucket_seconds <= 0.0:
+            raise ValueError("bucket size must be positive")
+        buckets: dict = {}
+        for completion, latency in self._samples:
+            index = int(completion / bucket_seconds)
+            total, count = buckets.get(index, (0.0, 0))
+            buckets[index] = (total + latency, count + 1)
+        return [
+            ((index + 1) * bucket_seconds, total / count)
+            for index, (total, count) in sorted(buckets.items())
+        ]

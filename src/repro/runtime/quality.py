@@ -1,0 +1,82 @@
+"""Quality of results: false positives and false negatives (paper §2.1).
+
+A *false negative* is a complex event present in the ground-truth run
+(no shedding) but missing from the shedding run; a *false positive* is
+a complex event the shedding run detected that the ground truth does
+not contain.  Complex events are identified by pattern name, window id
+and the sequence numbers of their constituent primitive events --
+window ids are deterministic functions of the raw stream, so the two
+runs agree on them.
+
+Percentages are relative to the ground-truth count, as in the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.cep.events import ComplexEvent
+from repro.cep.operator.operator import CEPOperator
+from repro.cep.patterns.query import Query
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """False positive/negative accounting of one shedding run."""
+
+    truth_count: int
+    detected_count: int
+    false_negatives: int
+    false_positives: int
+
+    @property
+    def false_negative_pct(self) -> float:
+        """% of ground-truth complex events missed (0 when truth empty)."""
+        if self.truth_count == 0:
+            return 0.0
+        return 100.0 * self.false_negatives / self.truth_count
+
+    @property
+    def false_positive_pct(self) -> float:
+        """% of falsely detected complex events relative to the truth."""
+        if self.truth_count == 0:
+            return 0.0 if self.false_positives == 0 else 100.0
+        return 100.0 * self.false_positives / self.truth_count
+
+    @property
+    def degradation(self) -> int:
+        """The paper's objective: ``Nfp + Nfn``."""
+        return self.false_positives + self.false_negatives
+
+    def __str__(self) -> str:
+        return (
+            f"quality: truth={self.truth_count} detected={self.detected_count} "
+            f"FN={self.false_negatives} ({self.false_negative_pct:.1f}%) "
+            f"FP={self.false_positives} ({self.false_positive_pct:.1f}%)"
+        )
+
+
+def _keys(events: Iterable[ComplexEvent]) -> Set[Tuple]:
+    return {event.key for event in events}
+
+
+def compare_results(
+    truth: Iterable[ComplexEvent], detected: Iterable[ComplexEvent]
+) -> QualityReport:
+    """Compare a shedding run's detections against the ground truth."""
+    truth_keys = _keys(truth)
+    detected_keys = _keys(detected)
+    return QualityReport(
+        truth_count=len(truth_keys),
+        detected_count=len(detected_keys),
+        false_negatives=len(truth_keys - detected_keys),
+        false_positives=len(detected_keys - truth_keys),
+    )
+
+
+def ground_truth(query: Query, stream) -> List[ComplexEvent]:
+    """Complex events of an unshedded, unconstrained run over ``stream``."""
+    operator = CEPOperator(query, shedder=None)
+    return operator.detect_all(stream)

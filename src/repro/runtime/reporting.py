@@ -1,0 +1,109 @@
+"""Exporting experiment results as Markdown / CSV.
+
+The figure runners return dataclasses with ad-hoc ``rows()`` renderers;
+this module provides structured exports so results can be committed
+(EXPERIMENTS.md style), diffed across runs, or loaded into other tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Union
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    # ------------------------------------------------------------------
+    # renderers
+    # ------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering."""
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.1f}"
+            return str(value)
+
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (header + rows)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write Markdown (``.md``) or CSV (anything else) by suffix."""
+        path = Path(path)
+        if path.suffix == ".md":
+            path.write_text(self.to_markdown() + "\n")
+        else:
+            path.write_text(self.to_csv())
+
+
+def quality_figure_table(figure) -> ResultTable:
+    """Convert a :class:`repro.experiments.fig5.QualityFigure`."""
+    combos = sorted({(p.strategy, p.rate_factor) for p in figure.points})
+    columns = [figure.x_label]
+    for strategy, rate in combos:
+        columns.append(f"{strategy}@R{rate:.1f} %FN")
+        columns.append(f"{strategy}@R{rate:.1f} %FP")
+    table = ResultTable(title=figure.title, columns=columns)
+    by_key = {(p.x, p.strategy, p.rate_factor): p for p in figure.points}
+    for x in sorted({p.x for p in figure.points}):
+        row: List[object] = [x]
+        for strategy, rate in combos:
+            point = by_key.get((x, strategy, rate))
+            row.append(round(point.fn_pct, 1) if point else "")
+            row.append(round(point.fp_pct, 1) if point else "")
+        table.rows.append(row)
+    return table
+
+
+def latency_table(result) -> ResultTable:
+    """Convert a :class:`repro.experiments.fig7.Fig7Result`."""
+    table = ResultTable(
+        title="Latency under overload",
+        columns=["rate", "mean ms", "p99 ms", "max ms", "violations"],
+    )
+    for run in result.runs:
+        table.add_row(
+            f"R={run.rate_factor:.1f}",
+            round(run.stats.mean * 1000, 1),
+            round(run.stats.p99 * 1000, 1),
+            round(run.stats.maximum * 1000, 1),
+            run.stats.violations,
+        )
+    return table
+
+
+def combine_markdown(tables: Iterable[ResultTable], heading: str = "") -> str:
+    """Join tables into one Markdown document."""
+    parts: List[str] = []
+    if heading:
+        parts.append(f"# {heading}")
+    parts.extend(table.to_markdown() for table in tables)
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,31 @@
+"""Load-shedder interface and the paper's comparator strategies.
+
+- :class:`~repro.shedding.base.LoadShedder` -- the interface the CEP
+  operator consults per (event, window) pair.
+- :class:`~repro.shedding.baseline.BLShedder` -- the paper's baseline
+  (He et al. ICDT'14 style): per-type utilities from pattern repetition
+  and window frequency, uniform sampling within a type, order-blind.
+- :class:`~repro.shedding.integral.IntegralShedder` -- He et al.'s
+  *integral* mode: whole event types dropped, cheapest first.
+- :class:`~repro.shedding.random_shedder.RandomShedder` -- uniformly
+  random dropping, the strawman the paper dismisses.
+- :class:`~repro.shedding.base.NoShedder` -- keeps everything (ground
+  truth runs).
+
+The eSPICE shedder itself lives in :mod:`repro.core` (it is the paper's
+contribution).
+"""
+
+from repro.shedding.base import DropCommand, LoadShedder, NoShedder
+from repro.shedding.baseline import BLShedder
+from repro.shedding.integral import IntegralShedder
+from repro.shedding.random_shedder import RandomShedder
+
+__all__ = [
+    "BLShedder",
+    "DropCommand",
+    "IntegralShedder",
+    "LoadShedder",
+    "NoShedder",
+    "RandomShedder",
+]

@@ -1,0 +1,102 @@
+"""Load-shedder interface shared by eSPICE and the baselines.
+
+The overload detector issues :class:`DropCommand` objects ("drop ``x``
+events from every partition of every window"); the operator then asks
+the shedder, per (event, window) pair, whether to drop the event from
+that window.  The decision must be O(1) -- it runs on the hot path of a
+system that is already overloaded (paper §3.5).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.cep.events import Event
+
+
+@dataclass(frozen=True)
+class DropCommand:
+    """Instruction from the overload detector to the shedder.
+
+    Attributes
+    ----------
+    x:
+        Number of events to drop from each partition of each window
+        (paper §3.4, "dropping amount").  May be fractional; shedders
+        treat it as an expected value.
+    partition_count:
+        ``ρ``: partitions per window.
+    partition_size:
+        ``psize``: events per partition, in reference-window positions.
+    """
+
+    x: float
+    partition_count: int = 1
+    partition_size: float = 0.0
+
+    @property
+    def per_window(self) -> float:
+        """Total events to drop per window."""
+        return self.x * self.partition_count
+
+
+class LoadShedder(abc.ABC):
+    """Per-(event, window) drop decision plus activation lifecycle."""
+
+    def __init__(self) -> None:
+        self._active = False
+        self.decisions = 0
+        self.drops = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether shedding is currently enabled."""
+        return self._active
+
+    def activate(self) -> None:
+        """Enable shedding (overload detected)."""
+        self._active = True
+
+    def deactivate(self) -> None:
+        """Disable shedding (overload cleared)."""
+        self._active = False
+
+    @abc.abstractmethod
+    def on_drop_command(self, command: DropCommand) -> None:
+        """Receive a new dropping amount from the overload detector."""
+
+    @abc.abstractmethod
+    def _decide(self, event: Event, position: int, predicted_ws: float) -> bool:
+        """The actual drop decision; True means drop."""
+
+    def should_drop(self, event: Event, position: int, predicted_ws: float) -> bool:
+        """Decide whether to drop ``event`` from the window where it sits
+        at (unshedded) ``position``; ``predicted_ws`` is the predicted
+        size of that window in events."""
+        if not self._active:
+            return False
+        self.decisions += 1
+        drop = self._decide(event, position, predicted_ws)
+        if drop:
+            self.drops += 1
+        return drop
+
+    def observed_drop_rate(self) -> float:
+        """Fraction of decisions that dropped (diagnostics)."""
+        return self.drops / self.decisions if self.decisions else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the decision/drop counters."""
+        self.decisions = 0
+        self.drops = 0
+
+
+class NoShedder(LoadShedder):
+    """Keeps every event; used for ground-truth runs."""
+
+    def on_drop_command(self, command: DropCommand) -> None:  # pragma: no cover
+        pass
+
+    def _decide(self, event: Event, position: int, predicted_ws: float) -> bool:
+        return False

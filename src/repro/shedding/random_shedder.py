@@ -1,0 +1,37 @@
+"""Uniformly random load shedding (the strawman comparator).
+
+Drops each (event, window) membership independently with the
+probability needed to remove the commanded amount per partition:
+``p = x / psize``.  Deterministic given the seed, so experiment runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cep.events import Event
+from repro.shedding.base import DropCommand, LoadShedder
+
+
+class RandomShedder(LoadShedder):
+    """Position- and type-blind random dropper."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+        self._probability = 0.0
+
+    @property
+    def drop_probability(self) -> float:
+        """Current per-membership drop probability."""
+        return self._probability
+
+    def on_drop_command(self, command: DropCommand) -> None:
+        if command.partition_size <= 0.0:
+            self._probability = 0.0
+            return
+        self._probability = min(1.0, max(0.0, command.x / command.partition_size))
+
+    def _decide(self, event: Event, position: int, predicted_ws: float) -> bool:
+        return self._rng.random() < self._probability

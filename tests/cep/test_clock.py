@@ -1,0 +1,125 @@
+"""Unit tests for the virtual clock and scheduler (repro.cep.clock)."""
+
+import pytest
+
+from repro.cep.clock import EventScheduler, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(20.0)
+        assert clock.now == 20.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+
+
+class TestEventScheduler:
+    def test_callbacks_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(2.0, lambda: order.append("b"))
+        scheduler.schedule_at(1.0, lambda: order.append("a"))
+        scheduler.schedule_at(3.0, lambda: order.append("c"))
+        scheduler.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(1.0, lambda: order.append(1))
+        scheduler.schedule_at(1.0, lambda: order.append(2))
+        scheduler.run_all()
+        assert order == [1, 2]
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler(VirtualClock(5.0))
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(4.0, lambda: None)
+
+    def test_schedule_after(self):
+        scheduler = EventScheduler(VirtualClock(10.0))
+        fired = []
+        scheduler.schedule_after(2.5, lambda: fired.append(scheduler.clock.now))
+        scheduler.run_all()
+        assert fired == [12.5]
+
+    def test_run_until_stops_at_boundary(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append(1))
+        scheduler.schedule_at(5.0, lambda: fired.append(5))
+        executed = scheduler.run_until(3.0)
+        assert executed == 1
+        assert fired == [1]
+        assert scheduler.clock.now == 3.0
+        assert scheduler.pending == 1
+
+    def test_callbacks_can_schedule_more(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(scheduler.clock.now)
+            if len(fired) < 3:
+                scheduler.schedule_after(1.0, chain)
+
+        scheduler.schedule_at(1.0, chain)
+        scheduler.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_schedule_every_recurs_until_cancelled(self):
+        scheduler = EventScheduler()
+        ticks = []
+
+        def tick():
+            ticks.append(scheduler.clock.now)
+            if len(ticks) >= 4:
+                return False
+            return None
+
+        scheduler.schedule_every(0.5, tick)
+        scheduler.run_all()
+        assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+    def test_schedule_every_bounded_by_until(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_every(1.0, lambda: ticks.append(scheduler.clock.now), until=3.5)
+        scheduler.run_all()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_schedule_every_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_every(0.0, lambda: None)
+
+    def test_run_all_limit_guards_runaway(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule_after(0.1, forever)
+
+        scheduler.schedule_after(0.1, forever)
+        with pytest.raises(RuntimeError):
+            scheduler.run_all(limit=50)
+
+    def test_next_timestamp(self):
+        scheduler = EventScheduler()
+        assert scheduler.next_timestamp() is None
+        scheduler.schedule_at(7.0, lambda: None)
+        assert scheduler.next_timestamp() == 7.0

@@ -1,0 +1,146 @@
+"""Unit tests for operator graphs (repro.cep.graph)."""
+
+import pytest
+
+from repro.cep.events import ComplexEvent, Event, EventStream, StreamBuilder
+from repro.cep.graph import OperatorGraph, complex_to_event
+from repro.cep.patterns import seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import CountSlidingWindows, PredicateWindows
+
+
+def tumbling_query(name, first, second, size=4):
+    return Query(
+        name=name,
+        pattern=seq(name, spec(first), spec(second)),
+        window_factory=lambda: CountSlidingWindows(size),
+    )
+
+
+def source_stream():
+    builder = StreamBuilder(rate=1.0)
+    for _ in range(6):
+        builder.emit_many(["A", "B", "X", "X"])
+    return builder.stream
+
+
+class TestComplexToEvent:
+    def test_materialisation(self):
+        constituents = (Event("A", 3, 1.0), Event("B", 7, 2.5))
+        cplx = ComplexEvent("found_ab", 9, constituents, detection_time=2.5)
+        event = complex_to_event(cplx, seq=0)
+        assert event.event_type == "found_ab"
+        assert event.timestamp == 2.5
+        assert event.attr("window_id") == 9
+        assert event.attr("constituents") == [3, 7]
+
+    def test_falls_back_to_last_constituent_time(self):
+        cplx = ComplexEvent("p", 0, (Event("A", 1, 4.0),))
+        assert complex_to_event(cplx, 0).timestamp == 4.0
+
+
+class TestGraphConstruction:
+    def test_duplicate_names_rejected(self):
+        graph = OperatorGraph()
+        graph.add_operator("a", tumbling_query("a", "A", "B"))
+        with pytest.raises(ValueError):
+            graph.add_operator("a", tumbling_query("a", "A", "B"))
+
+    def test_unknown_upstream_rejected(self):
+        graph = OperatorGraph()
+        with pytest.raises(ValueError):
+            graph.add_operator("a", tumbling_query("a", "A", "B"), upstream=["ghost"])
+
+    def test_topological_order_is_insertion_order(self):
+        graph = OperatorGraph()
+        graph.add_operator("a", tumbling_query("a", "A", "B"))
+        graph.add_operator("b", tumbling_query("b", "a", "a"), upstream=["a"])
+        assert graph.topological_order() == ["a", "b"]
+
+
+class TestSingleStage:
+    def test_matches_plain_operator(self):
+        from repro.cep.operator.operator import CEPOperator
+
+        stream = source_stream()
+        query = tumbling_query("q", "A", "B")
+        graph = OperatorGraph()
+        graph.add_operator("q", query)
+        run = graph.run(stream)
+        direct = CEPOperator(tumbling_query("q", "A", "B")).detect_all(stream)
+        assert [c.key for c in run.complex_events("q")] == [c.key for c in direct]
+
+
+class TestMultiStage:
+    def test_downstream_consumes_upstream_detections(self):
+        stream = source_stream()  # 6 windows, each detects one "stage1"
+        stage1 = tumbling_query("stage1", "A", "B")
+        stage2 = Query(
+            name="stage2",
+            pattern=seq("stage2", spec("stage1"), spec("stage1")),
+            window_factory=lambda: CountSlidingWindows(2),
+        )
+        graph = OperatorGraph()
+        graph.add_operator("first", stage1)
+        graph.add_operator("second", stage2, upstream=["first"])
+        run = graph.run(stream)
+        assert len(run.complex_events("first")) == 6
+        assert len(run.complex_events("second")) == 3  # 6 events, tumbling pairs
+        assert run.totals() == {"first": 6, "second": 3}
+
+    def test_fanin_merges_source_and_operator(self):
+        # downstream sees raw X events AND stage1 detections
+        stream = source_stream()
+        stage1 = tumbling_query("stage1", "A", "B")
+        fanin = Query(
+            name="fanin",
+            pattern=seq("fanin", spec("stage1"), spec("X")),
+            window_factory=lambda: PredicateWindows(
+                lambda e: e.event_type == "stage1", extent_seconds=10.0
+            ),
+        )
+        graph = OperatorGraph()
+        graph.add_operator("s1", stage1)
+        graph.add_operator("f", fanin, upstream=["s1", OperatorGraph.SOURCE])
+        run = graph.run(stream)
+        assert len(run.complex_events("f")) > 0
+
+    def test_transform_node_filters(self):
+        stream = source_stream()
+        graph = OperatorGraph()
+        graph.add_transform(
+            "only_ab", lambda e: e if e.event_type in ("A", "B") else None
+        )
+        graph.add_operator(
+            "q", tumbling_query("q", "A", "B", size=2), upstream=["only_ab"]
+        )
+        run = graph.run(stream)
+        assert all(e.event_type in ("A", "B") for e in run.output_events("only_ab"))
+        assert len(run.complex_events("q")) == 6
+
+    def test_rerun_resets_state(self):
+        stream = source_stream()
+        graph = OperatorGraph()
+        graph.add_operator("q", tumbling_query("q", "A", "B"))
+        first = graph.run(stream).totals()
+        second = graph.run(stream).totals()
+        assert first == second
+
+
+class TestSheddingInGraph:
+    def test_per_node_shedder(self):
+        from repro.shedding.base import LoadShedder
+
+        class DropAll(LoadShedder):
+            def on_drop_command(self, command):
+                pass
+
+            def _decide(self, event, position, predicted_ws):
+                return True
+
+        shedder = DropAll()
+        shedder.activate()
+        graph = OperatorGraph()
+        graph.add_operator("q", tumbling_query("q", "A", "B"), shedder=shedder)
+        run = graph.run(source_stream())
+        assert run.complex_events("q") == []

@@ -1,0 +1,130 @@
+"""Unit + property tests for the incremental matcher.
+
+The headline invariant: for any window content, the incremental
+matcher emits exactly the matches the batch matcher (first selection,
+consumed) finds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cep.events import Event
+from repro.cep.patterns import PatternMatcher, any_of, kleene, seq, spec
+from repro.cep.patterns.ast import NegationStep
+from repro.cep.patterns.incremental import (
+    IncrementalWindowMatcher,
+    match_window_incrementally,
+)
+
+
+def events(*type_names):
+    return [Event(name, i, float(i)) for i, name in enumerate(type_names)]
+
+
+def batch(pattern, window, max_matches=1):
+    return [
+        [e.seq for _p, e in m]
+        for m in PatternMatcher(pattern, max_matches=max_matches).match_window(window)
+    ]
+
+
+def incremental(pattern, window, max_matches=1):
+    return [
+        [e.seq for _p, e in m]
+        for m in match_window_incrementally(pattern, window, max_matches=max_matches)
+    ]
+
+
+class TestBasics:
+    def test_simple_sequence(self):
+        pattern = seq("p", spec("A"), spec("B"))
+        window = events("X", "A", "X", "B")
+        assert incremental(pattern, window) == [[1, 3]]
+
+    def test_emits_at_completing_event(self):
+        pattern = seq("p", spec("A"), spec("B"))
+        matcher = IncrementalWindowMatcher(pattern)
+        assert matcher.feed(Event("A", 0, 0.0), 0) == []
+        done = matcher.feed(Event("B", 1, 1.0), 1)
+        assert len(done) == 1  # detected immediately, not at window close
+
+    def test_any_step(self):
+        pattern = seq("p", spec("S"), any_of(2, [spec("D1"), spec("D2"), spec("D3")]))
+        window = events("S", "D2", "X", "D2", "D3")
+        # D2 reused is skipped (distinct specs); completes on D3
+        assert incremental(pattern, window) == [[0, 1, 4]]
+
+    def test_kleene_completes_on_following_step(self):
+        pattern = seq("p", spec("S"), kleene("A"), spec("B"))
+        window = events("S", "A", "A", "B")
+        assert incremental(pattern, window) == [[0, 1, 2, 3]]
+
+    def test_kleene_trailing_flush(self):
+        pattern = seq("p", spec("S"), kleene("A", min_count=2))
+        window = events("S", "A", "A")
+        assert incremental(pattern, window) == [[0, 1, 2]]
+
+    def test_negation_poisons_gap(self):
+        pattern = seq("p", spec("A"), NegationStep(spec("X")), spec("B"))
+        assert incremental(pattern, events("A", "X", "B")) == []
+        # but a later clean run still matches
+        assert incremental(pattern, events("A", "X", "A", "B")) == [[2, 3]]
+
+    def test_multiple_matches_consumed(self):
+        pattern = seq("p", spec("A"), spec("B"))
+        window = events("A", "B", "A", "B")
+        assert incremental(pattern, window, max_matches=5) == [[0, 1], [2, 3]]
+
+    def test_partial_progress(self):
+        pattern = seq("p", spec("S"), any_of(2, [spec("D1"), spec("D2")]))
+        matcher = IncrementalWindowMatcher(pattern)
+        assert matcher.partial_progress == 0.0
+        matcher.feed(Event("S", 0, 0.0), 0)
+        assert matcher.partial_progress == 1 / 3
+        matcher.feed(Event("D1", 1, 1.0), 1)
+        assert matcher.partial_progress == 2 / 3
+
+
+PATTERNS = [
+    seq("p1", spec("A"), spec("B")),
+    seq("p2", spec("A"), spec("B"), spec("A")),
+    seq("p3", spec("S"), any_of(2, [spec("A"), spec("B"), spec("C")])),
+    seq("p4", spec("A"), NegationStep(spec("C")), spec("B")),
+    seq("p5", spec("S"), kleene("A"), spec("B")),
+    seq("p6", kleene("A", min_count=2)),
+]
+
+windows = st.lists(
+    st.sampled_from(["A", "B", "C", "S", "X"]), min_size=0, max_size=30
+).map(lambda names: [Event(n, i, float(i)) for i, n in enumerate(names)])
+
+
+class TestEquivalenceWithBatch:
+    @given(windows, st.sampled_from(range(len(PATTERNS))))
+    @settings(max_examples=300)
+    def test_same_matches_as_batch(self, window, pattern_index):
+        pattern = PATTERNS[pattern_index]
+        assert incremental(pattern, window) == batch(pattern, window)
+
+    @given(windows, st.sampled_from([0, 1, 3]))
+    @settings(max_examples=150)
+    def test_multi_match_first_equal_and_disjoint(self, window, pattern_index):
+        """Multi-match: single-pass evaluation cannot revisit anchors it
+        already passed (that needs full NFA state), so later matches may
+        differ from the multi-pass batch matcher's -- both are valid
+        readings of *consumed*.  What must hold: the first match is
+        identical, matches are pairwise disjoint (consumed semantics)
+        and in window order."""
+        pattern = PATTERNS[pattern_index]
+        online = incremental(pattern, window, max_matches=4)
+        offline = batch(pattern, window, max_matches=4)
+        if offline:
+            assert online, "incremental must find the first match"
+            assert online[0] == offline[0]
+        used = set()
+        previous_start = -1
+        for match in online:
+            assert not (set(match) & used)
+            used.update(match)
+            assert match[0] > previous_start
+            previous_start = match[0]

@@ -1,0 +1,137 @@
+"""Unit tests for the Kleene-plus step (SASE one-or-more)."""
+
+import pytest
+
+from repro.cep.events import Event
+from repro.cep.patterns import PatternMatcher, kleene, seq, spec
+from repro.cep.patterns.ast import KleeneStep
+from repro.cep.patterns.policies import SelectionPolicy
+
+
+def events(*type_names):
+    return [Event(name, i, float(i)) for i, name in enumerate(type_names)]
+
+
+def match_seqs(matches):
+    return [[e.seq for _pos, e in match] for match in matches]
+
+
+class TestKleeneStepValidation:
+    def test_min_count_positive(self):
+        with pytest.raises(ValueError):
+            kleene("A", min_count=0)
+
+    def test_max_not_below_min(self):
+        with pytest.raises(ValueError):
+            kleene("A", min_count=3, max_count=2)
+
+    def test_match_size_uses_min_count(self):
+        pattern = seq("p", spec("S"), kleene("A", min_count=3))
+        assert pattern.match_size() == 4
+
+    def test_repetitions_use_min_count(self):
+        pattern = seq("p", kleene("A", min_count=2), spec("B"))
+        assert pattern.event_type_repetitions() == {"A": 2.0, "B": 1.0}
+
+
+class TestKleeneMatching:
+    def test_collects_greedy_run(self):
+        pattern = seq("p", spec("S"), kleene("A"))
+        matcher = PatternMatcher(pattern)
+        window = events("S", "A", "X", "A", "A")
+        assert match_seqs(matcher.match_window(window)) == [[0, 1, 3, 4]]
+
+    def test_min_count_enforced(self):
+        pattern = seq("p", spec("S"), kleene("A", min_count=3))
+        matcher = PatternMatcher(pattern)
+        assert matcher.match_window(events("S", "A", "A")) == []
+        assert match_seqs(matcher.match_window(events("S", "A", "A", "A"))) == [
+            [0, 1, 2, 3]
+        ]
+
+    def test_max_count_caps_greed(self):
+        pattern = seq("p", spec("S"), kleene("A", max_count=2), spec("B"))
+        matcher = PatternMatcher(pattern)
+        window = events("S", "A", "A", "A", "B")
+        matches = matcher.match_window(window)
+        assert match_seqs(matches) == [[0, 1, 2, 4]]
+
+    def test_run_stops_at_following_step(self):
+        # kleene(A); B must not swallow past the completing B
+        pattern = seq("p", spec("S"), kleene("A"), spec("B"))
+        matcher = PatternMatcher(pattern)
+        window = events("S", "A", "A", "B", "A")
+        assert match_seqs(matcher.match_window(window)) == [[0, 1, 2, 3]]
+
+    def test_run_requires_min_before_yielding(self):
+        # with min_count=2, the first B is skipped while the run is short
+        pattern = seq("p", kleene("A", min_count=2), spec("B"))
+        matcher = PatternMatcher(pattern)
+        window = events("A", "B", "A", "B")
+        assert match_seqs(matcher.match_window(window)) == [[0, 2, 3]]
+
+    def test_kleene_at_pattern_start(self):
+        pattern = seq("p", kleene("A"), spec("B"))
+        matcher = PatternMatcher(pattern)
+        assert match_seqs(matcher.match_window(events("X", "A", "A", "B"))) == [
+            [1, 2, 3]
+        ]
+
+    def test_last_selection(self):
+        pattern = seq("p", spec("S"), kleene("A"))
+        matcher = PatternMatcher(pattern, SelectionPolicy.LAST)
+        window = events("S", "A", "S", "A", "A")
+        assert match_seqs(matcher.match_window(window)) == [[2, 3, 4]]
+
+    def test_cumulative_selection(self):
+        pattern = seq("p", spec("S"), kleene("A", min_count=2))
+        matcher = PatternMatcher(pattern, SelectionPolicy.CUMULATIVE)
+        window = events("S", "A", "A", "A")
+        matches = matcher.match_window(window)
+        assert len(matches) == 1
+        assert [e.seq for _p, e in matches[0]] == [0, 1, 2, 3]
+
+    def test_each_selection_greedy_runs(self):
+        from repro.cep.patterns.policies import ConsumptionPolicy
+
+        pattern = seq("p", spec("S"), kleene("A"))
+        matcher = PatternMatcher(
+            pattern,
+            SelectionPolicy.EACH,
+            ConsumptionPolicy.ZERO,
+            max_matches=5,
+        )
+        window = events("S", "A", "S", "A")
+        found = match_seqs(matcher.match_window(window))
+        assert [0, 1, 3] in found  # first S with the full greedy run
+
+
+class TestKleeneInLanguage:
+    def test_some_syntax(self):
+        from repro.cep.language import parse_query
+
+        query = parse_query("define Q from seq(S; some(A)) within 10 events")
+        step = query.pattern.steps[1]
+        assert isinstance(step, KleeneStep)
+        assert step.min_count == 1
+
+    def test_some_with_count(self):
+        from repro.cep.language import parse_query
+
+        query = parse_query("define Q from seq(S; some(3, A|B)) within 10 events")
+        step = query.pattern.steps[1]
+        assert step.min_count == 3
+        assert step.spec.types == frozenset({"A", "B"})
+
+    def test_parsed_kleene_matches(self):
+        from repro.cep.events import EventStream
+        from repro.cep.language import parse_query
+        from repro.cep.operator.operator import CEPOperator
+
+        query = parse_query("define Q from seq(S; some(2, A)) within 5 events")
+        stream = EventStream(
+            [Event(t, i, float(i)) for i, t in enumerate(["S", "A", "X", "A", "X"])]
+        )
+        detected = CEPOperator(query).detect_all(stream)
+        assert len(detected) == 1
+        assert detected[0].positions == (0, 1, 3)

@@ -1,0 +1,142 @@
+"""Unit tests for the textual query language (repro.cep.language)."""
+
+import pytest
+
+from repro.cep.events import Event, EventStream
+from repro.cep.language import QueryParseError, parse_query
+from repro.cep.operator.operator import CEPOperator
+from repro.cep.patterns.ast import AnyStep, Conjunction, NegationStep, SingleStep
+from repro.cep.patterns.policies import ConsumptionPolicy, SelectionPolicy
+from repro.cep.windows import CountSlidingWindows, PredicateWindows
+
+
+def ev(type_name, seq, t=None, **attrs):
+    return Event(type_name, seq, float(seq) if t is None else t, attrs)
+
+
+class TestParsing:
+    def test_minimal_seq_query(self):
+        query = parse_query("define Q from seq(A; B) within 10 events")
+        assert query.name == "Q"
+        steps = query.pattern.steps
+        assert len(steps) == 2
+        assert all(isinstance(s, SingleStep) for s in steps)
+        assert isinstance(query.new_assigner(), CountSlidingWindows)
+
+    def test_any_step(self):
+        query = parse_query("define Q from seq(S; any(2, D1, D2, D3)) within 10 events")
+        any_step = query.pattern.steps[1]
+        assert isinstance(any_step, AnyStep)
+        assert any_step.n == 2
+        assert len(any_step.specs) == 3
+
+    def test_negation_step(self):
+        query = parse_query("define Q from seq(A; not X; B) within 5 events")
+        assert isinstance(query.pattern.steps[1], NegationStep)
+
+    def test_type_alternatives(self):
+        query = parse_query("define Q from seq(A|B; C) within 5 events")
+        first = query.pattern.steps[0]
+        assert first.spec.types == frozenset({"A", "B"})
+
+    def test_conjunction(self):
+        query = parse_query("define Q from and(A, B, C) within 5 events")
+        assert isinstance(query.pattern, Conjunction)
+        assert len(query.pattern.specs) == 3
+
+    def test_time_extent_with_opener(self):
+        query = parse_query("define Q from seq(S; D) within 15 s open on S")
+        assigner = query.new_assigner()
+        assert isinstance(assigner, PredicateWindows)
+        assert assigner.extent_seconds == 15.0
+
+    def test_count_extent_with_opener(self):
+        query = parse_query("define Q from seq(S; D) within 100 events open on S")
+        assigner = query.new_assigner()
+        assert isinstance(assigner, PredicateWindows)
+        assert assigner.extent_events == 100
+
+    def test_slide(self):
+        query = parse_query("define Q from seq(A; B) within 300 events slide 100")
+        assigner = query.new_assigner()
+        assert assigner.size == 300
+        assert assigner.slide == 100
+
+    def test_policies(self):
+        query = parse_query(
+            "define Q from seq(A; B) within 5 events select last consume zero"
+        )
+        assert query.selection is SelectionPolicy.LAST
+        assert query.consumption is ConsumptionPolicy.ZERO
+
+    def test_multiline_and_case(self):
+        query = parse_query(
+            """
+            DEFINE ManMarking
+            FROM   seq(STR; any(2, DF1, DF2, DF3))
+            WITHIN 15 s
+            OPEN ON STR
+            SELECT first
+            """
+        )
+        assert query.name == "ManMarking"
+
+    def test_predicates_attached(self):
+        close = lambda e: e.attr("distance", 99.0) <= 5.0
+        query = parse_query(
+            "define Q from seq(S; D) within 10 events open on S",
+            predicates={"D": close},
+        )
+        d_spec = query.pattern.steps[1].spec
+        assert d_spec.matches(ev("D", 0, distance=2.0))
+        assert not d_spec.matches(ev("D", 0, distance=10.0))
+
+
+class TestParsedQueriesRun:
+    def test_parsed_query_detects(self):
+        query = parse_query("define Q from seq(A; B) within 4 events")
+        stream = EventStream([ev("A", 0), ev("X", 1), ev("B", 2), ev("X", 3)])
+        detected = CEPOperator(query).detect_all(stream)
+        assert len(detected) == 1
+        assert detected[0].positions == (0, 2)
+
+    def test_parsed_predicate_window_query(self):
+        query = parse_query("define Q from seq(S; D) within 5 s open on S")
+        stream = EventStream([ev("S", 0, 0.0), ev("D", 1, 1.0), ev("X", 2, 9.0)])
+        detected = CEPOperator(query).detect_all(stream)
+        assert len(detected) == 1
+
+    def test_equivalent_to_builder_q1_shape(self):
+        from repro.queries import build_q1
+
+        text_query = parse_query(
+            "define q1 from seq(STR1|STR2; any(2, DF1, DF2, DF3, DF4, DF5, DF6, DF7, DF8))"
+            " within 15 s open on STR1|STR2"
+        )
+        built = build_q1(pattern_size=2)
+        assert text_query.pattern.match_size() == built.pattern.match_size()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "define",
+            "define Q",
+            "define Q from",
+            "define Q from seq(A within 5 events",
+            "define Q from walk(A; B) within 5 events",
+            "define Q from seq(A; B) within 5 lightyears",
+            "define Q from seq(A; B) within 5 s",  # time without opener
+            "define Q from seq(A; B) within 5 events nonsense",
+            "define Q from seq(A; B) within 5 events select sometimes",
+        ],
+    )
+    def test_malformed_queries_rejected(self, text):
+        with pytest.raises((QueryParseError, ValueError)):
+            parse_query(text)
+
+    def test_keyword_as_name_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("define from from seq(A) within 5 events")

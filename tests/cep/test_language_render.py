@@ -1,0 +1,56 @@
+"""Unit tests for pattern rendering (repro.cep.language.render_pattern)."""
+
+import pytest
+
+from repro.cep.language import parse_query, render_pattern
+from repro.cep.patterns.ast import (
+    Conjunction,
+    NegationStep,
+    any_of,
+    kleene,
+    seq,
+    spec,
+)
+
+
+class TestRenderPattern:
+    def test_simple_sequence(self):
+        pattern = seq("p", spec("A"), spec("B"))
+        assert render_pattern(pattern) == "seq(A; B)"
+
+    def test_type_alternatives_sorted(self):
+        pattern = seq("p", spec(["B", "A"]))
+        assert render_pattern(pattern) == "seq(A|B)"
+
+    def test_any_step(self):
+        pattern = seq("p", spec("S"), any_of(2, [spec("D1"), spec("D2"), spec("D3")]))
+        assert render_pattern(pattern) == "seq(S; any(2, D1, D2, D3))"
+
+    def test_kleene_step(self):
+        pattern = seq("p", kleene("A", min_count=3))
+        assert render_pattern(pattern) == "seq(some(3, A))"
+
+    def test_negation(self):
+        pattern = seq("p", spec("A"), NegationStep(spec("X")), spec("B"))
+        assert render_pattern(pattern) == "seq(A; not X; B)"
+
+    def test_conjunction(self):
+        conj = Conjunction("c", (spec("A"), spec("B")))
+        assert render_pattern(conj) == "and(A, B)"
+
+    def test_wildcard_not_expressible(self):
+        pattern = seq("p", spec(None))
+        with pytest.raises(ValueError):
+            render_pattern(pattern)
+
+    def test_rendered_text_parses(self):
+        pattern = seq(
+            "p",
+            spec("STR"),
+            NegationStep(spec("FOUL")),
+            any_of(2, [spec("D1"), spec("D2")]),
+            kleene("A", min_count=2),
+        )
+        text = f"define P from {render_pattern(pattern)} within 20 events"
+        parsed = parse_query(text)
+        assert parsed.pattern.match_size() == pattern.match_size()

@@ -1,0 +1,259 @@
+"""Unit tests for the pattern matcher (repro.cep.patterns.matcher).
+
+Includes the paper's running example from §2/§2.1: the window
+``B4, B3, A2, A1`` (stream order ``A1, A2, B3, B4``) under the four
+selection/consumption combinations.
+"""
+
+import pytest
+
+from repro.cep.events import Event
+from repro.cep.patterns.ast import Conjunction, NegationStep, any_of, seq, spec
+from repro.cep.patterns.matcher import PatternMatcher
+from repro.cep.patterns.policies import ConsumptionPolicy, SelectionPolicy
+
+
+def events(*type_names):
+    return [Event(name, i, float(i)) for i, name in enumerate(type_names)]
+
+
+def match_seqs(matches):
+    """Matches as lists of event seq numbers."""
+    return [[e.seq for _pos, e in match] for match in matches]
+
+
+class TestPaperRunningExample:
+    """Window contains A1, A2, B3, B4 (positions 0..3); pattern seq(A; B)."""
+
+    WINDOW = events("A", "A", "B", "B")
+    PATTERN = seq("qe", spec("A"), spec("B"))
+
+    def test_first_selection_consumed(self):
+        # paper §2.1: first+consumed detects cplx13=(A1,B3), cplx24=(A2,B4)
+        matcher = PatternMatcher(
+            self.PATTERN,
+            SelectionPolicy.FIRST,
+            ConsumptionPolicy.CONSUMED,
+            max_matches=10,
+        )
+        assert match_seqs(matcher.match_window(self.WINDOW)) == [[0, 2], [1, 3]]
+
+    def test_last_selection_consumed(self):
+        # paper §2: last+consumed detects only cplx23=(A2,B3)... the last
+        # instances are chosen: (A2, B4) first, then (A1, B3)
+        matcher = PatternMatcher(
+            self.PATTERN,
+            SelectionPolicy.LAST,
+            ConsumptionPolicy.CONSUMED,
+            max_matches=10,
+        )
+        found = match_seqs(matcher.match_window(self.WINDOW))
+        assert [1, 3] in found  # cplx24 = (A2, B4)
+
+    def test_last_selection_single_match(self):
+        matcher = PatternMatcher(self.PATTERN, SelectionPolicy.LAST, max_matches=1)
+        assert match_seqs(matcher.match_window(self.WINDOW)) == [[1, 3]]
+
+    def test_zero_consumption_reuses_events(self):
+        # paper §2: last+zero detects cplx23=(A2,B3) and cplx24=(A2,B4),
+        # reusing A2
+        matcher = PatternMatcher(
+            self.PATTERN,
+            SelectionPolicy.LAST,
+            ConsumptionPolicy.ZERO,
+            max_matches=10,
+        )
+        found = match_seqs(matcher.match_window(self.WINDOW))
+        assert [1, 3] in found
+        a2_uses = sum(1 for m in found if m[0] == 1)
+        assert a2_uses >= 2  # A2 reused
+
+
+class TestFirstSelection:
+    def test_basic_sequence(self):
+        matcher = PatternMatcher(seq("p", spec("A"), spec("B")))
+        window = events("X", "A", "X", "B", "A")
+        assert match_seqs(matcher.match_window(window)) == [[1, 3]]
+
+    def test_skip_till_next_skips_irrelevant(self):
+        matcher = PatternMatcher(seq("p", spec("A"), spec("B"), spec("C")))
+        window = events("A", "Z", "Z", "B", "Z", "C")
+        assert match_seqs(matcher.match_window(window)) == [[0, 3, 5]]
+
+    def test_no_match_when_order_wrong(self):
+        matcher = PatternMatcher(seq("p", spec("A"), spec("B")))
+        assert matcher.match_window(events("B", "A")) == []
+
+    def test_repetition_in_pattern(self):
+        matcher = PatternMatcher(seq("p", spec("A"), spec("A"), spec("B")))
+        window = events("A", "B", "A", "B")
+        assert match_seqs(matcher.match_window(window)) == [[0, 2, 3]]
+
+    def test_positions_parameter(self):
+        # shedding removed original positions 1 and 3 from the window
+        matcher = PatternMatcher(seq("p", spec("A"), spec("B")))
+        kept = events("A", "B")
+        matches = matcher.match_window(kept, positions=[4, 9])
+        assert [[pos for pos, _e in m] for m in matches] == [[4, 9]]
+
+    def test_positions_length_mismatch_rejected(self):
+        matcher = PatternMatcher(seq("p", spec("A")))
+        with pytest.raises(ValueError):
+            matcher.match_window(events("A"), positions=[1, 2])
+
+
+class TestAnyOperator:
+    def test_any_collects_n_distinct_specs(self):
+        pattern = seq(
+            "p", spec("S"), any_of(2, [spec("D1"), spec("D2"), spec("D3")])
+        )
+        matcher = PatternMatcher(pattern)
+        window = events("S", "X", "D2", "D2", "D1")
+        # D2 can only be used once (distinct specs); second event is D1
+        assert match_seqs(matcher.match_window(window)) == [[0, 2, 4]]
+
+    def test_any_without_distinct_allows_same_spec(self):
+        pattern = seq(
+            "p", spec("S"), any_of(2, [spec("D1"), spec("D2")], distinct_specs=False)
+        )
+        matcher = PatternMatcher(pattern)
+        window = events("S", "D2", "D2")
+        assert match_seqs(matcher.match_window(window)) == [[0, 1, 2]]
+
+    def test_any_fails_when_not_enough(self):
+        pattern = seq("p", spec("S"), any_of(3, [spec("D1"), spec("D2"), spec("D3")]))
+        matcher = PatternMatcher(pattern)
+        assert matcher.match_window(events("S", "D1", "D2")) == []
+
+    def test_any_then_single(self):
+        pattern = seq("p", any_of(2, [spec("A"), spec("B")]), spec("C"))
+        matcher = PatternMatcher(pattern)
+        window = events("A", "C", "B", "C")
+        # C must come after both any-events: first C at index 1 is too early
+        assert match_seqs(matcher.match_window(window)) == [[0, 2, 3]]
+
+
+class TestNegation:
+    def test_negation_blocks_match(self):
+        pattern = seq("p", spec("A"), NegationStep(spec("X")), spec("B"))
+        matcher = PatternMatcher(pattern)
+        assert matcher.match_window(events("A", "X", "B")) == []
+
+    def test_negation_allows_clean_gap(self):
+        pattern = seq("p", spec("A"), NegationStep(spec("X")), spec("B"))
+        matcher = PatternMatcher(pattern)
+        assert match_seqs(matcher.match_window(events("A", "Z", "B"))) == [[0, 2]]
+
+    def test_negation_only_guards_its_gap(self):
+        pattern = seq("p", spec("A"), NegationStep(spec("X")), spec("B"))
+        matcher = PatternMatcher(pattern)
+        # X before A is irrelevant
+        assert match_seqs(matcher.match_window(events("X", "A", "B"))) == [[1, 2]]
+
+
+class TestLastSelection:
+    def test_takes_latest_instances(self):
+        matcher = PatternMatcher(seq("p", spec("A"), spec("B")), SelectionPolicy.LAST)
+        window = events("A", "B", "A", "B")
+        assert match_seqs(matcher.match_window(window)) == [[2, 3]]
+
+    def test_last_with_any(self):
+        pattern = seq("p", spec("S"), any_of(2, [spec("D1"), spec("D2")]))
+        matcher = PatternMatcher(pattern, SelectionPolicy.LAST)
+        window = events("S", "D1", "D2", "S", "D1", "D2")
+        # latest: S at 3, defenders at 4 and 5
+        assert match_seqs(matcher.match_window(window)) == [[3, 4, 5]]
+
+    def test_match_reported_in_position_order(self):
+        matcher = PatternMatcher(seq("p", spec("A"), spec("B")), SelectionPolicy.LAST)
+        matches = matcher.match_window(events("A", "B"))
+        positions = [pos for pos, _e in matches[0]]
+        assert positions == sorted(positions)
+
+
+class TestEachSelection:
+    def test_enumerates_combinations(self):
+        matcher = PatternMatcher(
+            seq("p", spec("A"), spec("B")),
+            SelectionPolicy.EACH,
+            ConsumptionPolicy.ZERO,
+            max_matches=10,
+        )
+        window = events("A", "A", "B")
+        assert match_seqs(matcher.match_window(window)) == [[0, 2], [1, 2]]
+
+    def test_respects_max_matches(self):
+        matcher = PatternMatcher(
+            seq("p", spec("A"), spec("B")),
+            SelectionPolicy.EACH,
+            ConsumptionPolicy.ZERO,
+            max_matches=3,
+        )
+        window = events("A", "A", "A", "B", "B")
+        assert len(matcher.match_window(window)) == 3
+
+    def test_consumed_prevents_reuse(self):
+        matcher = PatternMatcher(
+            seq("p", spec("A"), spec("B")),
+            SelectionPolicy.EACH,
+            ConsumptionPolicy.CONSUMED,
+            max_matches=10,
+        )
+        window = events("A", "A", "B")
+        # after (A0, B2) is found, B2 is consumed: no second match
+        assert match_seqs(matcher.match_window(window)) == [[0, 2]]
+
+
+class TestCumulativeSelection:
+    def test_folds_all_instances(self):
+        matcher = PatternMatcher(
+            seq("p", spec("A"), spec("B")), SelectionPolicy.CUMULATIVE
+        )
+        window = events("A", "A", "B", "B")
+        matches = matcher.match_window(window)
+        assert len(matches) == 1
+        assert [e.seq for _p, e in matches[0]] == [0, 1, 2, 3]
+
+    def test_empty_when_step_unsatisfied(self):
+        matcher = PatternMatcher(
+            seq("p", spec("A"), spec("B")), SelectionPolicy.CUMULATIVE
+        )
+        assert matcher.match_window(events("A", "A")) == []
+
+
+class TestConjunction:
+    CONJ = Conjunction("c", (spec("A"), spec("B")))
+
+    def test_order_irrelevant(self):
+        matcher = PatternMatcher(self.CONJ)
+        assert match_seqs(matcher.match_window(events("B", "A"))) == [[0, 1]]
+
+    def test_first_takes_earliest(self):
+        matcher = PatternMatcher(self.CONJ, SelectionPolicy.FIRST)
+        window = events("A", "A", "B", "B")
+        assert match_seqs(matcher.match_window(window)) == [[0, 2]]
+
+    def test_last_takes_latest(self):
+        matcher = PatternMatcher(self.CONJ, SelectionPolicy.LAST)
+        window = events("A", "A", "B", "B")
+        assert match_seqs(matcher.match_window(window)) == [[1, 3]]
+
+    def test_no_event_used_twice(self):
+        conj = Conjunction("c", (spec(["A", "B"]), spec(["A", "B"])))
+        matcher = PatternMatcher(conj)
+        assert match_seqs(matcher.match_window(events("A"))) == []
+        assert match_seqs(matcher.match_window(events("A", "B"))) == [[0, 1]]
+
+    def test_missing_spec_no_match(self):
+        matcher = PatternMatcher(self.CONJ)
+        assert matcher.match_window(events("A", "A")) == []
+
+
+class TestMatcherValidation:
+    def test_max_matches_positive(self):
+        with pytest.raises(ValueError):
+            PatternMatcher(seq("p", spec("A")), max_matches=0)
+
+    def test_empty_window(self):
+        matcher = PatternMatcher(seq("p", spec("A")))
+        assert matcher.match_window([]) == []

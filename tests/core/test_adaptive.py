@@ -1,0 +1,118 @@
+"""Unit tests for the adaptive controller (repro.core.adaptive)."""
+
+import pytest
+
+from repro.cep.events import Event
+from repro.cep.windows import Window
+from repro.core.adaptive import AdaptiveController
+from repro.core.model import UtilityModel
+from repro.core.position_shares import PositionShares
+from repro.core.shedder import ESpiceShedder
+from repro.core.utility_table import UtilityTable
+from repro.shedding.base import DropCommand
+
+
+def early_position_model():
+    table = UtilityTable.from_matrix(
+        [[90, 80, 0, 0], [85, 75, 0, 0]], ["A", "B"]
+    )
+    shares = PositionShares.uniform(table.type_ids, 4, 1)
+    return UtilityModel(
+        table=table,
+        shares=shares,
+        reference_size=4,
+        bin_size=1,
+        windows_trained=100,
+        matches_trained=100,
+    )
+
+
+def window_with_match(positions, window_id=0):
+    events = [Event("A" if i % 2 == 0 else "B", i, float(i)) for i in range(4)]
+    window = Window(window_id=window_id, events=events)
+    match = [(p, events[p]) for p in positions]
+    return window, [match]
+
+
+def feed(controller, positions, count, start_id=0):
+    for i in range(count):
+        window, matches = window_with_match(positions, window_id=start_id + i)
+        controller.observe(window, matches)
+
+
+class TestMonitorOnly:
+    def test_no_retrain_while_model_fits(self):
+        controller = AdaptiveController(
+            early_position_model(), check_every=10, min_training_windows=20
+        )
+        feed(controller, positions=[0, 1], count=100)
+        assert controller.retrain_count == 0
+        assert controller.last_status is not None
+        assert not controller.last_status.drifted
+
+    def test_retrain_deferred_until_enough_windows(self):
+        controller = AdaptiveController(
+            early_position_model(),
+            check_every=10,
+            min_training_windows=1000,
+            min_windows=10,
+        )
+        feed(controller, positions=[2, 3], count=100)
+        assert controller.retrain_count == 0  # drifted but buffer too small
+
+
+class TestAutoRetrain:
+    def test_drift_triggers_retrain(self):
+        controller = AdaptiveController(
+            early_position_model(),
+            check_every=10,
+            min_training_windows=20,
+            min_windows=10,
+        )
+        feed(controller, positions=[2, 3], count=60)
+        assert controller.retrain_count >= 1
+        event = controller.retrain_log[0]
+        assert "hit rate" in event.reason or "match rate" in event.reason
+        # the fresh model values the late positions now
+        assert controller.model.utility("A", 2, 4.0) > 0
+
+    def test_detector_rebound_after_retrain(self):
+        controller = AdaptiveController(
+            early_position_model(),
+            check_every=10,
+            min_training_windows=20,
+            min_windows=10,
+        )
+        feed(controller, positions=[2, 3], count=60)
+        first_retrains = controller.retrain_count
+        # keep feeding the same (now learned) distribution: no more drift
+        feed(controller, positions=[2, 3], count=60, start_id=1000)
+        assert controller.retrain_count == first_retrains
+
+    def test_shedder_hot_swap(self):
+        model = early_position_model()
+        shedder = ESpiceShedder(model)
+        shedder.on_drop_command(DropCommand(x=1.0, partition_count=1, partition_size=4.0))
+        shedder.activate()
+        # before drift: late-position A events are shed (utility 0)
+        assert shedder.should_drop(Event("A", 0, 0.0), 2, 4.0)
+
+        controller = AdaptiveController(
+            model,
+            shedder=shedder,
+            check_every=10,
+            min_training_windows=20,
+            min_windows=10,
+        )
+        feed(controller, positions=[2, 3], count=60)
+        assert controller.retrain_count >= 1
+        assert shedder.active
+        assert shedder.model is controller.model
+        # after the swap the late positions are valuable and kept
+        assert not shedder.should_drop(Event("A", 0, 0.0), 2, 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveController(early_position_model(), check_every=0)
+        with pytest.raises(ValueError):
+            AdaptiveController(early_position_model(), min_training_windows=0)

@@ -1,0 +1,134 @@
+"""Unit tests for the CDT (repro.core.cdt).
+
+The centrepiece is the exact reproduction of the paper's Figure 2: the
+CDT computed from Table 1 and the (reverse-engineered) position shares,
+hitting all seven plotted points.
+"""
+
+import pytest
+
+from repro.core.cdt import CDT, build_cdt, build_partition_cdts
+from repro.core.partitions import PartitionPlan, plan_partitions
+from repro.core.position_shares import PositionShares
+from repro.core.utility_table import UtilityTable
+
+TYPE_IDS = {"A": 0, "B": 1}
+
+PAPER_TABLE = [
+    [70, 15, 10, 5, 0],  # type A
+    [0, 60, 30, 10, 0],  # type B
+]
+
+
+def paper_table():
+    return UtilityTable.from_matrix(PAPER_TABLE, ["A", "B"])
+
+
+def paper_shares():
+    """Position shares reproducing Figure 2 exactly.
+
+    Shares per position (A, B): P1 (0.8, 0.2), P2 (0.5, 0.5),
+    P3 (0.1, 0.9), P4 (0.2, 0.8), P5 (0.5, 0.5).  Built by observing
+    ten windows with the matching type mix per position.
+    """
+    shares = PositionShares(TYPE_IDS, reference_size=5)
+    mix = {0: 8, 1: 5, 2: 1, 3: 2, 4: 5}  # windows (of 10) where the slot is A
+    for window_index in range(10):
+        typed = [
+            ("A" if window_index < mix[pos] else "B", pos) for pos in range(5)
+        ]
+        shares.observe_window(typed)
+    return shares
+
+
+class TestPaperFigure2:
+    """CDT(u) values as plotted in Figure 2 of the paper."""
+
+    EXPECTED = {0: 1.2, 5: 1.4, 10: 2.3, 15: 2.8, 30: 3.7, 60: 4.2, 70: 5.0}
+
+    def test_cdt_matches_figure(self):
+        cdt = build_cdt(paper_table(), paper_shares())
+        for utility, expected in self.EXPECTED.items():
+            assert cdt.value(utility) == pytest.approx(expected), utility
+
+    def test_total_equals_window_size(self):
+        cdt = build_cdt(paper_table(), paper_shares())
+        assert cdt.total == pytest.approx(5.0)
+
+    def test_paper_threshold_example(self):
+        # paper §3.3: "to drop x = 2 events from each window,
+        # CDT(10) = 2.3 > x; thus we use uth = 10"
+        cdt = build_cdt(paper_table(), paper_shares())
+        assert cdt.threshold_for(2.0) == 10
+
+
+class TestCDT:
+    def test_requires_101_entries(self):
+        with pytest.raises(ValueError):
+            CDT([1.0] * 100)
+
+    def test_rejects_negative_occurrences(self):
+        bad = [0.0] * CDT.SIZE
+        bad[3] = -1.0
+        with pytest.raises(ValueError):
+            CDT(bad)
+
+    def test_cumulative_monotone(self):
+        occurrences = [0.0] * CDT.SIZE
+        occurrences[0] = 1.0
+        occurrences[50] = 2.0
+        cdt = CDT(occurrences)
+        values = cdt.as_list()
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert cdt.value(0) == 1.0
+        assert cdt.value(49) == 1.0
+        assert cdt.value(50) == 3.0
+
+    def test_value_range_checked(self):
+        cdt = CDT()
+        with pytest.raises(ValueError):
+            cdt.value(101)
+        with pytest.raises(ValueError):
+            cdt.value(-1)
+
+    def test_threshold_zero_or_less_drops_nothing(self):
+        cdt = build_cdt(paper_table(), paper_shares())
+        assert cdt.threshold_for(0.0) == -1
+        assert cdt.threshold_for(-5.0) == -1
+
+    def test_threshold_beyond_population_is_max(self):
+        cdt = build_cdt(paper_table(), paper_shares())
+        assert cdt.threshold_for(1000.0) == UtilityTable.MAX_UTILITY
+
+    def test_threshold_is_smallest_satisfying_u(self):
+        cdt = build_cdt(paper_table(), paper_shares())
+        for x in (0.5, 1.0, 1.3, 2.0, 3.0, 4.5):
+            u = cdt.threshold_for(x)
+            assert cdt.value(u) >= x
+            if u > 0:
+                assert cdt.value(u - 1) < x
+
+
+class TestPartitionCDTs:
+    def test_partition_cdts_sum_to_whole(self):
+        table = paper_table()
+        shares = paper_shares()
+        plan = PartitionPlan(reference_size=5, partition_count=2, partition_size=2.5)
+        parts = build_partition_cdts(table, shares, plan)
+        whole = build_cdt(table, shares)
+        assert sum(p.total for p in parts) == pytest.approx(whole.total)
+
+    def test_single_partition_equals_whole(self):
+        table = paper_table()
+        shares = paper_shares()
+        plan = plan_partitions(5, qmax=100.0, f=0.5)
+        assert plan.partition_count == 1
+        parts = build_partition_cdts(table, shares, plan)
+        assert parts[0].as_list() == build_cdt(table, shares).as_list()
+
+    def test_bins_subset(self):
+        table = paper_table()
+        shares = paper_shares()
+        first_two = build_cdt(table, shares, bins=[0, 1])
+        # positions 0 and 1 contribute exactly 2 events
+        assert first_two.total == pytest.approx(2.0)

@@ -1,0 +1,135 @@
+"""Unit tests for the drift detector (repro.core.drift)."""
+
+import pytest
+
+from repro.cep.events import Event
+from repro.cep.windows import Window
+from repro.core.drift import DriftDetector
+from repro.core.model import UtilityModel
+from repro.core.position_shares import PositionShares
+from repro.core.utility_table import UtilityTable
+
+
+def model_valuing_early_positions():
+    """Types A/B valuable at positions 0-1, worthless later."""
+    table = UtilityTable.from_matrix(
+        [
+            [90, 80, 0, 0],  # A
+            [85, 75, 0, 0],  # B
+        ],
+        ["A", "B"],
+    )
+    shares = PositionShares.uniform(table.type_ids, 4, 1)
+    return UtilityModel(
+        table=table,
+        shares=shares,
+        reference_size=4,
+        bin_size=1,
+        windows_trained=100,
+        matches_trained=100,
+    )
+
+
+def window_with_match(positions, window_id=0):
+    events = [Event("A" if i % 2 == 0 else "B", i, float(i)) for i in range(4)]
+    window = Window(window_id=window_id, events=events)
+    match = [(p, events[p]) for p in positions]
+    return window, [match]
+
+
+def feed(detector, positions, count):
+    for i in range(count):
+        window, matches = window_with_match(positions, window_id=i)
+        detector.observe(window, matches)
+
+
+class TestNoDrift:
+    def test_model_fits_when_matches_at_learned_positions(self):
+        detector = DriftDetector(model_valuing_early_positions(), min_windows=10)
+        feed(detector, positions=[0, 1], count=30)
+        status = detector.check()
+        assert not status.drifted
+        assert status.hit_rate == pytest.approx(1.0)
+
+    def test_warming_up_never_signals(self):
+        detector = DriftDetector(model_valuing_early_positions(), min_windows=50)
+        feed(detector, positions=[2, 3], count=10)  # drifted, but too early
+        status = detector.check()
+        assert not status.drifted
+        assert status.reason == "warming up"
+
+
+class TestPositionDrift:
+    def test_drift_when_matches_move_to_unvalued_positions(self):
+        detector = DriftDetector(model_valuing_early_positions(), min_windows=10)
+        feed(detector, positions=[2, 3], count=30)  # utility 0 there
+        status = detector.check()
+        assert status.drifted
+        assert "hit rate" in status.reason
+        assert status.hit_rate == pytest.approx(0.0)
+
+    def test_gradual_drift_detected_once_history_turns(self):
+        detector = DriftDetector(
+            model_valuing_early_positions(), min_windows=10, history=20
+        )
+        feed(detector, positions=[0, 1], count=20)  # healthy history
+        assert not detector.check().drifted
+        feed(detector, positions=[2, 3], count=20)  # history fully replaced
+        assert detector.check().drifted
+
+
+class TestMatchRateCollapse:
+    def test_drift_when_matching_stops(self):
+        detector = DriftDetector(model_valuing_early_positions(), min_windows=10)
+        for i in range(30):
+            window, _ = window_with_match([0, 1], window_id=i)
+            detector.observe(window, [])  # no matches at all
+        status = detector.check()
+        assert status.drifted
+        assert "match rate" in status.reason
+
+    def test_truncated_windows_ignored(self):
+        detector = DriftDetector(model_valuing_early_positions(), min_windows=5)
+        for i in range(30):
+            window, _ = window_with_match([0, 1], window_id=i)
+            window.truncated = True
+            detector.observe(window, [])
+        assert detector.check().reason == "warming up"
+
+
+class TestRebind:
+    def test_rebind_resets_and_tracks_new_model(self):
+        detector = DriftDetector(model_valuing_early_positions(), min_windows=10)
+        feed(detector, positions=[2, 3], count=30)
+        assert detector.check().drifted
+
+        # retrained model values the late positions
+        table = UtilityTable.from_matrix([[0, 0, 90, 90], [0, 0, 85, 85]], ["A", "B"])
+        shares = PositionShares.uniform(table.type_ids, 4, 1)
+        fresh = UtilityModel(
+            table=table,
+            shares=shares,
+            reference_size=4,
+            bin_size=1,
+            windows_trained=50,
+            matches_trained=50,
+        )
+        detector.rebind(fresh)
+        feed(detector, positions=[2, 3], count=30)
+        assert not detector.check().drifted
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        model = model_valuing_early_positions()
+        with pytest.raises(ValueError):
+            DriftDetector(model, hit_rate_threshold=1.5)
+        with pytest.raises(ValueError):
+            DriftDetector(model, history=0)
+        with pytest.raises(ValueError):
+            DriftDetector(model, min_windows=0)
+
+    def test_empty_detector_rates_none(self):
+        detector = DriftDetector(model_valuing_early_positions())
+        assert detector.hit_rate() is None
+        assert detector.match_rate() is None

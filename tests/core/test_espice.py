@@ -1,0 +1,94 @@
+"""Unit tests for the ESpice facade (repro.core.espice)."""
+
+import pytest
+
+from repro.cep.events import StreamBuilder
+from repro.cep.patterns import seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import CountSlidingWindows
+from repro.core.espice import ESpice, ESpiceConfig
+
+
+def toy_query(window=4):
+    return Query(
+        name="toy",
+        pattern=seq("toy", spec("A"), spec("B")),
+        window_factory=lambda: CountSlidingWindows(window),
+    )
+
+
+def toy_stream(repetitions=20):
+    builder = StreamBuilder(rate=10.0)
+    for _ in range(repetitions):
+        builder.emit_many(["A", "B", "X", "X"])
+    return builder.stream
+
+
+class TestTraining:
+    def test_train_builds_model(self):
+        espice = ESpice(toy_query())
+        model = espice.train(toy_stream())
+        assert model.reference_size == 4
+        assert model.windows_trained == 20
+        assert model.utility("A", 0, 4.0) == 100
+        assert model.utility("X", 2, 4.0) == 0
+
+    def test_train_accumulates(self):
+        espice = ESpice(toy_query())
+        espice.train(toy_stream(10))
+        model = espice.train(toy_stream(10))
+        assert model.windows_trained == 20
+
+    def test_retrain_resets(self):
+        espice = ESpice(toy_query())
+        espice.train(toy_stream(10))
+        model = espice.retrain(toy_stream(5))
+        assert model.windows_trained == 5
+
+    def test_components_require_training(self):
+        espice = ESpice(toy_query())
+        with pytest.raises(RuntimeError):
+            espice.build_shedder()
+
+
+class TestComponents:
+    def test_build_shedder(self):
+        espice = ESpice(toy_query())
+        espice.train(toy_stream())
+        shedder = espice.build_shedder()
+        assert shedder.model is espice.model
+
+    def test_build_detector_wires_shedder(self):
+        espice = ESpice(toy_query())
+        espice.train(toy_stream())
+        shedder = espice.build_shedder()
+        detector = espice.build_detector(
+            shedder, fixed_processing_latency=0.001, fixed_input_rate=1200.0
+        )
+        assert detector.shedder is shedder
+        assert detector.latency_bound == espice.config.latency_bound
+        assert detector.reference_size == espice.model.reference_size
+
+    def test_configured_f_used(self):
+        espice = ESpice(toy_query(), ESpiceConfig(f=0.7))
+        espice.train(toy_stream())
+        assert espice.effective_f(0.001, 1200.0) == 0.7
+
+    def test_auto_f_selected(self):
+        espice = ESpice(toy_query(), ESpiceConfig(f=None))
+        espice.train(toy_stream())
+        f = espice.effective_f(0.001, 1200.0)
+        assert 0.0 < f < 1.0
+
+    def test_auto_f_needs_hints(self):
+        espice = ESpice(toy_query(), ESpiceConfig(f=None))
+        espice.train(toy_stream())
+        shedder = espice.build_shedder()
+        with pytest.raises(ValueError):
+            espice.build_detector(shedder)
+
+    def test_bin_size_propagates(self):
+        espice = ESpice(toy_query(), ESpiceConfig(bin_size=2))
+        model = espice.train(toy_stream())
+        assert model.bin_size == 2
+        assert model.table.bins == 2

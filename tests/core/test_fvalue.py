@@ -1,0 +1,113 @@
+"""Unit tests for f-value selection (repro.core.fvalue)."""
+
+import pytest
+
+from repro.core.fvalue import cluster_utilities_1d, low_class_boundary, select_f
+from repro.core.model import UtilityModel
+from repro.core.position_shares import PositionShares
+from repro.core.utility_table import UtilityTable
+
+
+def model_from(matrix, type_names):
+    table = UtilityTable.from_matrix(matrix, type_names)
+    shares = PositionShares.uniform(table.type_ids, table.reference_size, 1)
+    return UtilityModel(
+        table=table,
+        shares=shares,
+        reference_size=table.reference_size,
+        bin_size=1,
+    )
+
+
+class TestClustering:
+    def test_three_obvious_clusters(self):
+        values = [0, 1, 2, 50, 51, 52, 98, 99, 100]
+        assignment = cluster_utilities_1d(values, classes=3)
+        assert assignment[:3] == [0, 0, 0]
+        assert assignment[3:6] == [1, 1, 1]
+        assert assignment[6:] == [2, 2, 2]
+
+    def test_clusters_ordered_low_to_high(self):
+        assignment = cluster_utilities_1d([100, 0], classes=2)
+        assert assignment == [1, 0]
+
+    def test_fewer_distinct_values_than_classes(self):
+        assignment = cluster_utilities_1d([5, 5, 5], classes=3)
+        assert assignment == [0, 0, 0]
+
+    def test_weighted_centres(self):
+        # heavy weight pulls the cluster centre; assignment stays sane
+        assignment = cluster_utilities_1d([0, 10, 100], [100.0, 1.0, 1.0], classes=2)
+        assert assignment[0] == 0
+        assert assignment[2] == 1
+
+    def test_empty_values(self):
+        assert cluster_utilities_1d([], classes=3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_utilities_1d([1], classes=0)
+        with pytest.raises(ValueError):
+            cluster_utilities_1d([1, 2], weights=[1.0], classes=2)
+
+
+class TestLowClassBoundary:
+    def test_boundary_separates_low_cluster(self):
+        model = model_from(
+            [[0, 0, 2, 50, 100, 100, 90, 3, 0, 1]],
+            ["A"],
+        )
+        boundary = low_class_boundary(model)
+        assert 0 <= boundary < 50
+
+    def test_uniform_zero_table(self):
+        model = model_from([[0, 0, 0, 0]], ["A"])
+        assert low_class_boundary(model) == 0
+
+
+class TestSelectF:
+    def _model(self):
+        # low utilities everywhere: any partitioning has droppable events
+        return model_from(
+            [
+                [100, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+                [0, 0, 0, 0, 0, 0, 0, 0, 0, 100],
+            ],
+            ["A", "B"],
+        )
+
+    def test_prefers_largest_f_when_plenty_droppable(self):
+        f = select_f(
+            self._model(),
+            qmax=100.0,
+            expected_x_per_second=100.0,
+            input_rate=1000.0,
+        )
+        assert f == 0.95
+
+    def test_falls_back_to_smallest_candidate(self):
+        # demand far beyond the low-class population at every f
+        model = model_from([[100] * 10], ["A"])
+        f = select_f(
+            model,
+            qmax=10.0,
+            expected_x_per_second=900.0,
+            input_rate=1000.0,
+            candidates=(0.9, 0.5),
+        )
+        assert f == 0.5
+
+    def test_zero_surplus_takes_largest(self):
+        f = select_f(
+            self._model(),
+            qmax=100.0,
+            expected_x_per_second=0.0,
+            input_rate=1000.0,
+        )
+        assert f == 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_f(self._model(), 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            select_f(self._model(), 1.0, 1.0, 0.0)

@@ -1,0 +1,152 @@
+"""Unit tests for the model builder (repro.core.model)."""
+
+import pytest
+
+from repro.cep.events import Event
+from repro.cep.windows import Window
+from repro.core.model import ModelBuilder
+
+
+def make_window(type_names, window_id=0, truncated=False):
+    events = [Event(name, i, float(i)) for i, name in enumerate(type_names)]
+    return Window(window_id=window_id, events=events, truncated=truncated)
+
+
+def match_of(window, positions):
+    return [(pos, window.events[pos]) for pos in positions]
+
+
+class TestObservation:
+    def test_counts_windows_and_matches(self):
+        builder = ModelBuilder()
+        w = make_window(["A", "B", "A"])
+        builder.observe(w, [match_of(w, [0, 1])])
+        assert builder.windows_seen == 1
+        assert builder.matches_seen == 1
+
+    def test_skips_empty_windows(self):
+        builder = ModelBuilder()
+        builder.observe(make_window([]), [])
+        assert builder.windows_seen == 0
+
+    def test_skips_truncated_windows(self):
+        builder = ModelBuilder()
+        builder.observe(make_window(["A", "B"], truncated=True), [])
+        assert builder.windows_seen == 0
+
+    def test_reset(self):
+        builder = ModelBuilder()
+        w = make_window(["A"])
+        builder.observe(w, [])
+        builder.reset()
+        assert builder.windows_seen == 0
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_ring_buffer_caps_records(self):
+        builder = ModelBuilder(max_records=2)
+        for i in range(5):
+            builder.observe(make_window(["A"], window_id=i), [])
+        model = builder.build()
+        assert model.windows_trained == 2
+
+
+class TestBuild:
+    def test_requires_observations(self):
+        with pytest.raises(ValueError):
+            ModelBuilder().build()
+
+    def test_reference_size_is_average(self):
+        builder = ModelBuilder()
+        builder.observe(make_window(["A"] * 4), [])
+        builder.observe(make_window(["A"] * 6), [])
+        assert builder.average_window_size() == 5.0
+        assert builder.build().reference_size == 5
+
+    def test_pinned_reference_size(self):
+        builder = ModelBuilder(reference_size=10)
+        builder.observe(make_window(["A"] * 4), [])
+        assert builder.build().reference_size == 10
+
+    def test_contributors_get_high_utility(self):
+        builder = ModelBuilder()
+        for i in range(10):
+            w = make_window(["A", "B", "C", "C"], window_id=i)
+            builder.observe(w, [match_of(w, [0, 1])])
+        model = builder.build()
+        assert model.utility("A", 0, 4.0) == 100
+        assert model.utility("B", 1, 4.0) == 100
+        assert model.utility("C", 2, 4.0) == 0
+        assert model.utility("C", 3, 4.0) == 0
+
+    def test_partial_contribution_scales_utility(self):
+        builder = ModelBuilder()
+        for i in range(10):
+            w = make_window(["A", "B"], window_id=i)
+            matches = [match_of(w, [0, 1])] if i < 5 else [match_of(w, [0])]
+            builder.observe(w, matches)
+        model = builder.build()
+        assert model.utility("A", 0, 2.0) == 100
+        assert model.utility("B", 1, 2.0) == 50
+
+    def test_shares_learned_from_windows(self):
+        builder = ModelBuilder()
+        builder.observe(make_window(["A", "B"]), [])
+        builder.observe(make_window(["A", "A"]), [])
+        model = builder.build()
+        assert model.shares.share("A", 0) == pytest.approx(1.0)
+        assert model.shares.share("B", 1) == pytest.approx(0.5)
+
+    def test_variable_window_sizes_scale_to_reference(self):
+        builder = ModelBuilder(reference_size=2)
+        # a window of size 4: positions 0..3 map to reference 0,0,1,1
+        w = make_window(["A", "A", "B", "B"])
+        builder.observe(w, [match_of(w, [3])])
+        model = builder.build()
+        assert model.utility("B", 1, 2.0) == 100
+        assert model.shares.share("A", 0) == pytest.approx(2.0)
+
+    def test_binned_model(self):
+        builder = ModelBuilder(bin_size=2, reference_size=4)
+        w = make_window(["A", "A", "B", "B"])
+        builder.observe(w, [match_of(w, [0, 1])])
+        model = builder.build()
+        assert model.table.bins == 2
+        assert model.utility("A", 0, 4.0) == 100
+        assert model.utility("A", 1, 4.0) == 100  # same bin
+
+    def test_build_is_repeatable(self):
+        builder = ModelBuilder()
+        w = make_window(["A", "B"])
+        builder.observe(w, [match_of(w, [0])])
+        first = builder.build()
+        second = builder.build()
+        assert first.table.as_matrix() == second.table.as_matrix()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelBuilder(bin_size=0)
+        with pytest.raises(ValueError):
+            ModelBuilder(reference_size=0)
+
+
+class TestUtilityModel:
+    def _model(self):
+        builder = ModelBuilder()
+        for i in range(4):
+            w = make_window(["A", "B", "C", "D"], window_id=i)
+            builder.observe(w, [match_of(w, [0, 1])])
+        return builder.build()
+
+    def test_whole_window_cdt_total(self):
+        model = self._model()
+        assert model.whole_window_cdt().total == pytest.approx(4.0)
+
+    def test_partition_cdts(self):
+        from repro.core.partitions import PartitionPlan
+
+        model = self._model()
+        plan = PartitionPlan(reference_size=4, partition_count=2, partition_size=2.0)
+        parts = model.partition_cdts(plan)
+        assert len(parts) == 2
+        assert sum(p.total for p in parts) == pytest.approx(4.0)

@@ -1,0 +1,76 @@
+"""Unit tests for window partitioning (repro.core.partitions)."""
+
+import math
+
+import pytest
+
+from repro.core.partitions import PartitionPlan, plan_partitions
+
+
+class TestPlanPartitions:
+    def test_single_partition_when_window_fits_buffer(self):
+        # buffer = qmax*(1-f) = 100*(1-0.5) = 50 >= ws=40 -> one partition
+        plan = plan_partitions(40, qmax=100.0, f=0.5)
+        assert plan.partition_count == 1
+        assert plan.partition_size == 40.0
+
+    def test_paper_formula(self):
+        # rho = ceil(ws / (qmax - f*qmax))
+        for ws, qmax, f in ((300, 1000.0, 0.8), (2000, 1000.0, 0.8), (100, 30.0, 0.9)):
+            plan = plan_partitions(ws, qmax, f)
+            expected = min(max(1, math.ceil(ws / (qmax * (1 - f)))), ws)
+            assert plan.partition_count == expected
+            assert plan.partition_size == pytest.approx(ws / expected)
+
+    def test_zero_buffer_gives_per_position_partitions(self):
+        plan = plan_partitions(10, qmax=0.0, f=0.0)
+        assert plan.partition_count == 10
+
+    def test_partition_count_capped_at_reference_size(self):
+        plan = plan_partitions(5, qmax=1.0, f=0.9)
+        assert plan.partition_count <= 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            plan_partitions(0, 10.0, 0.5)
+        with pytest.raises(ValueError):
+            plan_partitions(10, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            plan_partitions(10, 10.0, -0.1)
+
+
+class TestPartitionPlan:
+    PLAN = PartitionPlan(reference_size=100, partition_count=4, partition_size=25.0)
+
+    def test_partition_of_position(self):
+        assert self.PLAN.partition_of_position(0) == 0
+        assert self.PLAN.partition_of_position(24.9) == 0
+        assert self.PLAN.partition_of_position(25.0) == 1
+        assert self.PLAN.partition_of_position(99.9) == 3
+
+    def test_positions_clamped(self):
+        assert self.PLAN.partition_of_position(500.0) == 3
+        assert self.PLAN.partition_of_position(-3.0) == 0
+
+    def test_single_partition_always_zero(self):
+        plan = PartitionPlan(reference_size=10, partition_count=1, partition_size=10.0)
+        assert plan.partition_of_position(9.9) == 0
+
+    def test_partition_of_bin_by_centre(self):
+        # bins of size 10: bin 2 covers 20..30, centre 25 -> partition 1
+        assert self.PLAN.partition_of_bin(2, bin_size=10) == 1
+        assert self.PLAN.partition_of_bin(0, bin_size=10) == 0
+
+    def test_bins_of_partition_cover_all_bins(self):
+        bins = 10
+        assigned = []
+        for part in range(self.PLAN.partition_count):
+            assigned.extend(self.PLAN.bins_of_partition(part, bin_size=10, bins=bins))
+        assert sorted(assigned) == list(range(bins))
+
+    def test_bins_of_partition_disjoint(self):
+        seen = set()
+        for part in range(self.PLAN.partition_count):
+            for b in self.PLAN.bins_of_partition(part, bin_size=10, bins=10):
+                assert b not in seen
+                seen.add(b)

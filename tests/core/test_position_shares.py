@@ -1,0 +1,83 @@
+"""Unit tests for position shares (repro.core.position_shares)."""
+
+import pytest
+
+from repro.core.position_shares import PositionShares
+
+TYPE_IDS = {"A": 0, "B": 1}
+
+
+class TestObservation:
+    def test_share_is_probability_estimate(self):
+        shares = PositionShares(TYPE_IDS, reference_size=2)
+        shares.observe_window([("A", 0), ("B", 1)])
+        shares.observe_window([("A", 0), ("A", 1)])
+        assert shares.share("A", 0) == pytest.approx(1.0)
+        assert shares.share("A", 1) == pytest.approx(0.5)
+        assert shares.share("B", 1) == pytest.approx(0.5)
+
+    def test_per_position_shares_sum_to_one(self):
+        shares = PositionShares(TYPE_IDS, reference_size=3)
+        shares.observe_window([("A", 0), ("B", 1), ("A", 2)])
+        shares.observe_window([("B", 0), ("B", 1), ("A", 2)])
+        for bin_index in range(3):
+            assert sum(shares.shares_in_bin(bin_index)) == pytest.approx(1.0)
+
+    def test_unknown_type_ignored(self):
+        shares = PositionShares(TYPE_IDS, reference_size=1)
+        shares.observe_window([("ZZZ", 0)])
+        assert shares.share("A", 0) == 0.0
+        assert shares.windows_observed == 1
+
+    def test_share_before_observation_is_zero(self):
+        shares = PositionShares(TYPE_IDS, reference_size=2)
+        assert shares.share("A", 0) == 0.0
+        assert shares.shares_in_bin(0) == [0.0, 0.0]
+
+    def test_unknown_type_share_is_zero(self):
+        shares = PositionShares(TYPE_IDS, reference_size=1)
+        shares.observe_window([("A", 0)])
+        assert shares.share("ZZZ", 0) == 0.0
+
+
+class TestBinning:
+    def test_bin_shares_sum_to_bin_size(self):
+        shares = PositionShares(TYPE_IDS, reference_size=4, bin_size=2)
+        shares.observe_window([("A", 0), ("B", 1), ("A", 2), ("A", 3)])
+        assert sum(shares.shares_in_bin(0)) == pytest.approx(2.0)
+        assert sum(shares.shares_in_bin(1)) == pytest.approx(2.0)
+
+    def test_total_approximates_window_size(self):
+        shares = PositionShares(TYPE_IDS, reference_size=4, bin_size=2)
+        shares.observe_window([("A", 0), ("B", 1), ("A", 2), ("A", 3)])
+        assert shares.total() == pytest.approx(4.0)
+
+
+class TestUniformPrior:
+    def test_uniform_splits_evenly(self):
+        shares = PositionShares.uniform(TYPE_IDS, reference_size=4, bin_size=1)
+        assert shares.share("A", 0) == pytest.approx(0.5)
+        assert shares.share("B", 3) == pytest.approx(0.5)
+
+    def test_uniform_total_is_window_size(self):
+        shares = PositionShares.uniform(TYPE_IDS, reference_size=10, bin_size=3)
+        assert shares.total() == pytest.approx(10.0)
+
+    def test_uniform_partial_last_bin(self):
+        # N=5, bs=3: last bin covers only 2 positions
+        shares = PositionShares.uniform(TYPE_IDS, reference_size=5, bin_size=3)
+        assert sum(shares.shares_in_bin(0)) == pytest.approx(3.0)
+        assert sum(shares.shares_in_bin(1)) == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            PositionShares(TYPE_IDS, reference_size=0)
+        with pytest.raises(ValueError):
+            PositionShares(TYPE_IDS, reference_size=5, bin_size=-1)
+
+    def test_out_of_range_position_clamped(self):
+        shares = PositionShares(TYPE_IDS, reference_size=2)
+        shares.observe_window([("A", 99)])
+        assert shares.share("A", 1) == pytest.approx(1.0)

@@ -1,0 +1,102 @@
+"""Unit tests for position scaling (repro.core.scaling)."""
+
+import pytest
+
+from repro.core import scaling
+
+
+class TestBinCount:
+    def test_exact_division(self):
+        assert scaling.bin_count(100, 10) == 10
+
+    def test_partial_last_bin(self):
+        assert scaling.bin_count(101, 10) == 11
+
+    def test_bin_size_one(self):
+        assert scaling.bin_count(7, 1) == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            scaling.bin_count(0, 1)
+        with pytest.raises(ValueError):
+            scaling.bin_count(10, 0)
+
+
+class TestScalePosition:
+    def test_identity_when_sizes_match(self):
+        lo, hi = scaling.scale_position(5, 10.0, 10)
+        assert lo == pytest.approx(5.0)
+        assert hi == pytest.approx(6.0)
+
+    def test_scale_down_two_to_one(self):
+        # ws=200, N=100: positions 0 and 1 map into reference position 0
+        lo0, hi0 = scaling.scale_position(0, 200.0, 100)
+        lo1, hi1 = scaling.scale_position(1, 200.0, 100)
+        assert int(lo0) == 0 and int(lo1) == 0
+        assert hi1 <= 1.0 + 1e-9
+
+    def test_scale_up_one_to_two(self):
+        # ws=50, N=100: position 0 covers reference positions 0 and 1
+        lo, hi = scaling.scale_position(0, 50.0, 100)
+        assert lo == pytest.approx(0.0)
+        assert hi == pytest.approx(2.0)
+
+    def test_position_beyond_window_clamped(self):
+        lo, hi = scaling.scale_position(150, 100.0, 100)
+        assert lo <= 100 - 1e-10
+        assert hi <= 100.0
+
+    def test_unknown_window_size_passthrough(self):
+        lo, hi = scaling.scale_position(3, 0.0, 10)
+        assert (lo, hi) == (3.0, 4.0)
+
+    def test_unknown_window_size_clamps(self):
+        lo, _hi = scaling.scale_position(42, 0.0, 10)
+        assert lo == 9.0
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            scaling.scale_position(-1, 10.0, 10)
+
+
+class TestPositionToBins:
+    def test_identity_no_binning(self):
+        assert scaling.position_to_bins(4, 10.0, 10, 1) == (4, 4)
+
+    def test_binning_groups_positions(self):
+        assert scaling.position_to_bins(4, 10.0, 10, 5) == (0, 0)
+        assert scaling.position_to_bins(5, 10.0, 10, 5) == (1, 1)
+
+    def test_scale_up_spans_bins(self):
+        # ws=5, N=10, bs=1: position 2 covers reference 4..6 -> bins 4,5
+        first, last = scaling.position_to_bins(2, 5.0, 10, 1)
+        assert first == 4
+        assert last == 5
+
+    def test_result_clamped_to_table(self):
+        first, last = scaling.position_to_bins(99, 10.0, 10, 3)
+        assert last <= scaling.bin_count(10, 3) - 1
+        assert first <= last
+
+
+class TestReferencePosition:
+    def test_identity(self):
+        assert scaling.reference_position(3, 10.0, 10) == 3
+
+    def test_scale_down(self):
+        assert scaling.reference_position(10, 20.0, 10) == 5
+
+    def test_scale_up(self):
+        assert scaling.reference_position(2, 5.0, 10) == 4
+
+    def test_clamped(self):
+        assert scaling.reference_position(9, 10.0, 5) == 4
+
+
+class TestBinOfReferencePosition:
+    def test_basic(self):
+        assert scaling.bin_of_reference_position(7, 10, 2) == 3
+
+    def test_out_of_range_clamped(self):
+        assert scaling.bin_of_reference_position(15, 10, 2) == 4
+        assert scaling.bin_of_reference_position(-3, 10, 2) == 0

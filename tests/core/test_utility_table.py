@@ -1,0 +1,147 @@
+"""Unit tests for the utility table (repro.core.utility_table).
+
+Includes the paper's Table 1 as an explicit fixture.
+"""
+
+import pytest
+
+from repro.core.utility_table import UtilityTable
+
+# Table 1 of the paper: UT for two types over a window of 5 positions.
+PAPER_TABLE = [
+    [70, 15, 10, 5, 0],  # type A
+    [0, 60, 30, 10, 0],  # type B
+]
+
+
+def paper_table():
+    return UtilityTable.from_matrix(PAPER_TABLE, ["A", "B"])
+
+
+class TestFromMatrix:
+    def test_paper_table_cells(self):
+        table = paper_table()
+        assert table.cell("A", 0) == 70
+        assert table.cell("B", 1) == 60
+        assert table.cell("A", 4) == 0
+
+    def test_dimensions(self):
+        table = paper_table()
+        assert table.type_count == 2
+        assert table.reference_size == 5
+        assert table.bins == 5
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            UtilityTable.from_matrix([[1, 2], [1]], ["A", "B"])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            UtilityTable.from_matrix([[101]], ["A"])
+
+    def test_rejects_name_mismatch(self):
+        with pytest.raises(ValueError):
+            UtilityTable.from_matrix([[1]], ["A", "B"])
+
+
+class TestFromCounts:
+    def test_normalises_by_peak(self):
+        counts = {"A": {0: 50.0, 1: 25.0}, "B": {0: 10.0}}
+        table = UtilityTable.from_counts(counts, {"A": 0, "B": 1}, reference_size=2)
+        assert table.cell("A", 0) == 100
+        assert table.cell("A", 1) == 50
+        assert table.cell("B", 0) == 20
+
+    def test_zero_counts_give_empty_table(self):
+        table = UtilityTable.from_counts({}, {"A": 0}, reference_size=3)
+        assert table.row("A") == [0, 0, 0]
+
+    def test_contributing_cells_never_round_to_zero(self):
+        # a tiny-but-positive count must stay distinguishable from "never
+        # contributed" so the lowest threshold cannot wipe it out
+        counts = {"A": {0: 1000.0, 1: 1.0}}
+        table = UtilityTable.from_counts(counts, {"A": 0}, reference_size=2)
+        assert table.cell("A", 1) == 1
+
+    def test_out_of_range_bins_ignored(self):
+        counts = {"A": {0: 1.0, 99: 5.0}}
+        table = UtilityTable.from_counts(counts, {"A": 0}, reference_size=2)
+        assert table.row("A") == [20, 0]
+
+
+class TestLookup:
+    def test_identity_window(self):
+        table = paper_table()
+        assert table.utility("A", 0, 5.0) == 70
+        assert table.utility("B", 2, 5.0) == 30
+
+    def test_unknown_type_is_zero(self):
+        assert paper_table().utility("ZZZ", 0, 5.0) == 0
+
+    def test_scale_down_larger_window(self):
+        # window of 10 events against N=5: positions 0,1 -> reference 0
+        table = paper_table()
+        assert table.utility("A", 0, 10.0) == 70
+        assert table.utility("A", 1, 10.0) == 70
+        assert table.utility("A", 2, 10.0) == 15
+
+    def test_scale_up_smaller_window_averages(self):
+        # window of 2.5 events... use ws=2.5? use integer-ish: ws=2, N=5
+        # position 0 covers reference 0..2.5 -> cells 0,1,2 averaged
+        table = paper_table()
+        expected = round((70 + 15 + 10) / 3)
+        assert table.utility("A", 0, 2.0) == expected
+
+    def test_unknown_window_size_uses_raw_position(self):
+        table = paper_table()
+        assert table.utility("A", 1, 0.0) == 15
+
+    def test_binned_lookup(self):
+        table = UtilityTable.from_matrix([[10, 20, 30]], ["A"], bin_size=2)
+        # reference size = 6, bins of 2: position 3 of a 6-window -> bin 1
+        assert table.utility("A", 3, 6.0) == 20
+
+
+class TestMutation:
+    def test_set_cell(self):
+        table = paper_table()
+        table.set_cell("A", 4, 99)
+        assert table.cell("A", 4) == 99
+
+    def test_set_cell_validates(self):
+        with pytest.raises(ValueError):
+            paper_table().set_cell("A", 0, 150)
+
+
+class TestIntrospection:
+    def test_distinct_utilities(self):
+        assert paper_table().distinct_utilities() == [0, 5, 10, 15, 30, 60, 70]
+
+    def test_utilities_in_bin(self):
+        assert paper_table().utilities_in_bin(1) == [15, 60]
+
+    def test_as_matrix_is_copy(self):
+        table = paper_table()
+        matrix = table.as_matrix()
+        matrix[0][0] = 0
+        assert table.cell("A", 0) == 70
+
+    def test_rows_by_type_live_view(self):
+        table = paper_table()
+        rows = table.rows_by_type()
+        assert rows["A"][0] == 70
+        assert rows["B"][1] == 60
+
+    def test_row_is_copy(self):
+        table = paper_table()
+        row = table.row("A")
+        row[0] = 0
+        assert table.cell("A", 0) == 70
+
+
+class TestValidation:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            UtilityTable({}, reference_size=0)
+        with pytest.raises(ValueError):
+            UtilityTable({}, reference_size=5, bin_size=0)

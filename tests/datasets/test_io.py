@@ -1,0 +1,65 @@
+"""Unit tests for stream persistence and splitting (repro.datasets.io)."""
+
+import pytest
+
+from repro.cep.events import Event, EventStream, StreamBuilder
+from repro.datasets.io import load_stream_csv, save_stream_csv, split_stream
+
+
+def sample_stream():
+    builder = StreamBuilder(rate=4.0)
+    builder.emit("A", price=1.5, direction="rise")
+    builder.emit("B", price=2.0, direction="fall")
+    builder.emit("A", note="hello world")
+    return builder.stream
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        stream = sample_stream()
+        path = tmp_path / "stream.csv"
+        save_stream_csv(stream, path)
+        loaded = load_stream_csv(path)
+        assert len(loaded) == len(stream)
+        for original, restored in zip(stream, loaded):
+            assert restored.event_type == original.event_type
+            assert restored.seq == original.seq
+            assert restored.timestamp == original.timestamp
+            assert restored.attrs == original.attrs
+
+    def test_roundtrip_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_stream_csv(EventStream(), path)
+        assert len(load_stream_csv(path)) == 0
+
+    def test_float_precision_preserved(self, tmp_path):
+        stream = EventStream([Event("A", 0, 0.1234567890123)])
+        path = tmp_path / "precise.csv"
+        save_stream_csv(stream, path)
+        assert load_stream_csv(path)[0].timestamp == 0.1234567890123
+
+    def test_rejects_non_stream_csv(self, tmp_path):
+        path = tmp_path / "bogus.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError):
+            load_stream_csv(path)
+
+
+class TestSplitStream:
+    def test_split_sizes(self):
+        stream = EventStream(Event("A", i, float(i)) for i in range(10))
+        train, test = split_stream(stream, 0.7)
+        assert len(train) == 7
+        assert len(test) == 3
+
+    def test_split_preserves_order_and_seq(self):
+        stream = EventStream(Event("A", i, float(i)) for i in range(10))
+        train, test = split_stream(stream, 0.5)
+        assert [e.seq for e in train] == list(range(5))
+        assert [e.seq for e in test] == list(range(5, 10))
+
+    def test_invalid_fraction(self):
+        stream = EventStream([Event("A", 0, 0.0)])
+        for fraction in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                split_stream(stream, fraction)

@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic soccer stream (repro.datasets.soccer)."""
+
+import pytest
+
+from repro.datasets.soccer import (
+    STRIKER_TYPES,
+    SoccerStreamConfig,
+    defender_name,
+    generate_soccer_stream,
+    is_possession,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(duration_seconds=300.0, events_per_second=10.0, seed=5)
+    defaults.update(overrides)
+    return SoccerStreamConfig(**defaults)
+
+
+class TestGeneration:
+    def test_rate_approximate(self):
+        config = small_config()
+        stream = generate_soccer_stream(config)
+        expected = config.duration_seconds * config.events_per_second
+        assert len(stream) == pytest.approx(expected, rel=0.1)
+
+    def test_deterministic_under_seed(self):
+        a = generate_soccer_stream(small_config())
+        b = generate_soccer_stream(small_config())
+        assert [(e.event_type, e.timestamp) for e in a] == [
+            (e.event_type, e.timestamp) for e in b
+        ]
+
+    def test_timestamps_monotone_and_bounded(self):
+        config = small_config()
+        stream = generate_soccer_stream(config)
+        times = [e.timestamp for e in stream]
+        assert times == sorted(times)
+        assert times[-1] < config.duration_seconds
+
+    def test_contains_all_event_kinds(self):
+        stream = generate_soccer_stream(small_config())
+        kinds = {e.event_type[:2] for e in stream}
+        assert "ST" in kinds and "DF" in kinds and "PL" in kinds
+
+    def test_attrs_schema(self):
+        event = generate_soccer_stream(small_config())[0]
+        assert 0 <= event.attr("x") <= 105
+        assert 0 <= event.attr("y") <= 68
+        assert event.attr("velocity") >= 0
+        assert event.attr("distance") > 0
+
+
+class TestMarkingCorrelation:
+    def test_markers_react_within_delay(self):
+        config = small_config(
+            duration_seconds=600.0,
+            marking_probability=1.0,
+            possession_interval=20.0,
+        )
+        stream = generate_soccer_stream(config)
+        events = list(stream)
+        reactions = 0
+        possessions = 0
+        for i, event in enumerate(events):
+            if not is_possession(event):
+                continue
+            possessions += 1
+            markers = set(config.markers_of(event.event_type))
+            window_end = event.timestamp + config.marking_delay_max + 0.1
+            seen = {
+                e.event_type
+                for e in events[i:]
+                if e.timestamp <= window_end
+                and e.event_type in markers
+                and e.attr("distance") <= 5.0
+            }
+            if seen == markers:
+                reactions += 1
+        assert possessions > 0
+        assert reactions / possessions > 0.8  # overlapping possessions allowed
+
+    def test_marking_events_are_close(self):
+        # distance attribute separates reactions from roaming updates
+        config = small_config(marking_probability=1.0)
+        stream = generate_soccer_stream(config)
+        distances = [e.attr("distance") for e in stream if e.event_type.startswith("DF")]
+        close = sum(1 for d in distances if d <= 5.0)
+        far = sum(1 for d in distances if d > 5.0)
+        assert close > 0 and far > 0
+
+    def test_markers_of_assignment(self):
+        config = small_config(defenders=8, markers_per_striker=4)
+        assert config.markers_of("STR1") == ["DF1", "DF2", "DF3", "DF4"]
+        assert config.markers_of("STR2") == ["DF5", "DF6", "DF7", "DF8"]
+
+    def test_marker_offset_rotates(self):
+        config = small_config(defenders=8, markers_per_striker=2, marker_offset=4)
+        assert config.markers_of("STR1") == ["DF5", "DF6"]
+        assert config.markers_of("STR2") == ["DF7", "DF8"]
+
+    def test_markers_wrap(self):
+        config = small_config(defenders=3, markers_per_striker=2)
+        assert config.markers_of("STR2") == ["DF3", "DF1"]
+
+
+class TestValidationAndHelpers:
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            generate_soccer_stream(small_config(defenders=0))
+        with pytest.raises(ValueError):
+            generate_soccer_stream(small_config(markers_per_striker=0))
+        with pytest.raises(ValueError):
+            generate_soccer_stream(small_config(markers_per_striker=99))
+        with pytest.raises(ValueError):
+            generate_soccer_stream(
+                small_config(marking_delay_min=5.0, marking_delay_max=5.0)
+            )
+
+    def test_markers_of_unknown_striker(self):
+        with pytest.raises(ValueError):
+            small_config().markers_of("GOALIE")
+
+    def test_defender_names(self):
+        config = small_config(defenders=3)
+        assert config.defender_names() == ["DF1", "DF2", "DF3"]
+        assert defender_name(7) == "DF7"
+
+    def test_is_possession(self):
+        stream = generate_soccer_stream(small_config())
+        for event in stream:
+            assert is_possession(event) == (event.event_type in STRIKER_TYPES)

@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic stock stream (repro.datasets.stock)."""
+
+import pytest
+
+from repro.datasets.stock import (
+    StockStreamConfig,
+    direction_counts,
+    falling,
+    generate_stock_stream,
+    rising,
+    symbol_name,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(symbols=10, leaders=2, ticks=50, seed=1)
+    defaults.update(overrides)
+    return StockStreamConfig(**defaults)
+
+
+class TestGeneration:
+    def test_event_count(self):
+        stream = generate_stock_stream(small_config())
+        assert len(stream) == 10 * 50
+
+    def test_every_symbol_quotes_every_tick(self):
+        stream = generate_stock_stream(small_config(ticks=3))
+        names = [e.event_type for e in stream]
+        for i in range(10):
+            assert names.count(symbol_name(i)) == 3
+
+    def test_deterministic_under_seed(self):
+        a = generate_stock_stream(small_config(seed=9))
+        b = generate_stock_stream(small_config(seed=9))
+        assert [(e.event_type, e.attr("change")) for e in a] == [
+            (e.event_type, e.attr("change")) for e in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_stock_stream(small_config(seed=1))
+        b = generate_stock_stream(small_config(seed=2))
+        assert [e.attr("change") for e in a] != [e.attr("change") for e in b]
+
+    def test_timestamps_monotone(self):
+        stream = generate_stock_stream(small_config())
+        times = [e.timestamp for e in stream]
+        assert times == sorted(times)
+
+    def test_attrs_schema(self):
+        event = generate_stock_stream(small_config())[0]
+        assert event.attr("price") > 0
+        assert event.attr("direction") in ("rise", "fall")
+        change = event.attr("change")
+        assert (change > 0) == (event.attr("direction") == "rise")
+
+    def test_prices_stay_positive(self):
+        stream = generate_stock_stream(small_config(ticks=200))
+        assert all(e.attr("price") >= 1.0 for e in stream)
+
+
+class TestCorrelation:
+    def test_followers_echo_leader(self):
+        config = small_config(
+            ticks=300, follow_probability=0.95, lag_ticks=1, seed=4
+        )
+        stream = generate_stock_stream(config)
+        by_tick = {}
+        for event in stream:
+            tick = int(event.timestamp // config.tick_seconds)
+            by_tick.setdefault(tick, {})[event.event_type] = event.attr("direction")
+        # follower S2 follows leader S0 (2 % 2 == 0) with lag 1
+        agree = total = 0
+        for tick in range(1, 300):
+            leader_dir = by_tick[tick - 1][symbol_name(0)]
+            follower_dir = by_tick[tick][symbol_name(2)]
+            agree += leader_dir == follower_dir
+            total += 1
+        assert agree / total > 0.8
+
+    def test_no_follow_probability_uncorrelated(self):
+        config = small_config(ticks=300, follow_probability=0.0, seed=4)
+        stream = generate_stock_stream(config)
+        counts = direction_counts(stream)
+        ratio = counts["rise"] / (counts["rise"] + counts["fall"])
+        assert 0.4 < ratio < 0.6
+
+
+class TestCascades:
+    def test_cascade_symbols_fire_in_order(self):
+        config = small_config(
+            symbols=12,
+            leaders=2,
+            ticks=100,
+            cascade_symbols=(5, 6, 7),
+            cascade_probability=1.0,
+            seed=8,
+        )
+        stream = generate_stock_stream(config)
+        by_tick = {}
+        for event in stream:
+            tick = int(event.timestamp // config.tick_seconds)
+            by_tick.setdefault(tick, {})[event.event_type] = event.attr("direction")
+        hits = 0
+        for tick in range(2, 100):
+            lead = by_tick[tick - 1][symbol_name(0)]
+            if all(by_tick[tick][symbol_name(i)] == lead for i in (5, 6, 7)):
+                hits += 1
+        assert hits / 98 > 0.9
+
+    def test_cascade_must_reference_followers(self):
+        with pytest.raises(ValueError):
+            generate_stock_stream(small_config(cascade_symbols=(0,)))
+
+
+class TestValidationAndHelpers:
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            generate_stock_stream(small_config(symbols=0))
+        with pytest.raises(ValueError):
+            generate_stock_stream(small_config(leaders=0))
+        with pytest.raises(ValueError):
+            generate_stock_stream(small_config(leaders=11))
+
+    def test_name_helpers(self):
+        config = small_config()
+        assert config.leader_names() == ["S0", "S1"]
+        assert len(config.follower_names()) == 8
+        assert small_config(cascade_symbols=(7, 5)).cascade_names() == ["S5", "S7"]
+
+    def test_predicates(self):
+        stream = generate_stock_stream(small_config())
+        for event in list(stream)[:20]:
+            assert rising(event) != falling(event)

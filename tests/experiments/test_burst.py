@@ -1,0 +1,32 @@
+"""Smoke tests for the burst experiment (repro.experiments.burst)."""
+
+from repro.experiments.burst import burst_experiment
+from repro.experiments.common import ExperimentConfig
+
+
+class TestBurstExperiment:
+    def test_smoke(self):
+        result = burst_experiment(
+            f_values=(0.5, 0.8),
+            burst_seconds=(0.3,),
+            base_factor=0.8,
+            config=ExperimentConfig(bin_size=8),
+        )
+        assert len(result.points) == 2
+        by_f = {p.f: p for p in result.points}
+        # the higher trigger sheds less on a short burst
+        assert (
+            by_f[0.8].dropped_memberships <= by_f[0.5].dropped_memberships
+        )
+        assert "Burst absorption" in result.rows()
+
+    def test_all_points_have_metrics(self):
+        result = burst_experiment(
+            f_values=(0.8,),
+            burst_seconds=(0.3,),
+            base_factor=0.8,
+            config=ExperimentConfig(bin_size=8),
+        )
+        point = result.points[0]
+        assert point.max_latency_ms > 0
+        assert 0.0 <= point.fn_pct <= 100.0

@@ -1,0 +1,35 @@
+"""Smoke tests for the CLI runner (repro.experiments.run_all)."""
+
+import pytest
+
+from repro.experiments import run_all
+
+
+class TestRunAllCli:
+    def test_single_figure_quick(self, capsys):
+        assert run_all.main(["fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig7" in out
+        assert "Fig7 latency under overload" in out
+        assert "timeline" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            run_all.main(["fig99"])
+
+    def test_runner_registry_complete(self):
+        assert set(run_all.RUNNERS) == {
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "ablations",
+            "burst",
+        }
+
+    def test_fig10_quick(self, capsys):
+        assert run_all.main(["fig10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "load-shedder overhead" in out

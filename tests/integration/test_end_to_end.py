@@ -1,0 +1,119 @@
+"""Integration tests: the full train -> overload -> compare pipeline.
+
+These are the repository's "does the headline result hold" checks: on
+every workload, eSPICE must beat the BL baseline and random shedding
+while keeping the latency bound, exactly as the paper claims.
+"""
+
+import pytest
+
+from repro.datasets.io import split_stream
+from repro.datasets.soccer import SoccerStreamConfig, generate_soccer_stream
+from repro.datasets.stock import StockStreamConfig, generate_stock_stream
+from repro.experiments.common import ExperimentConfig, run_quality_point
+from repro.queries import build_q1, build_q2, build_q3
+from repro.queries.q3 import default_dataset_config as q3_config
+from repro.runtime.quality import ground_truth
+
+
+@pytest.fixture(scope="module")
+def soccer_split():
+    stream = generate_soccer_stream(
+        SoccerStreamConfig(duration_seconds=2400.0, possession_interval=6.0, seed=3)
+    )
+    return split_stream(stream, 0.6)
+
+
+@pytest.fixture(scope="module")
+def stock_split():
+    stream = generate_stock_stream(StockStreamConfig(symbols=30, ticks=300, seed=5))
+    return split_stream(stream, 0.5)
+
+
+@pytest.fixture(scope="module")
+def cascade_split():
+    # the eval stream must be long enough for the queue ramp to reach
+    # the shedding trigger (f*qmax backlog at rate R-th) and settle into
+    # the steady duty cycle: 600 ticks of 30 symbols = 18k events
+    stream = generate_stock_stream(
+        q3_config(sequence_length=10, ticks=600, symbols=30, seed=9)
+    )
+    return split_stream(stream, 0.5)
+
+
+CONFIG = ExperimentConfig(bin_size=4)
+
+
+class TestQ1EndToEnd:
+    @pytest.fixture(scope="class")
+    def outcomes(self, soccer_split):
+        train, test = soccer_split
+        query = build_q1(pattern_size=3)
+        truth = ground_truth(query, test)
+        assert len(truth) >= 20, "workload must produce enough complex events"
+        return {
+            strategy: run_quality_point(
+                query, train, test, strategy, 1.2, CONFIG, truth
+            )
+            for strategy in ("espice", "bl", "random")
+        }
+
+    def test_espice_beats_bl(self, outcomes):
+        assert outcomes["espice"].fn_pct < outcomes["bl"].fn_pct / 1.5
+
+    def test_espice_beats_random(self, outcomes):
+        assert outcomes["espice"].fn_pct < outcomes["random"].fn_pct / 1.5
+
+    def test_espice_quality_reasonable(self, outcomes):
+        assert outcomes["espice"].fn_pct < 30.0
+
+    def test_espice_latency_bound_kept(self, outcomes):
+        assert outcomes["espice"].latency.violations == 0
+
+    def test_all_strategies_shed(self, outcomes):
+        for outcome in outcomes.values():
+            assert outcome.drop_ratio > 0.05
+
+
+class TestQ2EndToEnd:
+    def test_espice_beats_bl(self, stock_split):
+        train, test = stock_split
+        query = build_q2(pattern_size=5, window_seconds=240.0, symbols=30)
+        truth = ground_truth(query, test)
+        assert len(truth) >= 20
+        espice = run_quality_point(query, train, test, "espice", 1.2, CONFIG, truth)
+        bl = run_quality_point(query, train, test, "bl", 1.2, CONFIG, truth)
+        assert espice.fn_pct < bl.fn_pct / 2
+        assert espice.latency.violations == 0
+
+
+class TestQ3EndToEnd:
+    def test_espice_near_zero_for_exact_sequences(self, cascade_split):
+        train, test = cascade_split
+        query = build_q3(window_events=100, sequence_length=10)
+        truth = ground_truth(query, test)
+        assert len(truth) >= 10
+        espice = run_quality_point(query, train, test, "espice", 1.2, CONFIG, truth)
+        bl = run_quality_point(query, train, test, "bl", 1.2, CONFIG, truth)
+        assert espice.fn_pct <= 5.0  # paper: "almost zero"
+        assert bl.fn_pct > 20.0
+
+    def test_higher_rate_degrades_more(self, cascade_split):
+        train, test = cascade_split
+        query = build_q3(window_events=100, sequence_length=10)
+        truth = ground_truth(query, test)
+        r1 = run_quality_point(query, train, test, "bl", 1.2, CONFIG, truth)
+        r2 = run_quality_point(query, train, test, "bl", 1.4, CONFIG, truth)
+        assert r2.fn_pct >= r1.fn_pct
+
+
+class TestNoSheddingBaseline:
+    def test_none_strategy_perfect_quality(self, soccer_split):
+        train, test = soccer_split
+        query = build_q1(pattern_size=3)
+        truth = ground_truth(query, test)
+        outcome = run_quality_point(query, train, test, "none", 1.2, CONFIG, truth)
+        assert outcome.fn_pct == 0.0
+        assert outcome.fp_pct == 0.0
+        # but the latency bound is blown: that is why shedding exists
+        assert outcome.latency.violations > 0

@@ -1,0 +1,120 @@
+"""Property-based round-trip tests for the query language."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cep.language import parse_query, render_pattern
+from repro.cep.patterns.ast import (
+    AnyStep,
+    Conjunction,
+    KleeneStep,
+    NegationStep,
+    Pattern,
+    SingleStep,
+    any_of,
+    kleene,
+    seq,
+    spec,
+)
+
+type_names = st.sampled_from(["A", "B", "C", "D1", "D2", "STR", "Evt_9"])
+
+
+@st.composite
+def specs(draw):
+    names = draw(st.lists(type_names, min_size=1, max_size=3, unique=True))
+    return spec(names)
+
+
+@st.composite
+def single_steps(draw):
+    return SingleStep(draw(specs()))
+
+
+@st.composite
+def any_steps(draw):
+    count = draw(st.integers(min_value=2, max_value=4))
+    inner = [
+        spec(name)
+        for name in draw(
+            st.lists(type_names, min_size=count, max_size=5, unique=True)
+        )
+    ]
+    n = draw(st.integers(min_value=1, max_value=len(inner)))
+    return any_of(n, inner)
+
+
+@st.composite
+def kleene_steps(draw):
+    min_count = draw(st.integers(min_value=1, max_value=3))
+    return kleene(draw(type_names), min_count=min_count)
+
+
+@st.composite
+def patterns(draw):
+    body = draw(
+        st.lists(
+            st.one_of(single_steps(), any_steps(), kleene_steps()),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    # optionally wedge a negation between two positive steps
+    if len(body) >= 2 and draw(st.booleans()):
+        index = draw(st.integers(min_value=1, max_value=len(body) - 1))
+        body.insert(index, NegationStep(draw(specs())))
+    return seq("P", *body)
+
+
+@st.composite
+def conjunctions(draw):
+    inner = draw(st.lists(specs(), min_size=1, max_size=4))
+    return Conjunction("P", tuple(inner))
+
+
+def _step_shape(step):
+    if isinstance(step, SingleStep):
+        return ("single", step.spec.types)
+    if isinstance(step, AnyStep):
+        return ("any", step.n, tuple(sorted(s.types for s in step.specs)))
+    if isinstance(step, KleeneStep):
+        return ("kleene", step.min_count, step.spec.types)
+    if isinstance(step, NegationStep):
+        return ("not", step.spec.types)
+    raise AssertionError(step)
+
+
+class TestRoundTrip:
+    @given(patterns())
+    @settings(max_examples=100)
+    def test_sequence_patterns_roundtrip(self, pattern):
+        text = f"define P from {render_pattern(pattern)} within 10 events"
+        parsed = parse_query(text)
+        assert isinstance(parsed.pattern, Pattern)
+        assert len(parsed.pattern.steps) == len(pattern.steps)
+        for original, reparsed in zip(pattern.steps, parsed.pattern.steps):
+            assert _step_shape(original) == _step_shape(reparsed)
+
+    @given(conjunctions())
+    @settings(max_examples=50)
+    def test_conjunctions_roundtrip(self, conjunction):
+        text = f"define P from {render_pattern(conjunction)} within 10 events"
+        parsed = parse_query(text)
+        assert isinstance(parsed.pattern, Conjunction)
+        assert len(parsed.pattern.specs) == len(conjunction.specs)
+        for original, reparsed in zip(conjunction.specs, parsed.pattern.specs):
+            assert original.types == reparsed.types
+
+    @given(patterns())
+    @settings(max_examples=50)
+    def test_roundtrip_preserves_match_size(self, pattern):
+        text = f"define P from {render_pattern(pattern)} within 10 events"
+        parsed = parse_query(text)
+        assert parsed.pattern.match_size() == pattern.match_size()
+
+    @given(patterns())
+    @settings(max_examples=50)
+    def test_roundtrip_preserves_referenced_types(self, pattern):
+        text = f"define P from {render_pattern(pattern)} within 10 events"
+        parsed = parse_query(text)
+        assert parsed.pattern.referenced_types() == pattern.referenced_types()

@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cep.events import Event
+from repro.cep.patterns import PatternMatcher, seq, spec
+from repro.cep.patterns.policies import ConsumptionPolicy, SelectionPolicy
+from repro.cep.windows import CountSlidingWindows, collect_windows
+from repro.core import scaling
+from repro.core.cdt import CDT, build_cdt
+from repro.core.partitions import PartitionPlan, plan_partitions
+from repro.core.position_shares import PositionShares
+from repro.core.utility_table import UtilityTable
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+utilities = st.integers(min_value=0, max_value=100)
+
+
+@st.composite
+def utility_tables(draw):
+    types = draw(st.integers(min_value=1, max_value=4))
+    positions = draw(st.integers(min_value=1, max_value=20))
+    matrix = [
+        [draw(utilities) for _ in range(positions)] for _ in range(types)
+    ]
+    names = [f"T{i}" for i in range(types)]
+    return UtilityTable.from_matrix(matrix, names)
+
+
+@st.composite
+def tables_with_shares(draw):
+    table = draw(utility_tables())
+    shares = PositionShares.uniform(table.type_ids, table.reference_size, 1)
+    return table, shares
+
+
+def event_stream(draw, min_size=0, max_size=40):
+    names = st.sampled_from(["A", "B", "C"])
+    types = draw(st.lists(names, min_size=min_size, max_size=max_size))
+    return [Event(name, i, float(i)) for i, name in enumerate(types)]
+
+
+events_lists = st.builds(
+    lambda types: [Event(n, i, float(i)) for i, n in enumerate(types)],
+    st.lists(st.sampled_from(["A", "B", "C"]), max_size=40),
+)
+
+
+# ---------------------------------------------------------------------------
+# CDT invariants
+# ---------------------------------------------------------------------------
+
+
+class TestCDTProperties:
+    @given(tables_with_shares())
+    def test_cdt_monotone_nondecreasing(self, table_shares):
+        table, shares = table_shares
+        cdt = build_cdt(table, shares)
+        values = cdt.as_list()
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(tables_with_shares())
+    def test_cdt_total_is_window_size(self, table_shares):
+        table, shares = table_shares
+        cdt = build_cdt(table, shares)
+        assert abs(cdt.total - table.reference_size) < 1e-6
+
+    @given(
+        tables_with_shares(),
+        st.floats(min_value=0.01, max_value=30.0, allow_nan=False),
+    )
+    def test_threshold_guarantees_amount(self, table_shares, x):
+        table, shares = table_shares
+        cdt = build_cdt(table, shares)
+        threshold = cdt.threshold_for(x)
+        if threshold >= 0 and cdt.total >= x:
+            assert cdt.value(threshold) >= x
+            if threshold > 0:
+                # smallest such threshold
+                assert cdt.value(threshold - 1) < x
+
+    @given(tables_with_shares(), st.integers(min_value=1, max_value=6))
+    def test_partition_cdts_sum_to_whole(self, table_shares, partitions):
+        from repro.core.cdt import build_partition_cdts
+
+        table, shares = table_shares
+        count = min(partitions, table.reference_size)
+        plan = PartitionPlan(
+            reference_size=table.reference_size,
+            partition_count=count,
+            partition_size=table.reference_size / count,
+        )
+        parts = build_partition_cdts(table, shares, plan)
+        whole = build_cdt(table, shares)
+        assert abs(sum(p.total for p in parts) - whole.total) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# scaling invariants
+# ---------------------------------------------------------------------------
+
+
+class TestScalingProperties:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.integers(min_value=1, max_value=300),
+    )
+    def test_scale_position_within_reference(self, position, window, reference):
+        lo, hi = scaling.scale_position(position, window, reference)
+        assert 0.0 <= lo < reference
+        assert lo < hi <= reference
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_position_to_bins_in_table(self, position, window, reference, bin_size):
+        first, last = scaling.position_to_bins(position, window, reference, bin_size)
+        top = scaling.bin_count(reference, bin_size) - 1
+        assert 0 <= first <= last <= top
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_positions_monotone_in_reference(self, reference, window):
+        refs = [
+            scaling.reference_position(p, window, reference) for p in range(0, 50)
+        ]
+        assert all(b >= a for a, b in zip(refs, refs[1:]))
+
+
+# ---------------------------------------------------------------------------
+# partition invariants
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionProperties:
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.floats(min_value=0.1, max_value=10000.0),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_plan_partitions_valid(self, reference, qmax, f):
+        plan = plan_partitions(reference, qmax, f)
+        assert 1 <= plan.partition_count <= reference
+        assert abs(plan.partition_size * plan.partition_count - reference) < 1e-6
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=0.0, max_value=99.999),
+    )
+    def test_partition_of_position_in_range(self, count, position):
+        plan = PartitionPlan(
+            reference_size=100, partition_count=count, partition_size=100.0 / count
+        )
+        assert 0 <= plan.partition_of_position(position) < count
+
+
+# ---------------------------------------------------------------------------
+# matcher invariants
+# ---------------------------------------------------------------------------
+
+PATTERN = seq("p", spec("A"), spec("B"))
+
+
+class TestMatcherProperties:
+    @given(events_lists)
+    def test_matches_are_ordered_and_within_window(self, events):
+        matcher = PatternMatcher(PATTERN, max_matches=5)
+        for match in matcher.match_window(events):
+            positions = [pos for pos, _e in match]
+            assert positions == sorted(positions)
+            assert all(0 <= p < len(events) for p in positions)
+
+    @given(events_lists)
+    def test_match_events_satisfy_pattern_types(self, events):
+        matcher = PatternMatcher(PATTERN, max_matches=5)
+        for match in matcher.match_window(events):
+            assert match[0][1].event_type == "A"
+            assert match[-1][1].event_type == "B"
+
+    @given(events_lists)
+    def test_consumed_matches_are_disjoint(self, events):
+        matcher = PatternMatcher(
+            PATTERN,
+            SelectionPolicy.FIRST,
+            ConsumptionPolicy.CONSUMED,
+            max_matches=10,
+        )
+        used = set()
+        for match in matcher.match_window(events):
+            for pos, _e in match:
+                assert pos not in used
+                used.add(pos)
+
+    @given(events_lists)
+    def test_first_and_last_find_same_count_for_single_match(self, events):
+        first = PatternMatcher(PATTERN, SelectionPolicy.FIRST)
+        last = PatternMatcher(PATTERN, SelectionPolicy.LAST)
+        assert len(first.match_window(events)) == len(last.match_window(events))
+
+    @given(events_lists)
+    def test_removing_nonmatch_events_preserves_first_match(self, events):
+        # skip-till-next: deleting events the matcher skipped must not
+        # change the first match
+        matcher = PatternMatcher(PATTERN)
+        matches = matcher.match_window(events)
+        if not matches:
+            return
+        kept_positions = {pos for pos, _e in matches[0]}
+        filtered = [
+            (i, e)
+            for i, e in enumerate(events)
+            if i in kept_positions or e.event_type == "C"
+        ]
+        refound = matcher.match_window(
+            [e for _i, e in filtered], positions=[i for i, _e in filtered]
+        )
+        assert refound
+        assert [pos for pos, _e in refound[0]] == sorted(kept_positions)
+
+
+# ---------------------------------------------------------------------------
+# window invariants
+# ---------------------------------------------------------------------------
+
+
+class TestWindowProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_count_windows_conserve_memberships(self, size, slide, n):
+        events = [Event("A", i, float(i)) for i in range(n)]
+        assigner = CountSlidingWindows(size, slide)
+        total_memberships = 0
+        window_sizes = []
+        for event in events:
+            result = assigner.on_event(event)
+            total_memberships += len(result.assignments)
+            window_sizes.extend(w.size for w in result.closed)
+        window_sizes.extend(w.size for w in assigner.flush())
+        # conservation: every membership belongs to exactly one window
+        assert total_memberships == sum(window_sizes)
+        assert all(ws <= size for ws in window_sizes)
+
+    @given(st.integers(min_value=1, max_value=15), st.integers(min_value=0, max_value=60))
+    @settings(max_examples=50)
+    def test_window_positions_are_dense(self, size, n):
+        from repro.cep.events import EventStream
+
+        stream = EventStream(Event("A", i, float(i)) for i in range(n))
+        for window in collect_windows(stream, CountSlidingWindows(size)):
+            seqs = [e.seq for e in window]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)

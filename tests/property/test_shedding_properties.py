@@ -1,0 +1,183 @@
+"""Property-based tests on the shedding stack (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cep.events import Event
+from repro.cep.patterns import seq, spec
+from repro.core.cdt import build_partition_cdts
+from repro.core.model import UtilityModel
+from repro.core.partitions import PartitionPlan
+from repro.core.persistence import model_from_dict, model_to_dict
+from repro.core.position_shares import PositionShares
+from repro.core.shedder import ESpiceShedder
+from repro.core.utility_table import UtilityTable
+from repro.shedding.base import DropCommand
+from repro.shedding.baseline import BLShedder
+from repro.shedding.integral import IntegralShedder
+
+
+@st.composite
+def models(draw):
+    types = draw(st.integers(min_value=1, max_value=4))
+    positions = draw(st.integers(min_value=2, max_value=24))
+    bin_size = draw(st.sampled_from([1, 2, 4]))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    bins = -(-positions // bin_size)
+    matrix = [[rng.randint(0, 100) for _ in range(bins)] for _ in range(types)]
+    names = [f"T{i}" for i in range(types)]
+    table = UtilityTable.from_matrix(matrix, names, bin_size=bin_size)
+    shares = PositionShares.uniform(table.type_ids, table.reference_size, bin_size)
+    return UtilityModel(
+        table=table,
+        shares=shares,
+        reference_size=table.reference_size,
+        bin_size=bin_size,
+    )
+
+
+class TestESpiceShedderProperties:
+    @given(
+        models(),
+        st.floats(min_value=0.0, max_value=30.0),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_drop_decision_consistent_with_threshold(self, model, x, partitions):
+        """drop <=> utility <= uth(partition) for every (type, position)."""
+        count = min(partitions, model.reference_size)
+        shedder = ESpiceShedder(model)
+        psize = model.reference_size / count
+        shedder.on_drop_command(
+            DropCommand(x=x, partition_count=count, partition_size=psize)
+        )
+        shedder.activate()
+        plan = PartitionPlan(
+            reference_size=model.reference_size,
+            partition_count=count,
+            partition_size=psize,
+        )
+        ws = float(model.reference_size)
+        for type_name in model.table.type_ids:
+            for position in range(model.reference_size):
+                utility = model.utility(type_name, position, ws)
+                partition = plan.partition_of_position(position)
+                expected = utility <= shedder.thresholds[partition]
+                event = Event(type_name, 0, 0.0)
+                assert shedder.should_drop(event, position, ws) == expected
+
+    @given(models(), st.floats(min_value=0.5, max_value=10.0))
+    @settings(max_examples=60)
+    def test_expected_drops_cover_command(self, model, x):
+        """The CDT value at the chosen threshold covers x (or everything)."""
+        shedder = ESpiceShedder(model)
+        shedder.on_drop_command(
+            DropCommand(
+                x=x, partition_count=1, partition_size=float(model.reference_size)
+            )
+        )
+        cdts = build_partition_cdts(
+            model.table,
+            model.shares,
+            PartitionPlan(model.reference_size, 1, float(model.reference_size)),
+        )
+        threshold = shedder.thresholds[0]
+        if threshold >= 0:
+            covered = cdts[0].value(threshold)
+            assert covered >= min(x, cdts[0].total) - 1e-9
+
+    @given(models())
+    @settings(max_examples=40)
+    def test_persistence_roundtrip_preserves_decisions(self, model):
+        restored = model_from_dict(model_to_dict(model))
+        command = DropCommand(
+            x=2.0, partition_count=2, partition_size=model.reference_size / 2
+        )
+        ws = float(model.reference_size)
+        for m_first, m_second in ((model, restored),):
+            a, b = ESpiceShedder(m_first), ESpiceShedder(m_second)
+            for shedder in (a, b):
+                shedder.on_drop_command(command)
+                shedder.activate()
+            for type_name in model.table.type_ids:
+                event = Event(type_name, 0, 0.0)
+                for position in range(model.reference_size):
+                    assert a.should_drop(event, position, ws) == b.should_drop(
+                        event, position, ws
+                    )
+
+
+PATTERN = seq("p", spec("A"), spec("B"))
+
+compositions = st.dictionaries(
+    st.sampled_from(["A", "B", "X", "Y", "Z"]),
+    st.integers(min_value=1, max_value=200),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestBaselineProperties:
+    @given(
+        compositions,
+        st.floats(min_value=0.1, max_value=80.0),
+        st.floats(min_value=10.0, max_value=200.0),
+    )
+    @settings(max_examples=80)
+    def test_bl_waterfill_meets_capped_demand(self, composition, x, window):
+        shedder = BLShedder(PATTERN, seed=1)
+        for type_name, count in composition.items():
+            for i in range(count):
+                shedder.observe(Event(type_name, i, 0.0))
+        shedder.on_drop_command(
+            DropCommand(x=x, partition_count=1, partition_size=window)
+        )
+        expected = sum(
+            shedder.drop_probability_of(t) * shedder.frequency(t) * window
+            for t in composition
+        )
+        demand = min(x, window)  # population == window size by construction
+        assert expected >= demand * 0.98 - 1e-6
+        assert expected <= demand * 1.02 + 1e-6
+
+    @given(compositions, st.floats(min_value=0.1, max_value=80.0))
+    @settings(max_examples=80)
+    def test_bl_probabilities_valid(self, composition, x):
+        shedder = BLShedder(PATTERN, seed=1)
+        for type_name, count in composition.items():
+            for i in range(count):
+                shedder.observe(Event(type_name, i, 0.0))
+        shedder.on_drop_command(
+            DropCommand(x=x, partition_count=1, partition_size=100.0)
+        )
+        for type_name in composition:
+            probability = shedder.drop_probability_of(type_name)
+            assert 0.0 <= probability <= 1.0
+
+    @given(
+        compositions,
+        st.floats(min_value=0.1, max_value=80.0),
+        st.floats(min_value=10.0, max_value=200.0),
+    )
+    @settings(max_examples=80)
+    def test_integral_never_overshoots_by_a_full_type(self, composition, x, window):
+        """Integral dropping covers demand without dropping a type more
+        than necessary: expected drops stay within one type's population
+        of the demand."""
+        shedder = IntegralShedder(PATTERN, seed=1)
+        for type_name, count in composition.items():
+            for i in range(count):
+                shedder.observe(Event(type_name, i, 0.0))
+        shedder.on_drop_command(
+            DropCommand(x=x, partition_count=1, partition_size=window)
+        )
+        expected = sum(
+            shedder.drop_probability_of(t) * shedder.frequency(t) * window
+            for t in composition
+        )
+        demand = min(x, window)
+        assert expected <= demand + 1e-6
+        # and it reaches the demand whenever the population allows it
+        assert expected >= demand - 1e-6 or expected >= window - 1e-6

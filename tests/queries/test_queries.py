@@ -1,0 +1,235 @@
+"""Unit tests for the evaluation queries Q1--Q4 (repro.queries).
+
+Each query is validated against a hand-built micro-stream where the
+expected matches are known, plus against its synthetic dataset.
+"""
+
+import pytest
+
+from repro.cep.events import Event, EventStream
+from repro.cep.operator.operator import CEPOperator
+from repro.cep.patterns.policies import SelectionPolicy
+from repro.datasets.soccer import SoccerStreamConfig, generate_soccer_stream
+from repro.datasets.stock import generate_stock_stream
+from repro.queries import build_q1, build_q2, build_q3, build_q4
+from repro.queries.q3 import default_dataset_config as q3_config
+from repro.queries.q4 import default_dataset_config as q4_config
+
+
+def ev(type_name, seq, t, **attrs):
+    return Event(type_name, seq, t, attrs)
+
+
+class TestQ1:
+    def test_detects_man_marking(self):
+        stream = EventStream(
+            [
+                ev("STR1", 0, 0.0),
+                ev("DF1", 1, 1.0, distance=2.0),
+                ev("PL1", 2, 2.0),
+                ev("DF2", 3, 3.0, distance=1.0),
+            ]
+        )
+        query = build_q1(pattern_size=2, window_seconds=15.0)
+        detected = CEPOperator(query).detect_all(stream)
+        assert len(detected) == 1
+        assert detected[0].positions == (0, 1, 3)
+
+    def test_distance_predicate_filters(self):
+        stream = EventStream(
+            [
+                ev("STR1", 0, 0.0),
+                ev("DF1", 1, 1.0, distance=30.0),  # too far: not defending
+                ev("DF2", 2, 2.0, distance=1.0),
+            ]
+        )
+        query = build_q1(pattern_size=2, window_seconds=15.0)
+        assert CEPOperator(query).detect_all(stream) == []
+
+    def test_window_bounds_matching(self):
+        stream = EventStream(
+            [
+                ev("STR1", 0, 0.0),
+                ev("DF1", 1, 20.0, distance=1.0),  # outside 15 s window
+                ev("DF2", 2, 21.0, distance=1.0),
+            ]
+        )
+        query = build_q1(pattern_size=2, window_seconds=15.0)
+        assert CEPOperator(query).detect_all(stream) == []
+
+    def test_both_strikers_open_windows(self):
+        stream = EventStream(
+            [
+                ev("STR2", 0, 0.0),
+                ev("DF5", 1, 1.0, distance=1.0),
+            ]
+        )
+        query = build_q1(pattern_size=1, window_seconds=15.0)
+        detected = CEPOperator(query).detect_all(stream)
+        assert len(detected) == 1
+
+    def test_finds_matches_in_synthetic_dataset(self):
+        stream = generate_soccer_stream(
+            SoccerStreamConfig(duration_seconds=600.0, seed=2)
+        )
+        query = build_q1(pattern_size=2)
+        detected = CEPOperator(query).detect_all(stream)
+        assert len(detected) > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_q1(pattern_size=0)
+        with pytest.raises(ValueError):
+            build_q1(pattern_size=9, defenders=8)
+
+    def test_selection_policy_respected(self):
+        query = build_q1(pattern_size=2, selection=SelectionPolicy.LAST)
+        assert query.selection is SelectionPolicy.LAST
+        assert query.pattern_size() == 3  # striker + 2 defenders
+
+
+class TestQ2:
+    def _stream(self):
+        return EventStream(
+            [
+                ev("S0", 0, 0.0, direction="rise"),  # leader rises: opens window
+                ev("S7", 1, 10.0, direction="rise"),
+                ev("S8", 2, 20.0, direction="fall"),  # wrong direction
+                ev("S9", 3, 30.0, direction="rise"),
+            ]
+        )
+
+    def test_detects_influence(self):
+        query = build_q2(pattern_size=2, window_seconds=240.0, symbols=12)
+        detected = CEPOperator(query).detect_all(self._stream())
+        assert len(detected) == 1
+        assert detected[0].positions == (0, 1, 3)
+
+    def test_direction_must_match(self):
+        query = build_q2(pattern_size=3, window_seconds=240.0, symbols=12)
+        assert CEPOperator(query).detect_all(self._stream()) == []
+
+    def test_falling_variant(self):
+        stream = EventStream(
+            [
+                ev("S0", 0, 0.0, direction="fall"),
+                ev("S7", 1, 1.0, direction="fall"),
+            ]
+        )
+        query = build_q2(
+            pattern_size=1, window_seconds=240.0, direction="fall", symbols=12
+        )
+        assert len(CEPOperator(query).detect_all(stream)) == 1
+
+    def test_leader_of_wrong_direction_does_not_open(self):
+        stream = EventStream(
+            [
+                ev("S0", 0, 0.0, direction="fall"),
+                ev("S7", 1, 1.0, direction="rise"),
+            ]
+        )
+        query = build_q2(pattern_size=1, window_seconds=240.0, symbols=12)
+        assert CEPOperator(query).detect_all(stream) == []
+
+    def test_finds_matches_in_synthetic_dataset(self):
+        from repro.datasets.stock import StockStreamConfig
+
+        stream = generate_stock_stream(StockStreamConfig(symbols=20, ticks=100))
+        query = build_q2(pattern_size=3, window_seconds=240.0, symbols=20)
+        assert len(CEPOperator(query).detect_all(stream)) > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_q2(pattern_size=2, direction="sideways")
+        with pytest.raises(ValueError):
+            build_q2(pattern_size=999, symbols=10)
+
+
+class TestQ3:
+    def test_detects_exact_sequence(self):
+        stream = EventStream(
+            [
+                ev("S0", 0, 0.0, direction="rise"),  # opens window
+                ev("S5", 1, 1.0, direction="rise"),
+                ev("S9", 2, 2.0, direction="rise"),  # skipped (not next in seq)
+                ev("S6", 3, 3.0, direction="rise"),
+                ev("S7", 4, 4.0, direction="rise"),
+            ]
+        )
+        query = build_q3(
+            window_events=10, sequence_symbols=["S5", "S6", "S7"]
+        )
+        detected = CEPOperator(query).detect_all(stream)
+        assert len(detected) == 1
+        assert detected[0].positions == (1, 3, 4)
+
+    def test_order_is_enforced(self):
+        stream = EventStream(
+            [
+                ev("S0", 0, 0.0, direction="rise"),
+                ev("S6", 1, 1.0, direction="rise"),
+                ev("S5", 2, 2.0, direction="rise"),
+            ]
+        )
+        query = build_q3(window_events=10, sequence_symbols=["S5", "S6"])
+        assert CEPOperator(query).detect_all(stream) == []
+
+    def test_finds_matches_in_cascade_dataset(self):
+        config = q3_config(sequence_length=5, ticks=100, symbols=15, seed=3)
+        stream = generate_stock_stream(config)
+        query = build_q3(window_events=60, sequence_length=5)
+        assert len(CEPOperator(query).detect_all(stream)) > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_q3(window_events=0)
+        with pytest.raises(ValueError):
+            build_q3(window_events=10, direction="sideways")
+        with pytest.raises(ValueError):
+            build_q3(window_events=10, sequence_symbols=[])
+
+
+class TestQ4:
+    def test_template_repetition(self):
+        # template (1,1,2): S5 twice then S6 once
+        stream = EventStream(
+            [
+                ev("S5", 0, 0.0, direction="rise"),
+                ev("S6", 1, 1.0, direction="rise"),
+                ev("S5", 2, 2.0, direction="rise"),
+                ev("S6", 3, 3.0, direction="rise"),
+            ]
+        )
+        query = build_q4(
+            window_events=4,
+            slide_events=4,
+            base_symbols=["S5", "S6"],
+            template=(1, 1, 2),
+        )
+        detected = CEPOperator(query).detect_all(stream)
+        assert len(detected) == 1
+        assert detected[0].positions == (0, 2, 3)
+
+    def test_sliding_windows_overlap(self):
+        query = build_q4(window_events=300, slide_events=100)
+        assigner = query.new_assigner()
+        assert assigner.size == 300
+        assert assigner.slide == 100
+
+    def test_paper_template_shape(self):
+        query = build_q4(window_events=300)
+        assert query.pattern_size() == 14  # the paper's 14-step template
+
+    def test_finds_matches_in_cascade_dataset(self):
+        config = q4_config(ticks=300, seed=13, cascade_probability=0.95)
+        stream = generate_stock_stream(config)
+        query = build_q4(window_events=300, slide_events=100)
+        assert len(CEPOperator(query).detect_all(stream)) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_q4(window_events=0)
+        with pytest.raises(ValueError):
+            build_q4(window_events=10, slide_events=0)
+        with pytest.raises(ValueError):
+            build_q4(window_events=10, base_symbols=["S5"])  # template needs 10

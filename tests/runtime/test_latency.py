@@ -1,0 +1,90 @@
+"""Unit tests for latency tracking (repro.runtime.latency)."""
+
+import pytest
+
+from repro.runtime.latency import LatencyTracker, _percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert _percentile([3.0], 0.99) == 3.0
+
+    def test_median_interpolates(self):
+        assert _percentile([1.0, 2.0], 0.5) == 1.5
+
+    def test_extremes(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 4.0
+
+
+class TestLatencyTracker:
+    def test_record_and_stats(self):
+        tracker = LatencyTracker(bound=1.0)
+        for i, latency in enumerate([0.1, 0.2, 0.3, 1.5]):
+            tracker.record(float(i), latency)
+        stats = tracker.stats()
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(0.525)
+        assert stats.maximum == 1.5
+        assert stats.violations == 1
+        assert stats.violation_pct == 25.0
+
+    def test_no_bound_no_violations(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 99.0)
+        assert tracker.stats().violations == 0
+        assert tracker.stats().bound is None
+
+    def test_empty_stats(self):
+        stats = LatencyTracker(bound=1.0).stats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.violation_pct == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().record(0.0, -0.1)
+
+    def test_series_in_completion_order(self):
+        tracker = LatencyTracker()
+        tracker.record(1.0, 0.5)
+        tracker.record(2.0, 0.1)
+        assert tracker.series == [(1.0, 0.5), (2.0, 0.1)]
+        assert tracker.latencies() == [0.5, 0.1]
+
+    def test_len(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 0.0)
+        assert len(tracker) == 1
+
+    def test_percentiles_ordered(self):
+        tracker = LatencyTracker()
+        for i in range(100):
+            tracker.record(float(i), i / 100.0)
+        stats = tracker.stats()
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+
+
+class TestTimeline:
+    def test_bucketing(self):
+        tracker = LatencyTracker()
+        tracker.record(0.5, 0.1)
+        tracker.record(0.9, 0.3)
+        tracker.record(1.5, 0.5)
+        timeline = tracker.timeline(bucket_seconds=1.0)
+        assert timeline == [(1.0, pytest.approx(0.2)), (2.0, pytest.approx(0.5))]
+
+    def test_empty_buckets_skipped(self):
+        tracker = LatencyTracker()
+        tracker.record(0.5, 0.1)
+        tracker.record(5.5, 0.2)
+        timeline = tracker.timeline(bucket_seconds=1.0)
+        assert len(timeline) == 2
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().timeline(0.0)

@@ -1,0 +1,83 @@
+"""Unit tests for quality metrics (repro.runtime.quality)."""
+
+import pytest
+
+from repro.cep.events import ComplexEvent, Event, StreamBuilder
+from repro.cep.patterns import seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import CountSlidingWindows
+from repro.runtime.quality import QualityReport, compare_results, ground_truth
+
+
+def cplx(seqs, window_id=0, name="p"):
+    events = tuple(Event("A", s, float(s)) for s in seqs)
+    return ComplexEvent(name, window_id, events)
+
+
+class TestCompareResults:
+    def test_perfect_detection(self):
+        truth = [cplx([1, 2]), cplx([3, 4], 1)]
+        report = compare_results(truth, list(truth))
+        assert report.false_negatives == 0
+        assert report.false_positives == 0
+        assert report.false_negative_pct == 0.0
+
+    def test_false_negative(self):
+        truth = [cplx([1, 2]), cplx([3, 4], 1)]
+        report = compare_results(truth, [truth[0]])
+        assert report.false_negatives == 1
+        assert report.false_negative_pct == 50.0
+        assert report.false_positives == 0
+
+    def test_false_positive(self):
+        truth = [cplx([1, 2])]
+        detected = [cplx([1, 2]), cplx([9, 10], 5)]
+        report = compare_results(truth, detected)
+        assert report.false_positives == 1
+        assert report.false_positive_pct == 100.0
+
+    def test_substituted_match_counts_both_ways(self):
+        # the paper's §2.1 example: dropping A1 produces cplx23 instead
+        # of cplx13/cplx24 -> 1 FP and 2 FN
+        truth = [cplx([1, 3]), cplx([2, 4])]
+        detected = [cplx([2, 3])]
+        report = compare_results(truth, detected)
+        assert report.false_negatives == 2
+        assert report.false_positives == 1
+        assert report.degradation == 3
+
+    def test_empty_truth(self):
+        report = compare_results([], [])
+        assert report.false_negative_pct == 0.0
+        assert report.false_positive_pct == 0.0
+        report = compare_results([], [cplx([1])])
+        assert report.false_positive_pct == 100.0
+
+    def test_duplicates_collapse(self):
+        truth = [cplx([1, 2]), cplx([1, 2])]
+        report = compare_results(truth, truth)
+        assert report.truth_count == 1
+
+    def test_window_id_distinguishes(self):
+        report = compare_results([cplx([1, 2], 0)], [cplx([1, 2], 1)])
+        assert report.false_negatives == 1
+        assert report.false_positives == 1
+
+    def test_str_rendering(self):
+        text = str(compare_results([cplx([1])], []))
+        assert "FN=1" in text and "100.0%" in text
+
+
+class TestGroundTruth:
+    def test_matches_operator_detect_all(self):
+        builder = StreamBuilder()
+        for _ in range(5):
+            builder.emit_many(["A", "B", "X"])
+        query = Query(
+            name="q",
+            pattern=seq("q", spec("A"), spec("B")),
+            window_factory=lambda: CountSlidingWindows(3),
+        )
+        truth = ground_truth(query, builder.stream)
+        assert len(truth) == 5
+        assert all(c.pattern_name == "q" for c in truth)

@@ -1,0 +1,102 @@
+"""Unit tests for result exporting (repro.runtime.reporting)."""
+
+import pytest
+
+from repro.runtime.reporting import (
+    ResultTable,
+    combine_markdown,
+    latency_table,
+    quality_figure_table,
+)
+
+
+class TestResultTable:
+    def test_add_row_validates_width(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_markdown_shape(self):
+        table = ResultTable("My Table", ["x", "fn"])
+        table.add_row(1, 12.345)
+        text = table.to_markdown()
+        lines = text.splitlines()
+        assert lines[0] == "### My Table"
+        assert "| x | fn |" in text
+        assert "| 1 | 12.3 |" in text  # floats rendered with one decimal
+
+    def test_csv_roundtrip(self):
+        import csv
+        import io
+
+        table = ResultTable("t", ["x", "y"])
+        table.add_row(1, "hello, world")
+        rows = list(csv.reader(io.StringIO(table.to_csv())))
+        assert rows == [["x", "y"], ["1", "hello, world"]]
+
+    def test_save_by_suffix(self, tmp_path):
+        table = ResultTable("t", ["x"])
+        table.add_row(7)
+        md = tmp_path / "out.md"
+        table.save(md)
+        assert md.read_text().startswith("### t")
+        csv_path = tmp_path / "out.csv"
+        table.save(csv_path)
+        assert csv_path.read_text().startswith("x")
+
+
+class TestFigureConversion:
+    def _figure(self):
+        from repro.experiments.common import QualityOutcome
+        from repro.experiments.fig5 import QualityFigure, QualitySeriesPoint
+        from repro.runtime.latency import LatencyStats
+        from repro.runtime.quality import QualityReport
+
+        def outcome(fn, fp):
+            return QualityOutcome(
+                strategy="espice",
+                rate_factor=1.2,
+                quality=QualityReport(100, 100 - fn, fn, fp),
+                latency=LatencyStats(1, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 1.0),
+                drop_ratio=0.1,
+                truth_count=100,
+                detected_count=100 - fn,
+            )
+
+        figure = QualityFigure(title="Fig test", x_label="n")
+        figure.points.append(QualitySeriesPoint(2, "espice", 1.2, outcome(10, 5)))
+        figure.points.append(QualitySeriesPoint(4, "espice", 1.2, outcome(20, 8)))
+        return figure
+
+    def test_quality_figure_table(self):
+        table = quality_figure_table(self._figure())
+        assert table.title == "Fig test"
+        assert table.columns[0] == "n"
+        assert len(table.rows) == 2
+        assert table.rows[0][0] == 2
+        assert table.rows[0][1] == 10.0  # %FN
+        assert table.rows[0][2] == 5.0  # %FP
+
+    def test_latency_table(self):
+        from repro.experiments.fig7 import Fig7Result, LatencyRun
+        from repro.runtime.latency import LatencyStats
+
+        result = Fig7Result(latency_bound=1.0, f=0.8)
+        result.runs.append(
+            LatencyRun(
+                rate_factor=1.2,
+                stats=LatencyStats(10, 0.5, 0.9, 0.5, 0.8, 0.85, 0, 1.0),
+                timeline=[(1.0, 0.5)],
+            )
+        )
+        table = latency_table(result)
+        assert table.rows[0][0] == "R=1.2"
+        assert table.rows[0][1] == 500.0
+
+    def test_combine_markdown(self):
+        t1 = ResultTable("one", ["a"])
+        t2 = ResultTable("two", ["b"])
+        doc = combine_markdown([t1, t2], heading="All results")
+        assert doc.startswith("# All results")
+        assert "### one" in doc and "### two" in doc

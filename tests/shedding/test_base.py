@@ -1,0 +1,77 @@
+"""Unit tests for the shedder interface (repro.shedding.base)."""
+
+import pytest
+
+from repro.cep.events import Event
+from repro.shedding.base import DropCommand, LoadShedder, NoShedder
+
+
+class AlwaysDrop(LoadShedder):
+    def on_drop_command(self, command):
+        pass
+
+    def _decide(self, event, position, predicted_ws):
+        return True
+
+
+def ev():
+    return Event("A", 0, 0.0)
+
+
+class TestDropCommand:
+    def test_per_window(self):
+        command = DropCommand(x=5.0, partition_count=3, partition_size=100.0)
+        assert command.per_window == 15.0
+
+    def test_frozen(self):
+        command = DropCommand(x=1.0)
+        with pytest.raises(AttributeError):
+            command.x = 2.0
+
+    def test_defaults(self):
+        command = DropCommand(x=1.0)
+        assert command.partition_count == 1
+        assert command.partition_size == 0.0
+
+
+class TestLifecycle:
+    def test_starts_inactive(self):
+        assert not AlwaysDrop().active
+
+    def test_activate_deactivate(self):
+        shedder = AlwaysDrop()
+        shedder.activate()
+        assert shedder.active
+        shedder.deactivate()
+        assert not shedder.active
+
+    def test_inactive_never_drops_nor_counts(self):
+        shedder = AlwaysDrop()
+        assert not shedder.should_drop(ev(), 0, 10.0)
+        assert shedder.decisions == 0
+
+    def test_active_counts_decisions_and_drops(self):
+        shedder = AlwaysDrop()
+        shedder.activate()
+        shedder.should_drop(ev(), 0, 10.0)
+        shedder.should_drop(ev(), 1, 10.0)
+        assert shedder.decisions == 2
+        assert shedder.drops == 2
+        assert shedder.observed_drop_rate() == 1.0
+
+    def test_observed_drop_rate_empty(self):
+        assert AlwaysDrop().observed_drop_rate() == 0.0
+
+    def test_reset_counters(self):
+        shedder = AlwaysDrop()
+        shedder.activate()
+        shedder.should_drop(ev(), 0, 10.0)
+        shedder.reset_counters()
+        assert (shedder.decisions, shedder.drops) == (0, 0)
+
+
+class TestNoShedder:
+    def test_never_drops_even_active(self):
+        shedder = NoShedder()
+        shedder.activate()
+        assert not shedder.should_drop(ev(), 0, 10.0)

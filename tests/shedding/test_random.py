@@ -1,0 +1,49 @@
+"""Unit tests for the random shedder (repro.shedding.random_shedder)."""
+
+import pytest
+
+from repro.cep.events import Event
+from repro.shedding.base import DropCommand
+from repro.shedding.random_shedder import RandomShedder
+
+
+def ev(i=0):
+    return Event("A", i, 0.0)
+
+
+class TestRandomShedder:
+    def test_probability_from_command(self):
+        shedder = RandomShedder()
+        shedder.on_drop_command(DropCommand(x=25.0, partition_count=2, partition_size=100.0))
+        assert shedder.drop_probability == 0.25
+
+    def test_probability_clamped(self):
+        shedder = RandomShedder()
+        shedder.on_drop_command(DropCommand(x=500.0, partition_count=1, partition_size=100.0))
+        assert shedder.drop_probability == 1.0
+
+    def test_zero_partition_size_means_no_drops(self):
+        shedder = RandomShedder()
+        shedder.on_drop_command(DropCommand(x=10.0, partition_count=1, partition_size=0.0))
+        assert shedder.drop_probability == 0.0
+
+    def test_statistical_rate(self):
+        shedder = RandomShedder(seed=3)
+        shedder.on_drop_command(DropCommand(x=30.0, partition_count=1, partition_size=100.0))
+        shedder.activate()
+        drops = sum(1 for i in range(5000) if shedder.should_drop(ev(i), i, 100.0))
+        assert drops / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_deterministic_with_seed(self):
+        runs = []
+        for _ in range(2):
+            shedder = RandomShedder(seed=11)
+            shedder.on_drop_command(DropCommand(x=50.0, partition_count=1, partition_size=100.0))
+            shedder.activate()
+            runs.append([shedder.should_drop(ev(i), i, 100.0) for i in range(100)])
+        assert runs[0] == runs[1]
+
+    def test_inactive_never_drops(self):
+        shedder = RandomShedder()
+        shedder.on_drop_command(DropCommand(x=100.0, partition_count=1, partition_size=100.0))
+        assert not shedder.should_drop(ev(), 0, 100.0)
