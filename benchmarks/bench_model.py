@@ -8,10 +8,10 @@ at experiment scale.
 import pytest
 
 from repro.core.cdt import build_cdt
-from repro.core.espice import ESpice, ESpiceConfig
 from repro.core.position_shares import PositionShares
 from repro.core.utility_table import UtilityTable
 from repro.experiments import workloads
+from repro.pipeline import Pipeline
 from repro.queries import build_q1
 
 PAPER_TABLE = [
@@ -64,8 +64,8 @@ def test_model_build_at_scale(report):
     query = build_q1(pattern_size=4)
 
     def runner():
-        espice = ESpice(query, ESpiceConfig(bin_size=1))
-        return espice.train(train)
+        pipeline = Pipeline.builder().query(query).shedder("espice").bin_size(1).build()
+        return pipeline.train(train).model
 
     def describe(model):
         text = (

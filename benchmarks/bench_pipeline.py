@@ -1,0 +1,132 @@
+"""Per-event overhead of the pipeline's middleware stage chain.
+
+The API redesign routes every event through an explicit stage chain
+(admission -> window assign -> shedding -> match -> emit) instead of
+calling the operator directly.  This benchmark quantifies what that
+indirection costs so the redesign's price stays visible in the perf
+trajectory: the same stream is replayed (1) through a bare
+``CEPOperator.detect_all`` -- the old direct wiring -- and (2) through
+``Pipeline.run`` -- the stage chain -- and the per-event wall-clock
+times are compared.  Both paths produce identical detections, which
+the benchmark asserts.
+"""
+
+import time
+
+from repro.cep.operator.operator import CEPOperator
+from repro.experiments import workloads
+from repro.pipeline import Pipeline
+from repro.queries import build_q1
+
+
+def _measure(run, repeats=3):
+    """Best-of-N wall time of ``run()`` (returns (seconds, result))."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_stage_chain_overhead(report):
+    """Stage-chain replay vs direct operator replay, unshedded."""
+    _train, stream = workloads.soccer_streams()
+    query = build_q1(pattern_size=3)
+    n = len(stream)
+
+    def runner():
+        direct_s, direct_out = _measure(
+            lambda: CEPOperator(build_q1(pattern_size=3)).detect_all(stream)
+        )
+        chain_s, chain_out = _measure(
+            lambda: Pipeline.builder()
+            .query(build_q1(pattern_size=3))
+            .build()
+            .run(stream)
+            .complex_events
+        )
+        assert [c.key for c in chain_out] == [c.key for c in direct_out]
+        return {
+            "events": n,
+            "direct_us_per_event": 1e6 * direct_s / n,
+            "pipeline_us_per_event": 1e6 * chain_s / n,
+            "overhead_pct": 100.0 * (chain_s - direct_s) / direct_s,
+        }
+
+    def describe(out):
+        text = (
+            "Pipeline stage-chain overhead (unshedded batch replay):\n"
+            f"  events:              {out['events']}\n"
+            f"  direct operator:     {out['direct_us_per_event']:.2f} us/event\n"
+            f"  pipeline chain:      {out['pipeline_us_per_event']:.2f} us/event\n"
+            f"  chain overhead:      {out['overhead_pct']:+.1f}%"
+        )
+        return text, {
+            "direct_us_per_event": round(out["direct_us_per_event"], 3),
+            "pipeline_us_per_event": round(out["pipeline_us_per_event"], 3),
+            "overhead_pct": round(out["overhead_pct"], 2),
+        }
+
+    out = report(runner, describe)
+    # the chain should cost a small constant per event, not multiples
+    assert out["overhead_pct"] < 100.0
+
+
+def test_simulation_driver_overhead(report):
+    """Virtual-time driver: historical wrapper vs explicit pipeline."""
+    from repro.runtime.simulation import SimulationConfig, measure_mean_memberships, simulate
+
+    train, stream = workloads.soccer_streams()
+    query = build_q1(pattern_size=3)
+    memberships = measure_mean_memberships(query, stream)
+    n = len(stream)
+
+    def runner():
+        config = SimulationConfig(
+            input_rate=1200.0,
+            throughput=1000.0,
+            mean_memberships=memberships,
+        )
+        wrapper_s, wrapper_out = _measure(
+            lambda: simulate(query, stream, config), repeats=2
+        )
+
+        def pipeline_run():
+            pipeline = (
+                Pipeline.builder()
+                .query(query)
+                .shedder("espice", f=0.8)
+                .bin_size(8)
+                .build()
+            )
+            pipeline.train(train)
+            pipeline.deploy(expected_throughput=1000.0, expected_input_rate=1200.0)
+            return pipeline.simulate(
+                stream,
+                input_rate=1200.0,
+                throughput=1000.0,
+                mean_memberships=memberships,
+            )
+
+        shedding_s, shedding_out = _measure(pipeline_run, repeats=2)
+        return {
+            "unshedded_us_per_event": 1e6 * wrapper_s / n,
+            "espice_us_per_event": 1e6 * shedding_s / n,
+            "unshedded_detections": wrapper_out.detections,
+            "espice_detections": shedding_out.detections,
+        }
+
+    def describe(out):
+        text = (
+            "Virtual-time simulation cost through the pipeline driver:\n"
+            f"  unshedded replay:    {out['unshedded_us_per_event']:.2f} us/event "
+            f"({out['unshedded_detections']} detections)\n"
+            f"  trained eSPICE run:  {out['espice_us_per_event']:.2f} us/event "
+            f"({out['espice_detections']} detections, incl. train+deploy)"
+        )
+        return text, {k: round(v, 3) for k, v in out.items()}
+
+    report(runner, describe)

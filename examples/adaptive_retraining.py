@@ -6,7 +6,9 @@ This example trains on a soccer stream where defenders 1/2 mark the
 first striker (and 3/4 the second), then rotates the marking at half
 time so a disjoint defender subset takes over.  The stale model still
 assigns utility to the *old* markers and sheds the new ones -- quality
-collapses -- until a retrain on recent data restores it.
+collapses -- until ``pipeline.retrain()`` hot-swaps a model fitted on
+recent data and restores it (the live shedder keeps serving O(1)
+decisions throughout the swap).
 
 To isolate the model's contribution from overload-detector duty
 cycles, shedding runs *continuously* here with a fixed drop amount
@@ -16,12 +18,10 @@ as during a real overload.
 Run:  python examples/adaptive_retraining.py
 """
 
-from repro.cep.operator.operator import CEPOperator
-from repro.core import ESpice, ESpiceConfig
 from repro.core.partitions import plan_partitions
 from repro.datasets import SoccerStreamConfig, generate_soccer_stream
+from repro.pipeline import Pipeline, compare_results, ground_truth
 from repro.queries import build_q1
-from repro.runtime import compare_results, ground_truth
 from repro.shedding.base import DropCommand
 
 LATENCY_BOUND = 1.0
@@ -29,30 +29,54 @@ THROUGHPUT = 1000.0
 DROP_FRACTION = 0.2  # x = 20% of the partition size, continuously
 
 
-def evaluate(espice: ESpice, query, live_stream) -> str:
-    """Continuous-shedding run; returns a one-line quality summary."""
-    truth = ground_truth(query, live_stream)
-    model = espice.model
-    shedder = espice.build_shedder()
-    plan = plan_partitions(
-        model.reference_size, LATENCY_BOUND * THROUGHPUT, f=0.8
+def build_pipeline(query) -> Pipeline:
+    return (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .latency_bound(LATENCY_BOUND)
+        .bin_size(8)  # smooths the short training streams (paper §3.6)
+        .build()
     )
-    shedder.on_drop_command(
+
+
+def evaluate(pipeline: Pipeline, query, live_stream) -> str:
+    """Continuous-shedding replay; returns a one-line quality summary.
+
+    A fresh evaluation pipeline is deployed around the (possibly
+    hot-swapped) model so every evaluation starts from clean operator
+    state; the shedder is activated manually with a fixed drop command
+    instead of detector duty cycles.
+    """
+    truth = ground_truth(query, live_stream)
+    model = pipeline.model
+    replay = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .latency_bound(LATENCY_BOUND)
+        .bin_size(8)
+        .model(model)
+        .build()
+    )
+    replay.deploy()
+    chain = replay.chains[0]
+    plan = plan_partitions(model.reference_size, LATENCY_BOUND * THROUGHPUT, f=0.8)
+    chain.shedder.on_drop_command(
         DropCommand(
             x=DROP_FRACTION * plan.partition_size,
             partition_count=plan.partition_count,
             partition_size=plan.partition_size,
         )
     )
-    shedder.activate()
-    operator = CEPOperator(query, shedder=shedder)
-    operator.prime_window_size(model.reference_size, weight=10)
-    detected = operator.detect_all(live_stream)
-    quality = compare_results(truth, detected)
+    chain.shedder.activate()
+    result = replay.run(live_stream)
+    quality = compare_results(truth, result.complex_events)
+    stats = result.metrics[query.name]["match"]
     return (
         f"FN={quality.false_negative_pct:5.1f}%  "
         f"FP={quality.false_positive_pct:5.1f}%  "
-        f"dropped={100 * operator.stats.drop_ratio():4.1f}%  "
+        f"dropped={100 * stats['drop_ratio']:4.1f}%  "
         f"(truth={len(truth)})"
     )
 
@@ -73,17 +97,16 @@ def main() -> None:
     )
 
     query = build_q1(pattern_size=2, window_seconds=15.0)
-    # bin size 8 smooths the short training streams (paper §3.6)
-    espice = ESpice(query, ESpiceConfig(latency_bound=LATENCY_BOUND, f=0.8, bin_size=8))
-    espice.train(first_half)
+    pipeline = build_pipeline(query)
+    pipeline.train(first_half)
 
     print("model trained on first half")
-    print(f"  first half evaluation   : {evaluate(espice, query, first_half)}")
-    print(f"  second half, stale model: {evaluate(espice, query, second_half)}")
+    print(f"  first half evaluation   : {evaluate(pipeline, query, first_half)}")
+    print(f"  second half, stale model: {evaluate(pipeline, query, second_half)}")
 
-    espice.retrain(second_half)
+    pipeline.retrain(second_half)  # hot model swap
     print("model retrained on second half")
-    print(f"  second half, fresh model: {evaluate(espice, query, second_half)}")
+    print(f"  second half, fresh model: {evaluate(pipeline, query, second_half)}")
 
 
 if __name__ == "__main__":

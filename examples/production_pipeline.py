@@ -2,17 +2,22 @@
 """A production-shaped deployment of every moving part.
 
 This example strings together the features a real integration would
-use beyond the single experiment loop:
+use beyond the single experiment loop, all through the
+``repro.pipeline`` API:
 
 1. the **textual query language** instead of the builder API,
 2. **training + persistence**: train once, save the model to JSON,
-   load it into a fresh shedder (deploy-without-retraining),
-3. a **window-parallel operator** (degree 4) sharing the shedder --
+   load it into a fresh pipeline via ``.model()``
+   (deploy-without-retraining),
+3. **multi-query fan-out**: two queries sharing one input stream in a
+   single pipeline, with a **custom logging middleware stage** counting
+   what flows in,
+4. a **window-parallel pipeline** (degree 4) sharing the shedder --
    detections are identical to a sequential run, the paper's
    parallelism-independence claim,
-4. a **drift detector** watching live windows and triggering retraining
-   (paper §3.6 future work), and
-5. a two-stage **operator graph**: man-marking complex events feed a
+5. **adaptive deployment**: a drift-watching controller wired in with
+   ``.adaptive()`` (paper §3.6 future work), and
+6. a two-stage **operator graph**: man-marking complex events feed a
    downstream "pressing spell" operator that detects bursts of marking.
 
 Run:  python examples/production_pipeline.py
@@ -23,14 +28,11 @@ from pathlib import Path
 
 from repro.cep.graph import OperatorGraph
 from repro.cep.language import parse_query
-from repro.cep.operator.operator import CEPOperator
-from repro.cep.parallel import WindowParallelOperator
-from repro.core import ESpice, ESpiceConfig
-from repro.core.drift import DriftDetector
 from repro.core.partitions import plan_partitions
 from repro.core.persistence import load_model, save_model
-from repro.core.shedder import ESpiceShedder
 from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.pipeline import LoggingStage, Pipeline
+from repro.queries import build_q1
 from repro.shedding.base import DropCommand
 
 
@@ -57,52 +59,95 @@ def main() -> None:
     print(f"parsed query: {query.name}, pattern size {query.pattern_size()}")
 
     # -- 2. train, save, load --------------------------------------------
-    espice = ESpice(query, ESpiceConfig(latency_bound=1.0, f=0.8, bin_size=8))
-    model = espice.train(train)
+    trainer = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .latency_bound(1.0)
+        .bin_size(8)
+        .build()
+    )
+    model = trainer.train(train).model
     model_path = Path(tempfile.gettempdir()) / "espice_model.json"
     save_model(model, model_path)
     deployed = load_model(model_path)
     print(f"trained {model}, persisted to {model_path.name} and reloaded")
 
-    shedder = ESpiceShedder(deployed)
-    plan = plan_partitions(deployed.reference_size, qmax=1000.0, f=0.8)
-    shedder.on_drop_command(
-        DropCommand(
-            x=0.15 * plan.partition_size,
-            partition_count=plan.partition_count,
-            partition_size=plan.partition_size,
-        )
+    # -- 3. multi-query fan-out with custom middleware -------------------
+    tight = build_q1(pattern_size=2, window_seconds=15.0)
+    fanout = (
+        Pipeline.builder()
+        .query(query)
+        .query(tight)
+        .stage(lambda: LoggingStage())  # factory: one instance per chain
+        .build()
     )
-    shedder.activate()
+    fanned = fanout.run(live)
+    logged = fanout.metrics()[query.name]["logging"]["seen"]
+    print(
+        f"fan-out run: {fanned.totals()} from one stream "
+        f"({logged} events through the logging middleware)"
+    )
 
-    # -- 3. window-parallel operator, shared shedder ---------------------
-    sequential = CEPOperator(query, shedder=shedder)
-    sequential.prime_window_size(deployed.reference_size, weight=10)
-    sequential_out = sequential.detect_all(live)
-    shedder.reset_counters()
+    # -- 4. window-parallel pipeline, shared persisted model -------------
+    def shedding_pipeline(degree: int) -> Pipeline:
+        builder = (
+            Pipeline.builder()
+            .query(query)
+            .shedder("espice", f=0.8)
+            .latency_bound(1.0)
+            .bin_size(8)
+            .model(deployed)
+        )
+        if degree > 1:
+            builder.parallel(degree)
+        pipeline = builder.build()
+        pipeline.deploy()
+        chain = pipeline.chains[0]
+        plan = plan_partitions(deployed.reference_size, qmax=1000.0, f=0.8)
+        chain.shedder.on_drop_command(
+            DropCommand(
+                x=0.15 * plan.partition_size,
+                partition_count=plan.partition_count,
+                partition_size=plan.partition_size,
+            )
+        )
+        chain.shedder.activate()
+        return pipeline
 
-    parallel = WindowParallelOperator(query, degree=4, shedder=shedder)
-    parallel.prime_window_size(deployed.reference_size, weight=10)
-    parallel_out = parallel.detect_all(live)
+    sequential_out = shedding_pipeline(1).run(live).complex_events
+    parallel = shedding_pipeline(4)
+    parallel_out = parallel.run(live).complex_events
     same = [c.key for c in sequential_out] == [c.key for c in parallel_out]
+    imbalance = parallel.metrics()[query.name]["match"]["load_imbalance"]
     print(
         f"degree-4 parallel run: {len(parallel_out)} complex events, "
         f"identical to sequential: {same} "
-        f"(imbalance {parallel.load_imbalance():.2f})"
+        f"(imbalance {imbalance:.2f})"
     )
 
-    # -- 4. drift detection ----------------------------------------------
-    monitor = DriftDetector(deployed, min_windows=20)
-    operator = CEPOperator(query)  # unshedded shadow run feeds the monitor
-    operator.add_window_listener(monitor.observe)
-    operator.detect_all(live)
-    status = monitor.check()
+    # -- 5. adaptive deployment (drift detection wired in) ---------------
+    adaptive = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .latency_bound(1.0)
+        .bin_size(8)
+        .model(deployed)
+        .adaptive(min_training_windows=40)
+        .build()
+    )
+    adaptive.deploy()
+    adaptive.run(live)
+    controller = adaptive.chains[0].controller
+    status = controller.last_status
     print(
-        f"drift check after {status.windows_seen} windows: "
-        f"hit rate {status.hit_rate:.2f}, drifted={status.drifted} ({status.reason})"
+        f"adaptive run: {controller.retrain_count} automatic retrains, "
+        f"last drift check: "
+        f"{status.reason if status else 'n/a'}"
     )
 
-    # -- 5. two-stage operator graph --------------------------------------
+    # -- 6. two-stage operator graph --------------------------------------
     pressing = parse_query(
         # three man-marking detections within 90 s = a pressing spell
         "define PressingSpell from seq(ManMarking; ManMarking; ManMarking) "

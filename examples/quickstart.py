@@ -1,26 +1,21 @@
 #!/usr/bin/env python3
-"""Quickstart: eSPICE end to end in ~60 lines.
+"""Quickstart: eSPICE end to end through the pipeline API, in ~50 lines.
 
 Builds a tiny soccer workload, trains the utility model, overloads the
 operator at 40% above its capacity and shows that eSPICE keeps the
 latency bound while losing almost no complex events -- compared with a
 random shedder that loses half of them.
 
+All wiring comes from ``repro.pipeline``: the builder declares query,
+shedding strategy and bounds; ``train``/``deploy``/``simulate`` do the
+rest.  No shedder or detector is constructed by hand.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.core import ESpice, ESpiceConfig
-from repro.core.overload import OverloadDetector
-from repro.datasets import generate_soccer_stream, SoccerStreamConfig, split_stream
+from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.pipeline import Pipeline, compare_results
 from repro.queries import build_q1
-from repro.runtime import (
-    SimulationConfig,
-    compare_results,
-    ground_truth,
-    measure_mean_memberships,
-    simulate,
-)
-from repro.shedding import RandomShedder
 
 THROUGHPUT = 1000.0  # operator capacity, events/second (virtual time)
 OVERLOAD = 1.4  # input rate = 140% of capacity (the paper's R2)
@@ -35,42 +30,29 @@ def main() -> None:
     # 2. query: striker possession followed by any 3 defender events
     query = build_q1(pattern_size=3, window_seconds=15.0)
 
-    # 3. ground truth (what an unconstrained operator would detect)
-    truth = ground_truth(query, live)
+    # 3. ground truth (what an unconstrained operator would detect):
+    #    an unshedded pipeline replayed in event time
+    truth = Pipeline.builder().query(query).build().run(live).complex_events
     print(f"ground truth: {len(truth)} complex events")
 
-    # 4. train eSPICE's utility model on the calm phase (bin size 8
+    # 4. overload the operator, once per shedding strategy (bin size 8
     #    smooths the short training stream, paper §3.6)
-    espice = ESpice(query, ESpiceConfig(latency_bound=LATENCY_BOUND, f=0.8, bin_size=8))
-    model = espice.train(train)
-    print(f"trained: {model}")
-
-    # 5. overload the operator, once per shedding strategy
-    sim_config = SimulationConfig(
-        input_rate=OVERLOAD * THROUGHPUT,
-        throughput=THROUGHPUT,
-        latency_bound=LATENCY_BOUND,
-        mean_memberships=measure_mean_memberships(query, live),
-    )
-    for label, shedder in (
-        ("eSPICE", espice.build_shedder()),
-        ("random", RandomShedder(seed=1)),
-    ):
-        detector = OverloadDetector(
-            latency_bound=LATENCY_BOUND,
-            f=0.8,
-            reference_size=model.reference_size,
-            shedder=shedder,
-            fixed_processing_latency=1.0 / THROUGHPUT,
-            fixed_input_rate=OVERLOAD * THROUGHPUT,
+    for label in ("espice", "random"):
+        pipeline = (
+            Pipeline.builder()
+            .query(query)
+            .shedder(label, f=0.8, seed=1)
+            .latency_bound(LATENCY_BOUND)
+            .bin_size(8)
+            .build()
         )
-        result = simulate(
-            query,
-            live,
-            sim_config,
-            shedder=shedder,
-            detector=detector,
-            prime_window_size=model.reference_size,
+        pipeline.train(train)
+        pipeline.deploy(
+            expected_throughput=THROUGHPUT,
+            expected_input_rate=OVERLOAD * THROUGHPUT,
+        )
+        result = pipeline.simulate(
+            live, input_rate=OVERLOAD * THROUGHPUT, throughput=THROUGHPUT
         )
         quality = compare_results(truth, result.complex_events)
         latency = result.latency.stats()

@@ -12,9 +12,9 @@ the possession that opened the window), near-zero everywhere else.
 Run:  python examples/soccer_man_marking.py
 """
 
-from repro.core import ESpice, ESpiceConfig
 from repro.core.cdt import build_cdt
 from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.pipeline import Pipeline
 from repro.queries import build_q1
 
 
@@ -24,8 +24,15 @@ def main() -> None:
     train, _live = split_stream(stream, train_fraction=0.8)
 
     query = build_q1(pattern_size=4, window_seconds=15.0, defenders=config.defenders)
-    espice = ESpice(query, ESpiceConfig(latency_bound=1.0, f=0.8, bin_size=16))
-    model = espice.train(train)
+    pipeline = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .latency_bound(1.0)
+        .bin_size(16)
+        .build()
+    )
+    model = pipeline.train(train).model
     print(f"model: {model}\n")
 
     # show each type's utility profile over the window (binned)

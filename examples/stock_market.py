@@ -8,6 +8,10 @@ inside a sliding time window.  We compare eSPICE against the BL
 baseline at both of the paper's overload levels (R1 = +20%, R2 = +40%)
 and print a Fig. 5c-style table.
 
+Uses the experiment-protocol surface (``run_quality_point``), which is
+itself built on ``repro.pipeline``: each point trains/warms a pipeline
+for the named strategy and replays the evaluation stream through it.
+
 Run:  python examples/stock_market.py
 """
 

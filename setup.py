@@ -1,10 +1,39 @@
-"""Legacy setup shim.
+"""Packaging metadata for the eSPICE reproduction.
 
-All metadata lives in ``pyproject.toml``; this file only enables
-``python setup.py develop`` on offline machines where pip's PEP-660
-editable path is unavailable (it needs the ``wheel`` package).
+The project is pure stdlib at runtime; ``pytest``, ``hypothesis`` and
+``pytest-benchmark`` are only needed for the test/benchmark harness
+(``extras_require["test"]``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="espice-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of eSPICE: probabilistic load shedding from input "
+        "event streams in CEP (Middleware '19), with a composable "
+        "middleware-stage pipeline API"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

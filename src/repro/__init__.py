@@ -3,19 +3,32 @@
 A complete Python implementation of "eSPICE: Probabilistic Load
 Shedding from Input Event Streams in Complex Event Processing"
 (Slo, Bhowmik, Rothermel -- Middleware '19), together with every
-substrate the paper's system depends on:
+substrate the paper's system depends on.
 
+**Public API**: :mod:`repro.pipeline` -- composable middleware-stage
+pipelines (``Pipeline.builder().query(q).shedder("espice", f=0.8)
+.latency_bound(1.0).build()``) covering training, deployment, live
+ingestion, virtual-time overload simulation and hot model retraining.
+The manual wiring of earlier versions (``ESpice`` facade + loose
+shedder/detector construction) is deprecated and kept only as thin
+shims.
+
+Subsystems:
+
+- :mod:`repro.pipeline` -- **the public API**: builder, pipeline and
+  middleware stages.
 - :mod:`repro.cep` -- a window-based CEP engine (events, windows, a
   Tesla/SASE-like pattern language and matcher, the operator).
 - :mod:`repro.core` -- eSPICE itself: the utility model, overload
   detector and O(1) load shedder.
-- :mod:`repro.shedding` -- the shedder interface plus the paper's
-  comparators (BL, random).
+- :mod:`repro.shedding` -- the shedder interface, the paper's
+  comparators (BL, random) and the named strategy registry.
 - :mod:`repro.datasets` -- synthetic stand-ins for the NYSE and RTLS
   soccer datasets.
 - :mod:`repro.queries` -- the evaluation queries Q1..Q4.
 - :mod:`repro.runtime` -- deterministic virtual-time overload
-  simulation, latency and quality metrics.
+  simulation (a driver stepping a pipeline), latency and quality
+  metrics.
 - :mod:`repro.experiments` -- one runner per paper figure.
 """
 

@@ -91,6 +91,13 @@ class CEPOperator:
         """Subscribe to (completed window, matches) notifications."""
         self._window_listeners.append(listener)
 
+    def remove_window_listener(self, listener: WindowListener) -> None:
+        """Unsubscribe a listener; unknown listeners are ignored."""
+        try:
+            self._window_listeners.remove(listener)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------
     # window size prediction (needed for relative positions, §3.6)
     # ------------------------------------------------------------------
@@ -114,9 +121,43 @@ class CEPOperator:
     # ------------------------------------------------------------------
     # processing
     # ------------------------------------------------------------------
+    def decide(
+        self, item: QueuedItem, shedder: Optional[object] = None
+    ) -> Optional[List[bool]]:
+        """Drop decisions for ``item``'s memberships (True = drop).
+
+        ``shedder`` overrides the operator's own shedder -- the
+        pipeline's shedding stage owns the shedder and calls this
+        against an operator built without one.  Returns ``None`` when
+        no shedding applies (every membership kept), so the apply path
+        can skip the per-ref zip entirely.
+        """
+        shedder = shedder if shedder is not None else self.shedder
+        if shedder is None or not getattr(shedder, "active", True):
+            return None
+        event = item.event
+        predicted = self.predicted_window_size()
+        return [
+            shedder.should_drop(event, ref.position, predicted) for ref in item.refs
+        ]
+
     def process(self, item: QueuedItem, now: float = 0.0) -> ProcessResult:
         """Process one queue item; completes any windows it closed.
 
+        Equivalent to :meth:`decide` followed by :meth:`apply` -- kept
+        as the one-call path for direct (non-pipeline) users.
+        """
+        return self.apply(item, self.decide(item), now=now)
+
+    def apply(
+        self,
+        item: QueuedItem,
+        drops: Optional[List[bool]],
+        now: float = 0.0,
+    ) -> ProcessResult:
+        """Apply pre-made drop decisions, then complete closed windows.
+
+        ``drops`` aligns with ``item.refs``; ``None`` keeps everything.
         Memberships are applied before window completion: a count-based
         window closes *with* its final event, so that event's shedding
         decision and buffer append must land before the window is
@@ -125,13 +166,10 @@ class CEPOperator:
         """
         result = ProcessResult()
         event = item.event
-        predicted = self.predicted_window_size()
-        for ref in item.refs:
+        for index, ref in enumerate(item.refs):
             buffer = self._buffers.setdefault(ref.window_id, _WindowBuffer())
             buffer.arrivals += 1
-            drop = False
-            if self.shedder is not None and getattr(self.shedder, "active", True):
-                drop = self.shedder.should_drop(event, ref.position, predicted)
+            drop = drops[index] if drops is not None else False
             if drop:
                 buffer.dropped += 1
                 result.memberships_dropped += 1

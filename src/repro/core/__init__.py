@@ -1,11 +1,12 @@
 """eSPICE: the paper's contribution -- probabilistic load shedding.
 
-Public API
-----------
+The public entry point of the project is :mod:`repro.pipeline`
+(``Pipeline.builder() ... .build()``); the pieces below are the
+building blocks it composes.
 
-- :class:`~repro.core.espice.ESpice` -- facade wiring the utility
-  model, overload detector and load shedder to a CEP operator; the
-  entry point used by the examples and experiments.
+Building blocks
+---------------
+
 - :class:`~repro.core.model.UtilityModel` /
   :class:`~repro.core.model.ModelBuilder` -- the learned model: the
   utility table ``UT(T, P)``, position shares ``S(T, P)`` and
@@ -16,6 +17,15 @@ Public API
   ``qmax``/``f`` logic and drop-amount computation (paper §3.4).
 - :func:`~repro.core.fvalue.select_f` -- utility-clustering based
   choice of the ``f`` parameter (paper §3.4, "appropriate f value").
+
+Deprecated
+----------
+
+- :class:`~repro.core.espice.ESpice` /
+  :class:`~repro.core.espice.ESpiceConfig` -- the pre-pipeline manual
+  wiring facade, kept as a thin shim over the same shared factories
+  the :class:`repro.pipeline.PipelineBuilder` uses.  New code should
+  build a pipeline instead.
 """
 
 from repro.core.adaptive import AdaptiveController, RetrainEvent

@@ -110,25 +110,9 @@ class AdaptiveController:
         )
 
     def _swap_shedder_model(self, model: UtilityModel) -> None:
-        """Atomically repoint the live shedder at the fresh model.
-
-        The shedder's hot-path caches and per-partition thresholds are
-        rebuilt by replaying its current drop command against the new
-        model -- decisions before and after the swap are each fully
-        consistent with one model.
-        """
+        """Atomically repoint the live shedder at the fresh model."""
         assert self.shedder is not None
-        command = self.shedder._command  # noqa: SLF001 - controlled swap
-        was_active = self.shedder.active
-        self.shedder.model = model
-        self.shedder._rows = model.table.rows_by_type()  # noqa: SLF001
-        self.shedder._reference = model.reference_size  # noqa: SLF001
-        self.shedder._bin_size = model.bin_size  # noqa: SLF001
-        self.shedder._plan = None  # force partition/CDT rebuild  # noqa: SLF001
-        if command is not None:
-            self.shedder.on_drop_command(command)
-        if was_active:
-            self.shedder.activate()
+        self.shedder.rebind_model(model)
 
     # ------------------------------------------------------------------
     @property

@@ -1,6 +1,26 @@
-"""The eSPICE facade: train a model, get a shedder and a detector.
+"""Deprecated eSPICE facade -- use :mod:`repro.pipeline` instead.
 
-Typical usage (see ``examples/quickstart.py``)::
+This module predates the unified pipeline API and survives as a thin
+shim: the model training, shedder construction and detector wiring it
+used to hand-roll are now the same shared pieces the
+:class:`repro.pipeline.PipelineBuilder` composes
+(:class:`~repro.core.model.ModelBuilder`,
+:func:`repro.shedding.registry.create_shedder`,
+:func:`repro.core.fvalue.effective_f`).  New code should write::
+
+    pipeline = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .latency_bound(1.0)
+        .build()
+    )
+    pipeline.train(training_stream)
+    pipeline.deploy(expected_throughput=th, expected_input_rate=rate)
+    result = pipeline.simulate(live_stream, input_rate=rate, throughput=th)
+
+The legacy usage (see the old ``examples/quickstart.py``) keeps
+working::
 
     espice = ESpice(query, ESpiceConfig(latency_bound=1.0, f=0.8))
     espice.train(training_stream)
@@ -18,15 +38,20 @@ from typing import Iterable, Optional
 from repro.cep.events import Event
 from repro.cep.operator.operator import CEPOperator
 from repro.cep.patterns.query import Query
-from repro.core.fvalue import select_f
+from repro.core.fvalue import effective_f as _effective_f
 from repro.core.model import ModelBuilder, UtilityModel
 from repro.core.overload import OverloadDetector
 from repro.core.shedder import ESpiceShedder
+from repro.shedding.registry import create_shedder
 
 
 @dataclass
 class ESpiceConfig:
     """Knobs of the eSPICE framework.
+
+    Deprecated alongside :class:`ESpice`; the pipeline builder exposes
+    the same knobs (``latency_bound``, ``f``, ``bin_size``,
+    ``check_interval``, ``reference_size``) as fluent setters.
 
     Attributes
     ----------
@@ -53,7 +78,11 @@ class ESpiceConfig:
 
 
 class ESpice:
-    """Wires the utility model, shedder and overload detector together."""
+    """Deprecated facade wiring model, shedder and detector together.
+
+    Thin shim over the shared factories used by
+    :class:`repro.pipeline.PipelineBuilder`; prefer the builder.
+    """
 
     def __init__(self, query: Query, config: Optional[ESpiceConfig] = None) -> None:
         self.query = query
@@ -95,7 +124,7 @@ class ESpice:
     # ------------------------------------------------------------------
     def build_shedder(self) -> ESpiceShedder:
         """A fresh load shedder backed by the trained model."""
-        return ESpiceShedder(self._require_model())
+        return create_shedder("espice", model=self._require_model())
 
     def effective_f(
         self,
@@ -105,13 +134,13 @@ class ESpice:
         """The configured ``f``, or the auto-selected one when unset."""
         if self.config.f is not None:
             return self.config.f
-        model = self._require_model()
-        if expected_processing_latency <= 0.0:
-            raise ValueError("processing latency must be positive to select f")
-        qmax = self.config.latency_bound / expected_processing_latency
-        throughput = 1.0 / expected_processing_latency
-        surplus = max(0.0, expected_input_rate - throughput)
-        return select_f(model, qmax, surplus, expected_input_rate)
+        return _effective_f(
+            self._require_model(),
+            self.config.latency_bound,
+            None,
+            expected_processing_latency,
+            expected_input_rate,
+        )
 
     def build_detector(
         self,
@@ -127,14 +156,7 @@ class ESpice:
         selection has numbers to work with.
         """
         model = self._require_model()
-        if self.config.f is not None:
-            f = self.config.f
-        else:
-            if fixed_processing_latency is None or fixed_input_rate is None:
-                raise ValueError(
-                    "automatic f selection needs fixed latency and rate hints"
-                )
-            f = self.effective_f(fixed_processing_latency, fixed_input_rate)
+        f = self.effective_f(fixed_processing_latency, fixed_input_rate)
         return OverloadDetector(
             latency_bound=self.config.latency_bound,
             f=f,

@@ -146,3 +146,34 @@ def select_f(
         if all(cdt.value(boundary) >= x for cdt in cdts):
             return f
     return ordered[-1]
+
+
+def effective_f(
+    model: Optional[UtilityModel],
+    latency_bound: float,
+    configured_f: Optional[float],
+    expected_processing_latency: Optional[float],
+    expected_input_rate: Optional[float],
+) -> float:
+    """The configured ``f``, or the auto-selected one when unset.
+
+    Single home of the guard/selection logic shared by the deprecated
+    :class:`~repro.core.espice.ESpice` facade and the
+    :mod:`repro.pipeline` builder: a configured ``f`` wins outright;
+    automatic selection (paper §3.4) needs a trained model plus
+    expected processing latency / input rate hints and derives
+    ``qmax`` and the surplus rate from them before delegating to
+    :func:`select_f`.
+    """
+    if configured_f is not None:
+        return configured_f
+    if expected_processing_latency is None or expected_input_rate is None:
+        raise ValueError("automatic f selection needs fixed latency and rate hints")
+    if model is None:
+        raise ValueError("automatic f selection needs a trained model")
+    if expected_processing_latency <= 0.0:
+        raise ValueError("processing latency must be positive to select f")
+    qmax = latency_bound / expected_processing_latency
+    throughput = 1.0 / expected_processing_latency
+    surplus = max(0.0, expected_input_rate - throughput)
+    return select_f(model, qmax, surplus, expected_input_rate)

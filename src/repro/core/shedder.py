@@ -83,6 +83,34 @@ class ESpiceShedder(LoadShedder):
         return self._plan
 
     # ------------------------------------------------------------------
+    # hot model swap (§3.6 retraining; used by AdaptiveController and
+    # Pipeline.retrain)
+    # ------------------------------------------------------------------
+    def rebind_model(self, model: UtilityModel) -> None:
+        """Atomically repoint the live shedder at a fresh model.
+
+        The hot-path caches and per-partition thresholds are rebuilt by
+        replaying the current drop command against the new model --
+        decisions before and after the swap are each fully consistent
+        with one model, and the shedder keeps serving O(1) decisions
+        throughout.
+        """
+        command = self._command
+        was_active = self.active
+        self.model = model
+        self._rows = model.table.rows_by_type()
+        self._reference = model.reference_size
+        self._bin_size = model.bin_size
+        self._plan = None  # force partition/CDT rebuild
+        self._cdts = []
+        self._thresholds = []
+        self._partition_size = float(model.reference_size)
+        if command is not None:
+            self.on_drop_command(command)
+        if was_active:
+            self.activate()
+
+    # ------------------------------------------------------------------
     # per-event decision (Algorithm 2, lines 8-17)
     # ------------------------------------------------------------------
     def _decide(self, event: Event, position: int, predicted_ws: float) -> bool:

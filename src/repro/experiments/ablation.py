@@ -16,20 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.cdt import CDT, build_partition_cdts
-from repro.core.espice import ESpice, ESpiceConfig
-from repro.core.overload import OverloadDetector
+from repro.core.cdt import build_partition_cdts
 from repro.core.partitions import plan_partitions
 from repro.core.position_shares import PositionShares
 from repro.experiments import workloads
 from repro.experiments.common import ExperimentConfig, R1, format_rows
+from repro.pipeline import Pipeline
 from repro.queries import build_q1
 from repro.runtime.quality import compare_results, ground_truth
-from repro.runtime.simulation import (
-    SimulationConfig,
-    measure_mean_memberships,
-    simulate,
-)
+from repro.runtime.simulation import measure_mean_memberships
 
 
 @dataclass
@@ -77,40 +72,26 @@ def _run_espice_point(
     label: str,
     partition_override: Optional[int] = None,
 ) -> AblationRow:
-    espice = ESpice(
-        query,
-        ESpiceConfig(
-            latency_bound=config.latency_bound,
-            f=config.f,
-            bin_size=config.bin_size,
-            check_interval=config.check_interval,
-        ),
+    pipeline = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=config.f)
+        .latency_bound(config.latency_bound)
+        .bin_size(config.bin_size)
+        .check_interval(config.check_interval)
+        .build()
     )
-    model = espice.train(train_stream)
-    shedder = espice.build_shedder()
-    detector = OverloadDetector(
-        latency_bound=config.latency_bound,
-        f=config.f,
-        reference_size=model.reference_size,
-        shedder=shedder,
-        check_interval=config.check_interval,
-        fixed_processing_latency=1.0 / config.throughput,
-        fixed_input_rate=rate_factor * config.throughput,
+    pipeline.train(train_stream)
+    pipeline.deploy(
+        expected_throughput=config.throughput,
+        expected_input_rate=rate_factor * config.throughput,
         partition_override=partition_override,
     )
-    sim = simulate(
-        query,
+    sim = pipeline.simulate(
         eval_stream,
-        SimulationConfig(
-            input_rate=rate_factor * config.throughput,
-            throughput=config.throughput,
-            latency_bound=config.latency_bound,
-            check_interval=config.check_interval,
-            mean_memberships=measure_mean_memberships(query, eval_stream),
-        ),
-        shedder=shedder,
-        detector=detector,
-        prime_window_size=model.reference_size,
+        input_rate=rate_factor * config.throughput,
+        throughput=config.throughput,
+        mean_memberships=measure_mean_memberships(query, eval_stream),
     )
     report = compare_results(truth, sim.complex_events)
     stats = sim.latency.stats()
@@ -246,8 +227,14 @@ def ablation_position_shares(
     cfg = config or ExperimentConfig()
     train, _eval_stream = workloads.soccer_streams()
     query = build_q1(pattern_size)
-    espice = ESpice(query, ESpiceConfig(latency_bound=cfg.latency_bound, f=cfg.f))
-    model = espice.train(train)
+    pipeline = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=cfg.f)
+        .latency_bound(cfg.latency_bound)
+        .build()
+    )
+    model = pipeline.train(train).model
     plan = plan_partitions(
         model.reference_size, cfg.latency_bound * cfg.throughput, cfg.f
     )

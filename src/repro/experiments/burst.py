@@ -16,18 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.espice import ESpice, ESpiceConfig
-from repro.core.overload import OverloadDetector
 from repro.experiments import workloads
 from repro.experiments.common import ExperimentConfig, format_rows
+from repro.pipeline import Pipeline
 from repro.queries import build_q1
 from repro.runtime.arrivals import burst_arrivals
 from repro.runtime.quality import compare_results, ground_truth
-from repro.runtime.simulation import (
-    SimulationConfig,
-    measure_mean_memberships,
-    simulate,
-)
+from repro.runtime.simulation import measure_mean_memberships
 
 
 @dataclass
@@ -83,11 +78,18 @@ def burst_experiment(
     truth = ground_truth(query, eval_stream)
     mean_memberships = measure_mean_memberships(query, eval_stream)
 
-    espice = ESpice(
-        query,
-        ESpiceConfig(latency_bound=cfg.latency_bound, f=cfg.f, bin_size=8),
+    # train once; every (burst, f) point deploys a fresh pipeline around
+    # the shared pre-trained model
+    model = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=cfg.f)
+        .latency_bound(cfg.latency_bound)
+        .bin_size(8)
+        .build()
+        .train(train)
+        .model
     )
-    model = espice.train(train)
 
     result = BurstResult()
     for burst in burst_seconds:
@@ -99,29 +101,25 @@ def burst_experiment(
             burst_duration=burst,
         )
         for f in f_values:
-            shedder = espice.build_shedder()
-            detector = OverloadDetector(
-                latency_bound=cfg.latency_bound,
-                f=f,
-                reference_size=model.reference_size,
-                shedder=shedder,
-                check_interval=cfg.check_interval,
-                fixed_processing_latency=1.0 / cfg.throughput,
-                fixed_input_rate=burst_factor * cfg.throughput,
+            pipeline = (
+                Pipeline.builder()
+                .query(query)
+                .shedder("espice", f=f)
+                .latency_bound(cfg.latency_bound)
+                .bin_size(8)
+                .check_interval(cfg.check_interval)
+                .model(model)
+                .build()
             )
-            sim = simulate(
-                query,
+            pipeline.deploy(
+                expected_throughput=cfg.throughput,
+                expected_input_rate=burst_factor * cfg.throughput,
+            )
+            sim = pipeline.simulate(
                 eval_stream,
-                SimulationConfig(
-                    input_rate=base_factor * cfg.throughput,  # nominal; overridden
-                    throughput=cfg.throughput,
-                    latency_bound=cfg.latency_bound,
-                    check_interval=cfg.check_interval,
-                    mean_memberships=mean_memberships,
-                ),
-                shedder=shedder,
-                detector=detector,
-                prime_window_size=model.reference_size,
+                input_rate=base_factor * cfg.throughput,  # nominal; overridden
+                throughput=cfg.throughput,
+                mean_memberships=mean_memberships,
                 arrival_times=arrivals,
             )
             report = compare_results(truth, sim.complex_events)

@@ -20,19 +20,12 @@ from typing import Iterable, Optional, Tuple
 from repro.cep.events import EventStream
 from repro.cep.patterns.query import Query
 from repro.cep.windows import average_window_size, collect_windows
-from repro.core.espice import ESpice, ESpiceConfig
 from repro.core.overload import OverloadDetector
+from repro.pipeline import Pipeline
 from repro.runtime.latency import LatencyStats
 from repro.runtime.quality import QualityReport, compare_results, ground_truth
-from repro.runtime.simulation import (
-    SimulationConfig,
-    measure_mean_memberships,
-    simulate,
-)
+from repro.runtime.simulation import measure_mean_memberships
 from repro.shedding.base import LoadShedder
-from repro.shedding.baseline import BLShedder
-from repro.shedding.integral import IntegralShedder
-from repro.shedding.random_shedder import RandomShedder
 
 # The paper's two overload levels: input rate exceeds throughput by 20/40 %.
 R1 = 1.2
@@ -90,6 +83,45 @@ def reference_window_size(query: Query, stream: EventStream) -> int:
     return max(1, round(average_window_size(windows)))
 
 
+def strategy_pipeline(
+    strategy: str,
+    query: Query,
+    train_stream: EventStream,
+    config: ExperimentConfig,
+    rate_factor: float,
+) -> Pipeline:
+    """A trained, deployed single-query pipeline for one experiment run.
+
+    eSPICE fits its utility model on the training stream; the
+    comparator strategies skip model fitting, pin the reference window
+    size to the training stream's average (the historical protocol)
+    and only warm their online type statistics.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
+    builder = (
+        Pipeline.builder()
+        .query(query)
+        .shedder(strategy, seed=config.seed)
+        .latency_bound(config.latency_bound)
+        .f(config.f)
+        .bin_size(config.bin_size)
+        .check_interval(config.check_interval)
+    )
+    if strategy != "espice":
+        builder.reference_size(reference_window_size(query, train_stream))
+    pipeline = builder.build()
+    if strategy == "espice":
+        pipeline.train(train_stream)
+    else:
+        pipeline.warm(train_stream)
+    pipeline.deploy(
+        expected_throughput=config.throughput,
+        expected_input_rate=rate_factor * config.throughput,
+    )
+    return pipeline
+
+
 def build_strategy(
     strategy: str,
     query: Query,
@@ -97,56 +129,19 @@ def build_strategy(
     config: ExperimentConfig,
     rate_factor: float,
 ) -> Tuple[Optional[LoadShedder], Optional[OverloadDetector], float]:
-    """Construct (shedder, detector, reference window size) for a run."""
-    if strategy not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
-    input_rate = rate_factor * config.throughput
-    processing_latency = 1.0 / config.throughput
+    """Construct (shedder, detector, reference window size) for a run.
 
+    Legacy component view of :func:`strategy_pipeline`, kept for
+    callers that drive :func:`repro.runtime.simulation.simulate`
+    directly with loose components.
+    """
     if strategy == "none":
+        # ground-truth shape: no shedding machinery at all
         return None, None, float(reference_window_size(query, train_stream))
-
-    if strategy == "espice":
-        espice = ESpice(
-            query,
-            ESpiceConfig(
-                latency_bound=config.latency_bound,
-                f=config.f,
-                bin_size=config.bin_size,
-                check_interval=config.check_interval,
-            ),
-        )
-        model = espice.train(train_stream)
-        shedder: LoadShedder = espice.build_shedder()
-        detector = espice.build_detector(
-            shedder,
-            fixed_processing_latency=processing_latency,
-            fixed_input_rate=input_rate,
-        )
-        return shedder, detector, float(model.reference_size)
-
-    n = reference_window_size(query, train_stream)
-    if strategy in ("bl", "bl-integral"):
-        if strategy == "bl":
-            shedder = BLShedder(query.pattern, seed=config.seed)
-        else:
-            shedder = IntegralShedder(query.pattern, seed=config.seed)
-        # type-level baselines learn frequencies online; warm them up on
-        # the training stream so their plan is informed from the start
-        for event in train_stream:
-            shedder.observe(event)
-    else:  # random
-        shedder = RandomShedder(seed=config.seed)
-    detector = OverloadDetector(
-        latency_bound=config.latency_bound,
-        f=config.f,
-        reference_size=n,
-        shedder=shedder,
-        check_interval=config.check_interval,
-        fixed_processing_latency=processing_latency,
-        fixed_input_rate=input_rate,
-    )
-    return shedder, detector, float(n)
+    pipeline = strategy_pipeline(strategy, query, train_stream, config, rate_factor)
+    chain = pipeline.chains[0]
+    reference = chain.model.reference_size if chain.model else chain.detector.reference_size
+    return chain.shedder, chain.detector, float(reference)
 
 
 def run_quality_point(
@@ -166,23 +161,12 @@ def run_quality_point(
     cfg = config if config is not None else ExperimentConfig()
     if truth is None:
         truth = ground_truth(query, eval_stream)
-    shedder, detector, reference = build_strategy(
-        strategy, query, train_stream, cfg, rate_factor
-    )
-    sim_config = SimulationConfig(
+    pipeline = strategy_pipeline(strategy, query, train_stream, cfg, rate_factor)
+    result = pipeline.simulate(
+        eval_stream,
         input_rate=rate_factor * cfg.throughput,
         throughput=cfg.throughput,
-        latency_bound=cfg.latency_bound,
-        check_interval=cfg.check_interval,
         mean_memberships=measure_mean_memberships(query, eval_stream),
-    )
-    result = simulate(
-        query,
-        eval_stream,
-        sim_config,
-        shedder=shedder,
-        detector=detector,
-        prime_window_size=reference,
     )
     report = compare_results(truth, result.complex_events)
     return QualityOutcome(

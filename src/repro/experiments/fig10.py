@@ -16,9 +16,9 @@ from typing import List, Optional, Sequence
 
 from repro.cep.events import Event
 from repro.cep.operator.operator import CEPOperator
-from repro.core.espice import ESpice, ESpiceConfig
 from repro.experiments import workloads
 from repro.experiments.common import ExperimentConfig, format_rows
+from repro.pipeline import Pipeline
 from repro.queries import build_q2
 from repro.shedding.base import DropCommand, LoadShedder
 
@@ -91,14 +91,16 @@ def fig10_overhead(
     result = Fig10Result()
     for ws in window_seconds:
         query = build_q2(pattern_size, window_seconds=ws, symbols=symbols)
-        espice = ESpice(
-            query,
-            ESpiceConfig(
-                latency_bound=cfg.latency_bound, f=cfg.f, bin_size=cfg.bin_size
-            ),
+        pipeline = (
+            Pipeline.builder()
+            .query(query)
+            .shedder("espice", f=cfg.f)
+            .latency_bound(cfg.latency_bound)
+            .bin_size(cfg.bin_size)
+            .build()
         )
-        model = espice.train(train)
-        timing = TimingShedder(espice.build_shedder())
+        model = pipeline.train(train).model
+        timing = TimingShedder(pipeline.create_shedder())
         partition_size = model.reference_size / 2
         timing.on_drop_command(
             DropCommand(

@@ -19,8 +19,6 @@ from typing import List, Optional, Sequence
 from repro.cep.operator.operator import CEPOperator
 from repro.cep.patterns.query import Query
 from repro.core.model import ModelBuilder, UtilityModel
-from repro.core.overload import OverloadDetector
-from repro.core.shedder import ESpiceShedder
 from repro.experiments import workloads
 from repro.experiments.common import (
     ExperimentConfig,
@@ -28,13 +26,10 @@ from repro.experiments.common import (
     R2,
     format_rows,
 )
+from repro.pipeline import Pipeline
 from repro.queries import build_q1, build_q2
 from repro.runtime.quality import compare_results, ground_truth
-from repro.runtime.simulation import (
-    SimulationConfig,
-    measure_mean_memberships,
-    simulate,
-)
+from repro.runtime.simulation import measure_mean_memberships
 
 
 @dataclass
@@ -98,28 +93,27 @@ def _run_with_model(
     config: ExperimentConfig,
     truth,
 ):
-    shedder = ESpiceShedder(model)
-    detector = OverloadDetector(
-        latency_bound=config.latency_bound,
-        f=config.f,
-        reference_size=model.reference_size,
-        shedder=shedder,
-        check_interval=config.check_interval,
-        fixed_processing_latency=1.0 / config.throughput,
-        fixed_input_rate=rate_factor * config.throughput,
+    pipeline = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=config.f)
+        .latency_bound(config.latency_bound)
+        .check_interval(config.check_interval)
+        .model(model)
+        .build()
     )
-    sim = simulate(
-        query,
+    # prime=False: the paper's variable-window protocol lets the
+    # predictor converge from the observed (fixed-size) eval windows
+    pipeline.deploy(
+        expected_throughput=config.throughput,
+        expected_input_rate=rate_factor * config.throughput,
+        prime=False,
+    )
+    sim = pipeline.simulate(
         eval_stream,
-        SimulationConfig(
-            input_rate=rate_factor * config.throughput,
-            throughput=config.throughput,
-            latency_bound=config.latency_bound,
-            check_interval=config.check_interval,
-            mean_memberships=measure_mean_memberships(query, eval_stream),
-        ),
-        shedder=shedder,
-        detector=detector,
+        input_rate=rate_factor * config.throughput,
+        throughput=config.throughput,
+        mean_memberships=measure_mean_memberships(query, eval_stream),
     )
     return compare_results(truth, sim.complex_events)
 

@@ -1,0 +1,680 @@
+"""The unified pipeline: composable middleware chains around CEP operators.
+
+A :class:`Pipeline` is the single public entry point of the
+reproduction: it owns one :class:`QueryChain` per deployed query (all
+chains share the input stream -- multi-query fan-out) and drives each
+chain's middleware stages (see :mod:`repro.pipeline.stages`).
+
+Lifecycle::
+
+    pipeline = (
+        Pipeline.builder()
+        .query(q1).query(q2)
+        .shedder("espice", f=0.8)
+        .latency_bound(1.0)
+        .build()
+    )
+    pipeline.train(training_stream)       # fit utility models / warm baselines
+    pipeline.deploy(expected_throughput=1000.0, expected_input_rate=1400.0)
+
+    pipeline.feed(event)                  # push-based live ingestion
+    result = pipeline.run(live_stream)    # batch replay (event time)
+    outcome = pipeline.simulate(live_stream, input_rate=1400.0,
+                                throughput=1000.0)   # virtual-time overload
+
+    pipeline.retrain(fresh_stream)        # hot model swap, shedding uninterrupted
+
+Live ``feed``/``run`` process events synchronously in event time (the
+queue only buffers within one feed); the virtual-time overload
+replay -- the paper's experimental setup -- is provided by
+:func:`repro.runtime.simulation.simulate_pipeline`, which steps the
+same chains under a configured arrival rate and operator throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.cep.events import ComplexEvent, Event, EventStream
+from repro.cep.operator.operator import CEPOperator, ProcessResult
+from repro.cep.operator.queue import InputQueue, QueuedItem
+from repro.cep.parallel import WindowParallelOperator
+from repro.cep.patterns.query import Query
+from repro.core.adaptive import AdaptiveController
+from repro.core.fvalue import effective_f
+from repro.core.model import ModelBuilder, UtilityModel
+from repro.core.overload import OverloadDetector
+from repro.pipeline.stages import (
+    AdmissionStage,
+    EmitStage,
+    EventSink,
+    MatchStage,
+    ParallelMatchStage,
+    SheddingStage,
+    Stage,
+    StageContext,
+    WindowAssignStage,
+)
+from repro.shedding.base import LoadShedder
+from repro.shedding.registry import create_shedder, shedder_requirements
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (builder imports us)
+    from repro.runtime.simulation import SimulationResult
+
+
+def _materialise(stream: Iterable[Event]):
+    """A re-iterable view of ``stream``.
+
+    Training passes iterate the stream more than once (model fitting,
+    observer warm-up, one pass per fan-out chain); a plain generator
+    would silently exhaust after the first pass.
+    """
+    return stream if hasattr(stream, "__len__") else list(stream)
+
+
+@dataclass
+class PipelineConfig:
+    """Shared knobs of a pipeline (one copy per chain).
+
+    The same knobs the deprecated ``ESpiceConfig`` carried, plus the
+    queue capacity used for admission control in live mode.
+    """
+
+    latency_bound: float = 1.0
+    f: Optional[float] = 0.8
+    bin_size: int = 1
+    check_interval: float = 0.1
+    reference_size: Optional[int] = None
+    queue_capacity: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency_bound <= 0.0:
+            raise ValueError("latency bound must be positive")
+        if self.f is not None and not 0.0 <= self.f < 1.0:
+            raise ValueError("f must lie in [0, 1)")
+        if self.bin_size <= 0:
+            raise ValueError("bin size must be positive")
+        if self.check_interval <= 0.0:
+            raise ValueError("check interval must be positive")
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one :meth:`Pipeline.run` batch replay."""
+
+    matches: Dict[str, List[ComplexEvent]]
+    metrics: Dict[str, Dict[str, Dict[str, object]]]
+    events_fed: int
+
+    @property
+    def complex_events(self) -> List[ComplexEvent]:
+        """The first (or only) query's detections."""
+        return next(iter(self.matches.values()), [])
+
+    def for_query(self, name: str) -> List[ComplexEvent]:
+        """Detections of query ``name``."""
+        return self.matches[name]
+
+    def totals(self) -> Dict[str, int]:
+        """Detections per query."""
+        return {name: len(events) for name, events in self.matches.items()}
+
+
+class QueryChain:
+    """One query's middleware chain: stages, queue, model and shedding.
+
+    Built by :class:`repro.pipeline.builder.PipelineBuilder`; driven
+    either by :class:`Pipeline` (live mode) or by the virtual-time
+    simulation driver, both through the same four entry points:
+    :meth:`ingest`, :meth:`process_item`, :meth:`on_tick`,
+    :meth:`flush`.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        config: PipelineConfig,
+        strategy: Optional[str] = None,
+        strategy_options: Optional[dict] = None,
+        shedder: Optional[LoadShedder] = None,
+        detector: Optional[OverloadDetector] = None,
+        ingress_stages: Optional[List[Stage]] = None,
+        egress_stages: Optional[List[Stage]] = None,
+        degree: int = 1,
+        adaptive_options: Optional[dict] = None,
+        sinks: Optional[List[EventSink]] = None,
+        model: Optional[UtilityModel] = None,
+    ) -> None:
+        self.query = query
+        self.config = config
+        self.strategy = strategy
+        self.strategy_options = dict(strategy_options or {})
+        self.degree = degree
+        self.adaptive_options = adaptive_options
+        self.controller: Optional[AdaptiveController] = None
+        self.model: Optional[UtilityModel] = model
+        self._model_builder = ModelBuilder(
+            bin_size=config.bin_size, reference_size=config.reference_size
+        )
+        self._primed = False
+        self.deployed = False
+
+        # --- components ------------------------------------------------
+        self.queue = InputQueue(capacity=config.queue_capacity)
+        self.admission = AdmissionStage(self.queue, capacity=config.queue_capacity)
+        self.window_assign = WindowAssignStage(query.new_assigner(), self.queue)
+        if degree > 1:
+            self.parallel: Optional[WindowParallelOperator] = WindowParallelOperator(
+                query, degree=degree, shedder=None
+            )
+            self.operator: Optional[CEPOperator] = None
+            match_stage: Stage = ParallelMatchStage(self.parallel)
+        else:
+            self.parallel = None
+            self.operator = CEPOperator(query, shedder=None)
+            match_stage = MatchStage(self.operator)
+        self.match_stage = match_stage
+        self.shedding = SheddingStage(per_event=degree == 1)
+        self.shedding.operator = self.operator
+        self.shedding.queue = self.queue
+        self.emit = EmitStage(sinks)
+
+        self.ingress: List[Stage] = [
+            self.admission,
+            *(ingress_stages or []),
+            self.window_assign,
+        ]
+        self.egress: List[Stage] = [
+            self.shedding,
+            self.match_stage,
+            self.emit,
+            *(egress_stages or []),
+        ]
+        self.stages: List[Stage] = [*self.ingress, *self.egress]
+
+        # --- shedding machinery ---------------------------------------
+        self.shedder: Optional[LoadShedder] = None
+        self.detector: Optional[OverloadDetector] = None
+        if shedder is not None:
+            self._install_shedder(shedder)
+        elif strategy is not None:
+            requires_model, _requires_query = shedder_requirements(strategy)
+            if not requires_model:
+                # model-free strategies exist from the start so train()
+                # can warm their online statistics (e.g. BL frequencies)
+                self._install_shedder(self._create_shedder())
+        if detector is not None:
+            self._install_detector(detector)
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+    # ------------------------------------------------------------------
+    def _create_shedder(self) -> LoadShedder:
+        assert self.strategy is not None
+        return create_shedder(
+            self.strategy,
+            query=self.query,
+            model=self.model,
+            seed=self.config.seed,
+            **self.strategy_options,
+        )
+
+    def create_shedder(self) -> LoadShedder:
+        """A fresh, unwired shedder of this chain's strategy.
+
+        For callers that drive components manually (micro-benchmarks,
+        the deprecated facade); :meth:`deploy` wires its own.
+        """
+        if self.strategy is None:
+            raise RuntimeError("no shedding strategy configured")
+        return self._create_shedder()
+
+    def _install_shedder(self, shedder: LoadShedder) -> None:
+        self.shedder = shedder
+        self.shedding.shedder = shedder
+        if self.parallel is not None:
+            self.parallel.shedder = shedder
+
+    def _install_detector(self, detector: OverloadDetector) -> None:
+        self.detector = detector
+        self.shedding.detector = detector
+        self.admission.detector = detector
+
+    def _prime(self, size: float, weight: int = 10) -> None:
+        if self._primed or size <= 0:
+            return
+        target = self.operator if self.operator is not None else self.parallel
+        target.prime_window_size(size, weight=weight)
+        self._primed = True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def train(self, stream: Iterable[Event]) -> UtilityModel:
+        """Fit the utility model on ``stream``; statistics accumulate."""
+        stream = _materialise(stream)
+        trainer = CEPOperator(self.query, shedder=None)
+        trainer.add_window_listener(self._model_builder.observe)
+        trainer.detect_all(stream)
+        self.model = self._model_builder.build()
+        self._warm_observers(stream)
+        return self.model
+
+    def warm(self, stream: Iterable[Event]) -> None:
+        """Feed ``stream`` to shedders that learn statistics online.
+
+        Type-level baselines (BL, integral) learn per-type frequencies
+        from observed events; warming them on the training stream makes
+        their plan informed from the start without fitting a utility
+        model.  No-op for strategies without online statistics.
+        """
+        self._warm_observers(stream)
+
+    def _warm_observers(self, stream: Iterable[Event]) -> None:
+        if self.shedder is not None and hasattr(self.shedder, "observe"):
+            for event in stream:
+                self.shedder.observe(event)
+
+    def deploy(
+        self,
+        expected_throughput: Optional[float] = None,
+        expected_input_rate: Optional[float] = None,
+        f: Optional[float] = None,
+        partition_override: Optional[int] = None,
+        prime: bool = True,
+    ) -> "QueryChain":
+        """Build and wire the shedder + overload detector.
+
+        ``expected_throughput`` / ``expected_input_rate`` pin the
+        detector's estimators (deterministic experiments); leave them
+        unset to let the detector estimate ``l(p)`` and ``R`` online.
+        ``f`` overrides the configured trigger fraction for this
+        deployment (parameter sweeps re-deploy the same trained
+        pipeline).  ``prime=False`` leaves the window-size predictor
+        cold (it then converges from observed windows only).
+        """
+        reference = (
+            self.model.reference_size
+            if self.model is not None
+            else self.config.reference_size
+        )
+        if self.strategy is None:
+            return self  # nothing to deploy: unshedded chain
+        if self.strategy == "none":
+            if prime:
+                self._prime(reference or 0)
+            self.deployed = True
+            return self
+        requires_model, _ = shedder_requirements(self.strategy)
+        configured_f = f if f is not None else self.config.f
+        if self.model is None and (requires_model or configured_f is None):
+            raise RuntimeError("train() must be called before deploy()")
+        if reference is None:
+            raise RuntimeError(
+                "deploy() needs a reference window size: call train() "
+                "or pin it with reference_size()"
+            )
+        if requires_model or self.shedder is None:
+            self._install_shedder(self._create_shedder())
+        processing_latency = (
+            1.0 / expected_throughput if expected_throughput else None
+        )
+        chosen_f = effective_f(
+            self.model,
+            self.config.latency_bound,
+            configured_f,
+            processing_latency,
+            expected_input_rate,
+        )
+        self._install_detector(
+            OverloadDetector(
+                latency_bound=self.config.latency_bound,
+                f=chosen_f,
+                reference_size=reference,
+                shedder=self.shedder,
+                check_interval=self.config.check_interval,
+                fixed_processing_latency=processing_latency,
+                fixed_input_rate=expected_input_rate,
+                partition_override=partition_override,
+            )
+        )
+        if prime:
+            self._prime(reference)
+        if self.adaptive_options is not None and self.operator is not None:
+            if self.controller is not None:
+                # re-deploy: detach the previous controller so stale
+                # instances neither double-count windows nor hot-swap
+                # models into a shedder no longer wired to the chain
+                self.operator.remove_window_listener(self.controller.observe)
+            self.controller = AdaptiveController(
+                self.model, self._adaptive_shedder(), **self.adaptive_options
+            )
+            self.operator.add_window_listener(self.controller.observe)
+        self.deployed = True
+        return self
+
+    def _adaptive_shedder(self):
+        # the controller hot-swaps utility models; only the eSPICE
+        # shedder carries one
+        return self.shedder if hasattr(self.shedder, "rebind_model") else None
+
+    def retrain(self, stream: Iterable[Event]) -> UtilityModel:
+        """Retrain from scratch on ``stream`` and hot-swap the model.
+
+        The live shedder keeps serving O(1) decisions throughout
+        (paper §3.6): the new model is swapped in atomically via
+        :meth:`repro.core.shedder.ESpiceShedder.rebind_model`, the
+        detector's reference size is updated, and any adaptive
+        controller is rebound.
+        """
+        self._model_builder = ModelBuilder(
+            bin_size=self.config.bin_size, reference_size=self.config.reference_size
+        )
+        new_model = self.train(stream)
+        if self.shedder is not None and hasattr(self.shedder, "rebind_model"):
+            self.shedder.rebind_model(new_model)
+        if self.detector is not None:
+            self.detector.reference_size = new_model.reference_size
+        if self.controller is not None:
+            self.controller.model = new_model
+            self.controller.detector.rebind(new_model)
+        return new_model
+
+    # ------------------------------------------------------------------
+    # event path (shared by live mode and the simulation driver)
+    # ------------------------------------------------------------------
+    def ingest(self, event: Event, now: float) -> bool:
+        """Run the ingress half; returns False when the event was vetoed."""
+        ctx = StageContext(event=event, now=now)
+        for stage in self.ingress:
+            if stage.on_event(ctx) is False:
+                return False
+        return True
+
+    def process_item(self, item: QueuedItem, now: float) -> ProcessResult:
+        """Run the egress half over one dequeued item."""
+        ctx = StageContext(event=item.event, now=now, item=item)
+        for stage in self.egress:
+            if stage.on_event(ctx) is False:
+                break
+        return ctx.result if ctx.result is not None else ProcessResult()
+
+    def drain(self, now: float) -> List[ComplexEvent]:
+        """Process every queued item (live mode's synchronous drain)."""
+        complex_events: List[ComplexEvent] = []
+        while self.queue:
+            item = self.queue.pop()
+            complex_events.extend(self.process_item(item, now).complex_events)
+        return complex_events
+
+    def on_tick(self, now: float) -> None:
+        """Periodic duty for every stage (detector checks, refills)."""
+        for stage in self.stages:
+            stage.on_tick(now)
+
+    def flush(self, now: float = 0.0) -> List[ComplexEvent]:
+        """Complete still-open windows at end of stream and emit them."""
+        windows = self.window_assign.flush()
+        complex_events = self.match_stage.flush(windows, now)
+        if complex_events:
+            self.emit.dispatch(complex_events)
+        return complex_events
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Dict[str, object]]:
+        """Per-stage metrics, keyed by stage name."""
+        report: Dict[str, Dict[str, object]] = {}
+        for stage in self.stages:
+            report[stage.name] = stage.metrics()
+        return report
+
+    def backpressure(self) -> Dict[str, object]:
+        """Queue depth and rejection counters of this chain."""
+        return {
+            "queue_depth": self.queue.size,
+            "max_queue_depth": self.window_assign.max_queue_depth,
+            "rejected": self.admission.rejected + self.window_assign.rejected,
+        }
+
+
+class Pipeline:
+    """Multi-query CEP pipeline with middleware-stage event paths."""
+
+    def __init__(self, chains: List[QueryChain], config: PipelineConfig) -> None:
+        if not chains:
+            raise ValueError("a pipeline needs at least one query chain")
+        names = [chain.query.name for chain in chains]
+        if len(set(names)) != len(names):
+            raise ValueError(f"query names must be unique, got {names}")
+        self.chains = chains
+        self.config = config
+        self._events_fed = 0
+        self._next_tick: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def builder() -> "PipelineBuilder":
+        """Start a fluent :class:`PipelineBuilder`."""
+        from repro.pipeline.builder import PipelineBuilder
+
+        return PipelineBuilder()
+
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> List[Query]:
+        """The deployed queries, in chain order."""
+        return [chain.query for chain in self.chains]
+
+    @property
+    def models(self) -> Dict[str, Optional[UtilityModel]]:
+        """Trained models per query name."""
+        return {chain.query.name: chain.model for chain in self.chains}
+
+    @property
+    def model(self) -> Optional[UtilityModel]:
+        """The first (or only) chain's trained model."""
+        return self.chains[0].model
+
+    def chain(self, name: str) -> QueryChain:
+        """The chain deployed for query ``name``."""
+        for chain in self.chains:
+            if chain.query.name == name:
+                return chain
+        raise KeyError(f"no chain for query {name!r}")
+
+    def create_shedder(self) -> LoadShedder:
+        """A fresh, unwired shedder of the first chain's strategy."""
+        return self.chains[0].create_shedder()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def train(self, stream: Iterable[Event]) -> "Pipeline":
+        """Fit every chain's utility model on ``stream`` (accumulates)."""
+        stream = _materialise(stream)
+        for chain in self.chains:
+            chain.train(stream)
+        return self
+
+    def deploy(
+        self,
+        expected_throughput: Optional[float] = None,
+        expected_input_rate: Optional[float] = None,
+        f: Optional[float] = None,
+        partition_override: Optional[int] = None,
+        prime: bool = True,
+    ) -> "Pipeline":
+        """Build shedders and overload detectors for every chain."""
+        for chain in self.chains:
+            chain.deploy(
+                expected_throughput=expected_throughput,
+                expected_input_rate=expected_input_rate,
+                f=f,
+                partition_override=partition_override,
+                prime=prime,
+            )
+        return self
+
+    def warm(self, stream: Iterable[Event]) -> "Pipeline":
+        """Warm shedders with online statistics (no model fitting)."""
+        stream = _materialise(stream)
+        for chain in self.chains:
+            chain.warm(stream)
+        return self
+
+    def retrain(self, stream: Iterable[Event]) -> "Pipeline":
+        """Retrain every chain on ``stream`` and hot-swap live models."""
+        stream = _materialise(stream)
+        for chain in self.chains:
+            chain.retrain(stream)
+        return self
+
+    # ------------------------------------------------------------------
+    # live ingestion (push-based, event time)
+    # ------------------------------------------------------------------
+    def feed(
+        self, event: Event, now: Optional[float] = None
+    ) -> Dict[str, List[ComplexEvent]]:
+        """Push one live event through every chain.
+
+        Time advances with the event's timestamp (or an explicit
+        ``now``); periodic stage duty runs on the configured check
+        interval.  Returns the complex events each query detected as a
+        consequence of this event.
+        """
+        at = now if now is not None else event.timestamp
+        self._advance_ticks(at)
+        out: Dict[str, List[ComplexEvent]] = {}
+        for chain in self.chains:
+            admitted = chain.ingest(event, at)
+            out[chain.query.name] = chain.drain(at) if admitted else []
+        self._events_fed += 1
+        return out
+
+    def _advance_ticks(self, now: float) -> None:
+        if self._next_tick is None:
+            self._next_tick = now + self.config.check_interval
+            return
+        while self._next_tick <= now:
+            for chain in self.chains:
+                chain.on_tick(self._next_tick)
+            self._next_tick += self.config.check_interval
+
+    def run(self, stream: Iterable[Event]) -> PipelineResult:
+        """Replay ``stream`` through every chain in event time.
+
+        Synchronous batch mode: no queueing delays, no shedding unless
+        a shedder was activated explicitly -- with a default deployment
+        this equals the ground truth of an unconstrained operator.
+        Returns everything collected since the previous ``run``.
+        """
+        for chain in self.chains:
+            chain.emit.drain_collected()
+            chain.emit.retain = True
+        fed_before = self._events_fed
+        chains = self.chains
+        last = 0.0
+        try:
+            # tighter per-event loop than feed(): detections accumulate
+            # in the emit stages, so no per-event result dict is built
+            for event in stream:
+                last = event.timestamp
+                self._advance_ticks(last)
+                for chain in chains:
+                    if chain.ingest(event, last):
+                        queue = chain.queue
+                        while queue:
+                            chain.process_item(queue.pop(), last)
+                self._events_fed += 1
+            matches = {}
+            for chain in self.chains:
+                chain.flush(now=last)
+                matches[chain.query.name] = chain.emit.drain_collected()
+        finally:
+            for chain in self.chains:
+                chain.emit.retain = False
+        return PipelineResult(
+            matches=matches,
+            metrics=self.metrics(),
+            events_fed=self._events_fed - fed_before,
+        )
+
+    # ------------------------------------------------------------------
+    # virtual-time overload simulation (the paper's experimental setup)
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        stream: EventStream,
+        input_rate: float,
+        throughput: float,
+        latency_bound: Optional[float] = None,
+        check_interval: Optional[float] = None,
+        mean_memberships: Optional[float] = None,
+        idle_cost_fraction: float = 0.05,
+        arrival_times: Optional[List[float]] = None,
+    ) -> "SimulationResult":
+        """Replay ``stream`` at ``input_rate`` against operator capacity
+        ``throughput`` in deterministic virtual time.
+
+        Convenience wrapper over
+        :func:`repro.runtime.simulation.simulate_pipeline`; per-chain
+        ``mean_memberships`` are measured from the stream when not
+        given.  Returns the first chain's
+        :class:`~repro.runtime.simulation.SimulationResult` for
+        single-query pipelines; use
+        :func:`~repro.runtime.simulation.simulate_pipeline` directly
+        for per-query results of a fan-out pipeline.
+        """
+        from repro.runtime.simulation import (
+            SimulationConfig,
+            measure_mean_memberships,
+            simulate_pipeline,
+        )
+
+        memberships = {
+            chain.query.name: (
+                mean_memberships
+                if mean_memberships is not None
+                else measure_mean_memberships(chain.query, stream)
+            )
+            for chain in self.chains
+        }
+        config = SimulationConfig(
+            input_rate=input_rate,
+            throughput=throughput,
+            latency_bound=(
+                latency_bound
+                if latency_bound is not None
+                else self.config.latency_bound
+            ),
+            check_interval=(
+                check_interval
+                if check_interval is not None
+                else self.config.check_interval
+            ),
+            idle_cost_fraction=idle_cost_fraction,
+            mean_memberships=memberships[self.chains[0].query.name],
+        )
+        results = simulate_pipeline(
+            self,
+            stream,
+            config,
+            arrival_times=arrival_times,
+            mean_memberships=memberships,
+        )
+        return results[self.chains[0].query.name]
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Per-chain, per-stage metrics."""
+        return {chain.query.name: chain.metrics() for chain in self.chains}
+
+    def backpressure(self) -> Dict[str, Dict[str, object]]:
+        """Per-chain queue depth and rejection counters."""
+        return {chain.query.name: chain.backpressure() for chain in self.chains}

@@ -1,0 +1,455 @@
+"""Middleware stages of the pipeline's event path.
+
+A :class:`~repro.pipeline.pipeline.Pipeline` routes every input event
+through an explicit chain of stages (the middleware idiom of web
+frameworks, applied to a CEP operator)::
+
+    AdmissionStage -> [custom ingress stages] -> WindowAssignStage
+        ||  (input queue)
+    SheddingStage -> MatchStage -> EmitStage -> [custom egress stages]
+
+The queue splits the chain into an *ingress* half (runs at arrival
+time: admission control, user middleware, window assignment, enqueue)
+and an *egress* half (runs when the operator picks the item up:
+shedding decision, pattern matching, emission).  Live feeds drain the
+queue synchronously; the virtual-time simulation driver
+(:func:`repro.runtime.simulation.simulate_pipeline`) schedules the two
+halves itself, which is how the same chain serves both push-based
+ingestion and deterministic replay.
+
+Every stage implements the common :class:`Stage` protocol --
+``on_event`` / ``on_tick`` / ``metrics`` -- so cross-cutting concerns
+(rate limiting, sampling, logging, ...) drop into the chain exactly
+like framework middleware; :class:`RateLimitStage`,
+:class:`SamplingStage` and :class:`LoggingStage` are ready-made
+examples.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.cep.events import ComplexEvent, Event
+from repro.cep.operator.operator import CEPOperator, ProcessResult
+from repro.cep.operator.queue import InputQueue, QueuedItem
+from repro.cep.parallel import WindowParallelOperator
+from repro.cep.windows import Window, WindowAssigner
+from repro.core.overload import OverloadDetector
+from repro.shedding.base import LoadShedder
+
+#: Signature of a complex-event subscriber attached to the emit stage.
+EventSink = Callable[[ComplexEvent], None]
+
+
+class StageContext:
+    """Mutable context threaded through the chain for one event.
+
+    Ingress stages read/replace :attr:`event` and may veto it; the
+    window-assign stage fills :attr:`item`; egress stages fill
+    :attr:`drops` and :attr:`result`.
+    """
+
+    __slots__ = ("event", "now", "item", "drops", "result")
+
+    def __init__(
+        self,
+        event: Optional[Event] = None,
+        now: float = 0.0,
+        item: Optional[QueuedItem] = None,
+    ) -> None:
+        self.event = event
+        self.now = now
+        self.item = item
+        self.drops: Optional[List[bool]] = None
+        self.result: Optional[ProcessResult] = None
+
+
+class Stage:
+    """Base middleware stage: ``on_event`` / ``on_tick`` / ``metrics``.
+
+    ``on_event`` returns ``False`` to stop the chain for this event
+    (admission reject, sampling drop, rate limit, ...); anything else
+    continues.  ``on_tick`` receives the advancing (virtual or event)
+    time so periodic work -- overload checks, token refills -- happens
+    without piggybacking on event arrivals.  ``metrics`` reports the
+    stage's counters; the pipeline aggregates them per query chain, so
+    backpressure and drop behaviour are observable per stage.
+    """
+
+    #: Stable name used as the metrics key; subclasses override.
+    name: str = "stage"
+
+    def on_event(self, ctx: StageContext) -> bool:
+        return True
+
+    def on_tick(self, now: float) -> None:
+        pass
+
+    def metrics(self) -> Dict[str, object]:
+        return {}
+
+
+# ----------------------------------------------------------------------
+# the five core stages
+# ----------------------------------------------------------------------
+class AdmissionStage(Stage):
+    """Entry of the chain: arrival accounting and admission control.
+
+    Counts every offered event, feeds the overload detector's
+    input-rate estimator, and -- when a queue capacity is configured --
+    rejects events that would overflow the queue (reported as
+    backpressure instead of unbounded latency growth).
+    """
+
+    name = "admission"
+
+    def __init__(
+        self, queue: InputQueue, capacity: Optional[int] = None
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.queue = queue
+        self.capacity = capacity
+        self.detector: Optional[OverloadDetector] = None
+        self.arrivals = 0
+        self.rejected = 0
+
+    def on_event(self, ctx: StageContext) -> bool:
+        self.arrivals += 1
+        if self.capacity is not None and self.queue.size >= self.capacity:
+            self.rejected += 1
+            return False
+        if self.detector is not None:
+            self.detector.record_arrival(ctx.now)
+        return True
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "arrivals": self.arrivals,
+            "rejected": self.rejected,
+            "queue_depth": self.queue.size,
+        }
+
+
+class WindowAssignStage(Stage):
+    """Window assignment at arrival, then enqueue (paper §2).
+
+    Window membership is a pure function of the raw stream and happens
+    *before* the queue -- the shedder later drops an event from
+    individual windows, not from the stream -- so this stage converts
+    an event into a :class:`QueuedItem` carrying its memberships and
+    any windows its arrival closed, and pushes it onto the input queue.
+    """
+
+    name = "window_assign"
+
+    def __init__(self, assigner: WindowAssigner, queue: InputQueue) -> None:
+        self.assigner = assigner
+        self.queue = queue
+        self.assigned_memberships = 0
+        self.windows_closed = 0
+        self.rejected = 0
+        self.max_queue_depth = 0
+
+    def on_event(self, ctx: StageContext) -> bool:
+        assignment = self.assigner.on_event(ctx.event)
+        ctx.item = QueuedItem(
+            event=ctx.event,
+            refs=assignment.assignments,
+            closed_windows=assignment.closed,
+            enqueue_time=ctx.now,
+        )
+        self.assigned_memberships += len(assignment.assignments)
+        self.windows_closed += len(assignment.closed)
+        if not self.queue.push(ctx.item):
+            self.rejected += 1
+            return False
+        self.max_queue_depth = max(self.max_queue_depth, self.queue.size)
+        return True
+
+    def flush(self) -> List[Window]:
+        """Close every still-open window (end of stream)."""
+        return self.assigner.flush()
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "memberships": self.assigned_memberships,
+            "windows_closed": self.windows_closed,
+            "rejected": self.rejected,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class SheddingStage(Stage):
+    """Per-membership drop decisions plus overload-detector duty.
+
+    Owns the chain's load shedder and overload detector.  Per item it
+    asks the shedder, per (event, window) membership, whether to drop
+    (an O(1) decision, paper §3.5) and records the verdicts on the
+    context for the match stage to apply.  Per tick it runs the
+    detector's periodic queue check (paper §3.4), which
+    activates/deactivates the shedder and renews its drop command.
+
+    ``per_event=False`` (window-parallel chains) skips the per-event
+    decisions: there the operator sheds whole windows at completion.
+    """
+
+    name = "shedding"
+
+    def __init__(
+        self,
+        shedder: Optional[LoadShedder] = None,
+        detector: Optional[OverloadDetector] = None,
+        per_event: bool = True,
+    ) -> None:
+        self.shedder = shedder
+        self.detector = detector
+        self.per_event = per_event
+        # wired by the chain: decisions scale positions against the
+        # match operator's predicted window size, checks read the queue
+        self.operator: Optional[CEPOperator] = None
+        self.queue: Optional[InputQueue] = None
+
+    def on_event(self, ctx: StageContext) -> bool:
+        if self.per_event and self.shedder is not None and self.operator is not None:
+            ctx.drops = self.operator.decide(ctx.item, shedder=self.shedder)
+        return True
+
+    def on_tick(self, now: float) -> None:
+        if self.detector is not None and self.queue is not None:
+            self.detector.check(now, self.queue.size)
+
+    def metrics(self) -> Dict[str, object]:
+        if self.shedder is None:
+            return {"active": False, "decisions": 0, "drops": 0}
+        return {
+            "active": self.shedder.active,
+            "decisions": self.shedder.decisions,
+            "drops": self.shedder.drops,
+            "drop_rate": self.shedder.observed_drop_rate(),
+        }
+
+
+class MatchStage(Stage):
+    """The CEP operator: window buffers and pattern matching.
+
+    Applies the shedding stage's decisions to the operator's window
+    buffers and, when the item closed windows, runs the query's matcher
+    over their kept contents to produce complex events
+    (:class:`ProcessResult` on the context).
+    """
+
+    name = "match"
+
+    def __init__(self, operator: CEPOperator) -> None:
+        self.operator = operator
+
+    def on_event(self, ctx: StageContext) -> bool:
+        ctx.result = self.operator.apply(ctx.item, ctx.drops, now=ctx.now)
+        return True
+
+    def flush(self, windows: List[Window], now: float) -> List[ComplexEvent]:
+        """Complete still-open windows at end of stream."""
+        return self.operator.flush(windows, now=now)
+
+    def metrics(self) -> Dict[str, object]:
+        stats = self.operator.stats
+        return {
+            "events_processed": stats.events_processed,
+            "memberships_kept": stats.memberships_kept,
+            "memberships_dropped": stats.memberships_dropped,
+            "windows_completed": stats.windows_completed,
+            "complex_events": stats.complex_events,
+            "drop_ratio": stats.drop_ratio(),
+        }
+
+
+class ParallelMatchStage(Stage):
+    """Window-parallel matching (RIP/SPECTRE deployment shape, §5).
+
+    Complete windows are dispatched round-robin over ``degree`` logical
+    operator instances of a shared
+    :class:`~repro.cep.parallel.WindowParallelOperator`; shedding (if
+    any) happens per window at completion through the shared shedder,
+    which is what makes detections invariant in the parallelism degree.
+    """
+
+    name = "match"
+
+    def __init__(self, parallel: WindowParallelOperator) -> None:
+        self.parallel = parallel
+
+    def on_event(self, ctx: StageContext) -> bool:
+        complex_events: List[ComplexEvent] = []
+        for window in ctx.item.closed_windows:
+            complex_events.extend(self.parallel.process_window(window, now=ctx.now))
+        ctx.result = ProcessResult(complex_events=complex_events)
+        return True
+
+    def flush(self, windows: List[Window], now: float) -> List[ComplexEvent]:
+        complex_events: List[ComplexEvent] = []
+        for window in windows:
+            complex_events.extend(self.parallel.process_window(window, now=now))
+        return complex_events
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "degree": self.parallel.degree,
+            "windows_completed": self.parallel.total_windows(),
+            "load_imbalance": self.parallel.load_imbalance(),
+            "complex_events": sum(
+                s.complex_events for s in self.parallel.instance_stats
+            ),
+        }
+
+
+class EmitStage(Stage):
+    """Exit of the chain: fan out complex events, optionally collect.
+
+    Notifies subscribed sinks (callbacks) -- the hook a downstream
+    operator, dashboard or alerting integration attaches to.  While
+    :attr:`retain` is set (``Pipeline.run`` sets it for the duration of
+    a batch replay) detections are also collected for the result
+    object; push-based ``feed()`` and the simulation driver leave it
+    off, so a long-running live deployment does not accumulate
+    detections unboundedly.
+    """
+
+    name = "emit"
+
+    def __init__(self, sinks: Optional[List[EventSink]] = None) -> None:
+        self.sinks: List[EventSink] = list(sinks or [])
+        self.collected: List[ComplexEvent] = []
+        self.retain = False
+        self.emitted = 0
+
+    def subscribe(self, sink: EventSink) -> None:
+        self.sinks.append(sink)
+
+    def on_event(self, ctx: StageContext) -> bool:
+        if ctx.result is not None and ctx.result.complex_events:
+            self.dispatch(ctx.result.complex_events)
+        return True
+
+    def dispatch(self, complex_events: List[ComplexEvent]) -> None:
+        """Record and fan out detections (also used by the flush path)."""
+        if self.retain:
+            self.collected.extend(complex_events)
+        self.emitted += len(complex_events)
+        for sink in self.sinks:
+            for complex_event in complex_events:
+                sink(complex_event)
+
+    def drain_collected(self) -> List[ComplexEvent]:
+        """Return and clear the collected detections."""
+        collected = self.collected
+        self.collected = []
+        return collected
+
+    def metrics(self) -> Dict[str, object]:
+        return {"emitted": self.emitted, "sinks": len(self.sinks)}
+
+
+# ----------------------------------------------------------------------
+# ready-made custom stages (the middleware extension point)
+# ----------------------------------------------------------------------
+class LoggingStage(Stage):
+    """Observability middleware: per-type counts plus optional logging."""
+
+    name = "logging"
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        level: int = logging.DEBUG,
+        name: str = "logging",
+    ) -> None:
+        self.name = name
+        self.logger = logger
+        self.level = level
+        self.seen = 0
+        self.by_type: Dict[str, int] = {}
+
+    def on_event(self, ctx: StageContext) -> bool:
+        self.seen += 1
+        event_type = ctx.event.event_type
+        self.by_type[event_type] = self.by_type.get(event_type, 0) + 1
+        if self.logger is not None:
+            self.logger.log(
+                self.level, "event %s seq=%d t=%.3f", event_type, ctx.event.seq, ctx.now
+            )
+        return True
+
+    def metrics(self) -> Dict[str, object]:
+        return {"seen": self.seen, "by_type": dict(self.by_type)}
+
+
+class SamplingStage(Stage):
+    """Input sampling middleware: keep each event with probability ``p``."""
+
+    name = "sampling"
+
+    def __init__(self, keep_probability: float, seed: int = 0) -> None:
+        if not 0.0 <= keep_probability <= 1.0:
+            raise ValueError("keep probability must lie in [0, 1]")
+        self.keep_probability = keep_probability
+        self._rng = random.Random(seed)
+        self.kept = 0
+        self.dropped = 0
+
+    def on_event(self, ctx: StageContext) -> bool:
+        if self._rng.random() < self.keep_probability:
+            self.kept += 1
+            return True
+        self.dropped += 1
+        return False
+
+    def metrics(self) -> Dict[str, object]:
+        return {"kept": self.kept, "dropped": self.dropped}
+
+
+class RateLimitStage(Stage):
+    """Token-bucket rate limiting middleware (events/second of stream time).
+
+    A coarse admission guard upstream of the window assigner -- unlike
+    load shedding it is utility-blind, which makes it the right tool
+    only for abusive sources, not for overload quality control.
+    """
+
+    name = "rate_limit"
+
+    def __init__(self, events_per_second: float, burst: Optional[float] = None) -> None:
+        if events_per_second <= 0.0:
+            raise ValueError("rate limit must be positive")
+        self.rate = events_per_second
+        self.burst = burst if burst is not None else events_per_second
+        self._tokens = self.burst
+        self._last_refill: Optional[float] = None
+        self.passed = 0
+        self.limited = 0
+
+    def _refill(self, now: float) -> None:
+        if self._last_refill is None:
+            self._last_refill = now
+            return
+        elapsed = max(0.0, now - self._last_refill)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last_refill = now
+
+    def on_event(self, ctx: StageContext) -> bool:
+        self._refill(ctx.now)
+        # epsilon absorbs float drift from repeated elapsed-time sums
+        if self._tokens >= 1.0 - 1e-9:
+            self._tokens = max(0.0, self._tokens - 1.0)
+            self.passed += 1
+            return True
+        self.limited += 1
+        return False
+
+    def on_tick(self, now: float) -> None:
+        self._refill(now)
+
+    def metrics(self) -> Dict[str, object]:
+        return {"passed": self.passed, "limited": self.limited, "tokens": self._tokens}

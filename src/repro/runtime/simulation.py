@@ -1,12 +1,20 @@
-"""Virtual-time simulation of the overloaded CEP pipeline.
+"""Virtual-time simulation: the deterministic driver of a Pipeline.
 
 Reproduces the paper's experimental setup deterministically: a stored
-stream is replayed into the operator's input queue at a configured
+stream is replayed into each query chain's input queue at a configured
 input rate ``R`` (events/second of virtual time) while the operator
 drains it at throughput ``th``.  When ``R > th`` the queue grows, the
 overload detector reacts (paper §3.4), the shedder drops events, and
 per-event latencies are recorded -- all in virtual time, so runs are
 exactly repeatable.
+
+Since the pipeline API redesign this module no longer hand-assembles
+operator + queue + detector: :func:`simulate_pipeline` steps the
+middleware chains of a :class:`repro.pipeline.Pipeline` (ingress at
+arrival, detector ticks on the check interval, egress when the
+operator picks an item up), and :func:`simulate` is a thin
+single-query wrapper that builds the pipeline from loose components
+for backward compatibility.
 
 Cost model
 ----------
@@ -33,17 +41,20 @@ latency use arrival/processing times (processing time).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Union
 
-from repro.cep.events import ComplexEvent, Event, EventStream
-from repro.cep.operator.operator import CEPOperator, OperatorStats
-from repro.cep.operator.queue import InputQueue, QueuedItem
+from repro.cep.events import ComplexEvent, EventStream
+from repro.cep.operator.operator import OperatorStats
 from repro.cep.patterns.query import Query
 from repro.core.overload import OverloadDetector
 from repro.runtime.latency import LatencyTracker
 from repro.shedding.base import LoadShedder
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (pipeline calls back here)
+    from repro.pipeline.pipeline import Pipeline
 
 _INFINITY = math.inf
 
@@ -71,7 +82,8 @@ class SimulationConfig:
     input_rate:
         ``R``: arrival rate into the queue (events/second).
     throughput:
-        ``th``: operator capacity (events/second, unshedded).
+        ``th``: operator capacity (events/second, unshedded); each
+        query chain models its own operator instance of this capacity.
     latency_bound:
         ``LB`` used for latency accounting (the detector carries its
         own copy).
@@ -132,6 +144,166 @@ class SimulationResult:
         return len(self.complex_events)
 
 
+def _validate_arrivals(
+    arrival_times: Optional[List[float]], stream: EventStream
+) -> None:
+    if arrival_times is None:
+        return
+    if len(arrival_times) != len(stream):
+        raise ValueError("need exactly one arrival time per event")
+    if any(b < a for a, b in zip(arrival_times, arrival_times[1:])):
+        raise ValueError("arrival times must be non-decreasing")
+
+
+def simulate_pipeline(
+    pipeline: "Pipeline",
+    stream: EventStream,
+    config: SimulationConfig,
+    prime_window_size: Optional[float] = None,
+    arrival_times: Optional[List[float]] = None,
+    mean_memberships: Optional[Union[float, Mapping[str, float]]] = None,
+) -> Dict[str, SimulationResult]:
+    """Step ``pipeline`` through ``stream`` in virtual time.
+
+    Every chain sees the same arrival process (one shared input
+    stream); each chain drains its own queue with its own operator at
+    ``config.throughput``.  The scheduling order per instant is
+    detector check, then arrival, then processing -- identical to the
+    historical single-operator simulation, which this function
+    generalises.
+
+    Parameters
+    ----------
+    pipeline:
+        A built (and usually trained + deployed)
+        :class:`repro.pipeline.Pipeline`.  Chains are stateful; use a
+        fresh pipeline per run.
+    prime_window_size:
+        Seed for unprimed window-size predictors (e.g. the training
+        phase's average window size); ``deploy()`` primes chains
+        already, so this mainly serves undeployed pipelines.
+    arrival_times:
+        Explicit arrival times (see :mod:`repro.runtime.arrivals`),
+        overriding the uniform spacing derived from
+        ``config.input_rate``.  Must be non-decreasing and one per
+        stream event.
+    mean_memberships:
+        Per-query override of ``config.mean_memberships`` -- a float
+        for all chains or a mapping keyed by query name.
+
+    Returns a :class:`SimulationResult` per query name.
+    """
+    _validate_arrivals(arrival_times, stream)
+    chains = pipeline.chains
+    k = len(chains)
+    for chain in chains:
+        if chain.operator is None:
+            raise ValueError(
+                "virtual-time simulation needs sequential chains: the "
+                "per-membership cost model cannot price window-parallel "
+                f"matching (query {chain.query.name!r} uses "
+                f".parallel({chain.degree})); use run()/feed() for "
+                "parallel pipelines"
+            )
+    if prime_window_size is not None:
+        for chain in chains:
+            chain._prime(prime_window_size)
+
+    def _memberships_for(chain) -> float:
+        if mean_memberships is None:
+            return config.mean_memberships
+        if isinstance(mean_memberships, Mapping):
+            return mean_memberships.get(chain.query.name, config.mean_memberships)
+        return mean_memberships
+
+    full_cost = 1.0 / config.throughput
+    idle_cost = config.idle_cost_fraction * full_cost
+    membership_cost = [
+        (full_cost - idle_cost) / _memberships_for(chain) for chain in chains
+    ]
+
+    latency = [LatencyTracker(bound=config.latency_bound) for _ in chains]
+    complex_events: List[List[ComplexEvent]] = [[] for _ in chains]
+    free_at = [0.0] * k
+    max_queue = [0] * k
+    next_check = [
+        config.check_interval if chain.detector is not None else _INFINITY
+        for chain in chains
+    ]
+
+    n = len(stream)
+    arrival_interval = 1.0 / config.input_rate
+    arrival_index = 0
+    now = 0.0
+
+    while arrival_index < n or any(chain.queue for chain in chains):
+        if arrival_index >= n:
+            next_arrival = _INFINITY
+        elif arrival_times is not None:
+            next_arrival = arrival_times[arrival_index]
+        else:
+            next_arrival = arrival_index * arrival_interval
+
+        next_process = _INFINITY
+        process_chain = -1
+        for ci, chain in enumerate(chains):
+            head = chain.queue.peek()
+            if head is None:
+                continue
+            start = max(free_at[ci], head.enqueue_time)
+            if start < next_process:
+                next_process = start
+                process_chain = ci
+
+        check_time = min(next_check)
+        now = min(next_arrival, next_process, check_time)
+
+        if check_time <= next_arrival and check_time <= next_process:
+            check_chain = next_check.index(check_time)
+            chains[check_chain].on_tick(now)
+            next_check[check_chain] += config.check_interval
+            continue
+
+        if next_arrival <= next_process:
+            event = stream[arrival_index]
+            for ci, chain in enumerate(chains):
+                chain.ingest(event, now)
+                max_queue[ci] = max(max_queue[ci], chain.queue.size)
+            arrival_index += 1
+            continue
+
+        # the chain's operator picks its head item
+        chain = chains[process_chain]
+        item = chain.queue.pop()
+        start = max(free_at[process_chain], item.enqueue_time)
+        result = chain.process_item(item, now=start)
+        cost = idle_cost + membership_cost[process_chain] * result.memberships_kept
+        free_at[process_chain] = start + cost
+        latency[process_chain].record(
+            free_at[process_chain], free_at[process_chain] - item.enqueue_time
+        )
+        complex_events[process_chain].extend(result.complex_events)
+
+    # end of stream: flush still-open windows
+    results: Dict[str, SimulationResult] = {}
+    for ci, chain in enumerate(chains):
+        complex_events[ci].extend(chain.flush(now=free_at[ci]))
+        results[chain.query.name] = SimulationResult(
+            complex_events=complex_events[ci],
+            latency=latency[ci],
+            operator_stats=chain.operator.stats,
+            config=dataclasses.replace(
+                config, mean_memberships=_memberships_for(chain)
+            ),
+            detector=chain.detector,
+            shedder=chain.shedder,
+            events_arrived=n,
+            virtual_duration=max(free_at[ci], now),
+            max_queue_size=max_queue[ci],
+        )
+    return results
+
+
 def simulate(
     query: Query,
     stream: EventStream,
@@ -141,110 +313,34 @@ def simulate(
     prime_window_size: Optional[float] = None,
     arrival_times: Optional[List[float]] = None,
 ) -> SimulationResult:
-    """Run ``stream`` through the pipeline at the configured rates.
+    """Run ``stream`` through a single-query pipeline at the configured
+    rates.
 
-    Parameters
-    ----------
-    query:
-        The deployed query (fresh assigner/matcher per call).
-    stream:
-        The stored input stream; arrival times are re-derived from the
-        input rate, window semantics use the original timestamps.
-    shedder / detector:
-        Optional shedding machinery.  The detector is expected to be
-        wired to the shedder (``detector.shedder is shedder``).
-    prime_window_size:
-        Seed for the operator's window-size predictor (e.g. the
-        training phase's average window size) so relative positions are
-        available from the first window.
-    arrival_times:
-        Explicit arrival times (see :mod:`repro.runtime.arrivals`),
-        overriding the uniform spacing derived from
-        ``config.input_rate``.  Must be non-decreasing and one per
-        stream event.
+    Compatibility wrapper over :func:`simulate_pipeline`: assembles a
+    one-chain pipeline around ``query``, injecting the prebuilt
+    ``shedder``/``detector`` (the detector is expected to be wired to
+    the shedder: ``detector.shedder is shedder``).
+    ``prime_window_size`` seeds the operator's window-size predictor
+    (e.g. the training phase's average window size) so relative
+    positions are available from the first window.
     """
-    if arrival_times is not None:
-        if len(arrival_times) != len(stream):
-            raise ValueError("need exactly one arrival time per event")
-        if any(b < a for a, b in zip(arrival_times, arrival_times[1:])):
-            raise ValueError("arrival times must be non-decreasing")
-    operator = CEPOperator(query, shedder=shedder)
-    if prime_window_size is not None and prime_window_size > 0:
-        operator.prime_window_size(prime_window_size, weight=10)
-    assigner = query.new_assigner()
-    queue = InputQueue()
-    latency = LatencyTracker(bound=config.latency_bound)
-    complex_events: List[ComplexEvent] = []
+    from repro.pipeline import Pipeline
 
-    full_cost = 1.0 / config.throughput
-    idle_cost = config.idle_cost_fraction * full_cost
-    membership_cost = (full_cost - idle_cost) / config.mean_memberships
-
-    n = len(stream)
-    arrival_interval = 1.0 / config.input_rate
-    arrival_index = 0
-    operator_free_at = 0.0
-    next_check = config.check_interval if detector is not None else _INFINITY
-    max_queue = 0
-    now = 0.0
-
-    while arrival_index < n or queue:
-        if arrival_index >= n:
-            next_arrival = _INFINITY
-        elif arrival_times is not None:
-            next_arrival = arrival_times[arrival_index]
-        else:
-            next_arrival = arrival_index * arrival_interval
-        head = queue.peek()
-        next_process = (
-            max(operator_free_at, head.enqueue_time) if head is not None else _INFINITY
-        )
-        upcoming = min(next_arrival, next_process, next_check)
-        now = upcoming
-
-        if next_check <= next_arrival and next_check <= next_process:
-            assert detector is not None
-            detector.check(now, queue.size)
-            next_check += config.check_interval
-            continue
-
-        if next_arrival <= next_process:
-            event = stream[arrival_index]
-            assignment = assigner.on_event(event)
-            queue.push(
-                QueuedItem(
-                    event=event,
-                    refs=assignment.assignments,
-                    closed_windows=assignment.closed,
-                    enqueue_time=now,
-                )
-            )
-            if detector is not None:
-                detector.record_arrival(now)
-            arrival_index += 1
-            max_queue = max(max_queue, queue.size)
-            continue
-
-        # operator picks the head item
-        item = queue.pop()
-        start = max(operator_free_at, item.enqueue_time)
-        result = operator.process(item, now=start)
-        cost = idle_cost + membership_cost * result.memberships_kept
-        operator_free_at = start + cost
-        latency.record(operator_free_at, operator_free_at - item.enqueue_time)
-        complex_events.extend(result.complex_events)
-
-    # end of stream: flush still-open windows
-    complex_events.extend(operator.flush(assigner.flush(), now=operator_free_at))
-
-    return SimulationResult(
-        complex_events=complex_events,
-        latency=latency,
-        operator_stats=operator.stats,
-        config=config,
-        detector=detector,
-        shedder=shedder,
-        events_arrived=n,
-        virtual_duration=max(operator_free_at, now),
-        max_queue_size=max_queue,
+    builder = (
+        Pipeline.builder()
+        .query(query)
+        .latency_bound(config.latency_bound)
+        .check_interval(config.check_interval)
     )
+    if shedder is not None:
+        builder.shedder(shedder)
+    if detector is not None:
+        builder.detector(detector)
+    results = simulate_pipeline(
+        builder.build(),
+        stream,
+        config,
+        prime_window_size=prime_window_size,
+        arrival_times=arrival_times,
+    )
+    return results[query.name]

@@ -11,15 +11,26 @@
   random dropping, the strawman the paper dismisses.
 - :class:`~repro.shedding.base.NoShedder` -- keeps everything (ground
   truth runs).
+- :mod:`repro.shedding.registry` -- named strategy registry
+  (``create_shedder("espice", model=...)``) used by the
+  :mod:`repro.pipeline` builder to select strategies declaratively.
 
 The eSPICE shedder itself lives in :mod:`repro.core` (it is the paper's
-contribution).
+contribution); the registry exposes it under the name ``"espice"``.
 """
 
 from repro.shedding.base import DropCommand, LoadShedder, NoShedder
 from repro.shedding.baseline import BLShedder
 from repro.shedding.integral import IntegralShedder
 from repro.shedding.random_shedder import RandomShedder
+from repro.shedding.registry import (
+    ShedderSpec,
+    available_shedders,
+    create_shedder,
+    describe_shedders,
+    register_shedder,
+    shedder_requirements,
+)
 
 __all__ = [
     "BLShedder",
@@ -28,4 +39,10 @@ __all__ = [
     "LoadShedder",
     "NoShedder",
     "RandomShedder",
+    "ShedderSpec",
+    "available_shedders",
+    "create_shedder",
+    "describe_shedders",
+    "register_shedder",
+    "shedder_requirements",
 ]

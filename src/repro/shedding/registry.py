@@ -1,0 +1,216 @@
+"""Named shedding strategies: a registry mapping names to factories.
+
+Experiments and the :mod:`repro.pipeline` builder select shedding
+strategies declaratively (``.shedder("espice", f=0.8)``) instead of
+hand-constructing shedder classes.  Each strategy is registered under a
+short name together with what it needs to be built:
+
+========== ============================== =========================
+name       class                          requires
+========== ============================== =========================
+espice     ESpiceShedder                  trained ``UtilityModel``
+bl         BLShedder                      deployed ``Query``
+bl-integral IntegralShedder               deployed ``Query``
+integral   IntegralShedder                deployed ``Query``
+random     RandomShedder                  --
+none       NoShedder                      --
+========== ============================== =========================
+
+Third parties add strategies with :func:`register_shedder`::
+
+    @register_shedder("probe", requires_query=True)
+    def _build_probe(spec: ShedderSpec) -> LoadShedder:
+        return ProbeShedder(spec.query.pattern, **spec.options)
+
+Factory classes are imported lazily inside the factories so that the
+registry can be imported from anywhere (including mid-initialisation of
+:mod:`repro.core`) without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.shedding.base import LoadShedder
+
+
+@dataclass
+class ShedderSpec:
+    """Everything a shedder factory may need.
+
+    Attributes
+    ----------
+    query:
+        The deployed query (type-level baselines read its pattern).
+    model:
+        A trained utility model (eSPICE).
+    seed:
+        RNG seed for sampling shedders.
+    options:
+        Strategy-specific keyword options, passed through verbatim.
+    """
+
+    query: Optional[object] = None
+    model: Optional[object] = None
+    seed: int = 0
+    options: Dict[str, Any] = field(default_factory=dict)
+
+
+ShedderFactory = Callable[[ShedderSpec], LoadShedder]
+
+
+@dataclass(frozen=True)
+class _Registration:
+    factory: ShedderFactory
+    requires_model: bool
+    requires_query: bool
+    description: str
+
+
+_REGISTRY: Dict[str, _Registration] = {}
+
+
+def register_shedder(
+    name: str,
+    *,
+    requires_model: bool = False,
+    requires_query: bool = False,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[ShedderFactory], ShedderFactory]:
+    """Register ``factory`` under ``name`` (decorator).
+
+    ``requires_model`` / ``requires_query`` make :func:`create_shedder`
+    fail fast with a clear message instead of a factory-internal
+    ``AttributeError``.  Re-registering a taken name raises unless
+    ``replace=True``.
+    """
+
+    def decorator(factory: ShedderFactory) -> ShedderFactory:
+        if not replace and name in _REGISTRY:
+            raise ValueError(f"shedder strategy {name!r} is already registered")
+        _REGISTRY[name] = _Registration(
+            factory=factory,
+            requires_model=requires_model,
+            requires_query=requires_query,
+            description=description or (factory.__doc__ or "").strip(),
+        )
+        return factory
+
+    return decorator
+
+
+def available_shedders() -> Tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def shedder_requirements(name: str) -> Tuple[bool, bool]:
+    """``(requires_model, requires_query)`` for strategy ``name``."""
+    registration = _lookup(name)
+    return registration.requires_model, registration.requires_query
+
+
+def describe_shedders() -> Dict[str, str]:
+    """Mapping of strategy name to its one-line description."""
+    return {name: _REGISTRY[name].description for name in available_shedders()}
+
+
+def _lookup(name: str) -> _Registration:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_shedders())
+        raise ValueError(
+            f"unknown shedder strategy {name!r}; registered: {known}"
+        ) from None
+
+
+def create_shedder(
+    name: str,
+    *,
+    query: Optional[object] = None,
+    model: Optional[object] = None,
+    seed: int = 0,
+    **options: Any,
+) -> LoadShedder:
+    """Build the shedder registered under ``name``.
+
+    Raises ``ValueError`` for unknown names or missing requirements
+    (e.g. ``espice`` without a trained model).
+    """
+    registration = _lookup(name)
+    if registration.requires_model and model is None:
+        raise ValueError(
+            f"shedder strategy {name!r} needs a trained model; "
+            "call train() before deploying it"
+        )
+    if registration.requires_query and query is None:
+        raise ValueError(f"shedder strategy {name!r} needs the deployed query")
+    spec = ShedderSpec(query=query, model=model, seed=seed, options=options)
+    return registration.factory(spec)
+
+
+# ----------------------------------------------------------------------
+# built-in strategies (classes imported lazily -- see module docstring)
+# ----------------------------------------------------------------------
+@register_shedder(
+    "espice",
+    requires_model=True,
+    description="utility-threshold shedder backed by a trained model (the paper)",
+)
+def _build_espice(spec: ShedderSpec) -> LoadShedder:
+    from repro.core.shedder import ESpiceShedder
+
+    return ESpiceShedder(spec.model, **spec.options)
+
+
+@register_shedder(
+    "bl",
+    requires_query=True,
+    description="type-utility weighted-sampling baseline (He et al. style)",
+)
+def _build_bl(spec: ShedderSpec) -> LoadShedder:
+    from repro.shedding.baseline import BLShedder
+
+    return BLShedder(spec.query.pattern, seed=spec.seed, **spec.options)
+
+
+def _build_integral(spec: ShedderSpec) -> LoadShedder:
+    from repro.shedding.integral import IntegralShedder
+
+    return IntegralShedder(spec.query.pattern, seed=spec.seed, **spec.options)
+
+
+register_shedder(
+    "integral",
+    requires_query=True,
+    description="whole event types dropped cheapest-first (He et al. integral)",
+)(_build_integral)
+
+register_shedder(
+    "bl-integral",
+    requires_query=True,
+    description="alias of 'integral' (the experiments' historical name)",
+)(_build_integral)
+
+
+@register_shedder(
+    "random",
+    description="uniformly random dropping (the paper's strawman)",
+)
+def _build_random(spec: ShedderSpec) -> LoadShedder:
+    from repro.shedding.random_shedder import RandomShedder
+
+    return RandomShedder(seed=spec.seed, **spec.options)
+
+
+@register_shedder(
+    "none",
+    description="keeps every event (ground-truth runs)",
+)
+def _build_none(spec: ShedderSpec) -> LoadShedder:
+    from repro.shedding.base import NoShedder
+
+    return NoShedder(**spec.options)

@@ -1,0 +1,125 @@
+"""Unit tests for the named shedder registry (repro.shedding.registry)."""
+
+import pytest
+
+from repro.cep.events import StreamBuilder
+from repro.cep.patterns import seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import CountSlidingWindows
+from repro.core.model import ModelBuilder
+from repro.core.shedder import ESpiceShedder
+from repro.shedding.base import LoadShedder, NoShedder
+from repro.shedding.baseline import BLShedder
+from repro.shedding.integral import IntegralShedder
+from repro.shedding.random_shedder import RandomShedder
+from repro.shedding.registry import (
+    available_shedders,
+    create_shedder,
+    describe_shedders,
+    register_shedder,
+    shedder_requirements,
+)
+
+
+def toy_query(window=4):
+    return Query(
+        name="toy",
+        pattern=seq("toy", spec("A"), spec("B")),
+        window_factory=lambda: CountSlidingWindows(window),
+    )
+
+
+def toy_model():
+    from repro.cep.operator.operator import CEPOperator
+
+    builder = StreamBuilder(rate=10.0)
+    for _ in range(10):
+        builder.emit_many(["A", "B", "X", "X"])
+    model_builder = ModelBuilder()
+    operator = CEPOperator(toy_query())
+    operator.add_window_listener(model_builder.observe)
+    operator.detect_all(builder.stream)
+    return model_builder.build()
+
+
+class TestCatalogue:
+    def test_builtins_registered(self):
+        names = available_shedders()
+        for expected in ("espice", "bl", "bl-integral", "integral", "random", "none"):
+            assert expected in names
+
+    def test_descriptions(self):
+        descriptions = describe_shedders()
+        assert set(descriptions) == set(available_shedders())
+        assert all(descriptions.values())
+
+    def test_requirements(self):
+        assert shedder_requirements("espice") == (True, False)
+        assert shedder_requirements("bl") == (False, True)
+        assert shedder_requirements("random") == (False, False)
+
+
+class TestCreate:
+    def test_random(self):
+        shedder = create_shedder("random", seed=7)
+        assert isinstance(shedder, RandomShedder)
+
+    def test_none(self):
+        assert isinstance(create_shedder("none"), NoShedder)
+
+    def test_bl_needs_query(self):
+        with pytest.raises(ValueError, match="needs the deployed query"):
+            create_shedder("bl")
+        shedder = create_shedder("bl", query=toy_query())
+        assert isinstance(shedder, BLShedder)
+
+    def test_integral_aliases(self):
+        query = toy_query()
+        assert isinstance(create_shedder("integral", query=query), IntegralShedder)
+        assert isinstance(create_shedder("bl-integral", query=query), IntegralShedder)
+
+    def test_espice_needs_model(self):
+        with pytest.raises(ValueError, match="needs a trained model"):
+            create_shedder("espice")
+        shedder = create_shedder("espice", model=toy_model())
+        assert isinstance(shedder, ESpiceShedder)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="registered:"):
+            create_shedder("does-not-exist")
+
+
+class TestRegistration:
+    def test_custom_strategy_roundtrip(self):
+        @register_shedder("test-custom")
+        def _build(spec):
+            return NoShedder()
+
+        try:
+            assert "test-custom" in available_shedders()
+            assert isinstance(create_shedder("test-custom"), LoadShedder)
+        finally:
+            from repro.shedding import registry
+
+            registry._REGISTRY.pop("test-custom", None)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_shedder("random")
+            def _clash(spec):  # pragma: no cover - never built
+                return NoShedder()
+
+    def test_replace_allows_override(self):
+        from repro.shedding import registry
+
+        original = registry._REGISTRY["none"]
+        try:
+
+            @register_shedder("none", replace=True)
+            def _replacement(spec):
+                return NoShedder()
+
+            assert isinstance(create_shedder("none"), NoShedder)
+        finally:
+            registry._REGISTRY["none"] = original
