@@ -17,6 +17,10 @@ Subsystems:
 
 - :mod:`repro.pipeline` -- **the public API**: builder, pipeline and
   middleware stages.
+- :mod:`repro.cluster` -- the scale-out runtime: sharded multi-process
+  execution of a pipeline (window routing, batched IPC transport, a
+  coordinator owning the model and coordinated shedding), built via
+  ``Pipeline.builder()...distributed(shards=N)``.
 - :mod:`repro.cep` -- a window-based CEP engine (events, windows, a
   Tesla/SASE-like pattern language and matcher, the operator).
 - :mod:`repro.core` -- eSPICE itself: the utility model, overload

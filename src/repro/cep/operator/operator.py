@@ -27,7 +27,7 @@ from repro.cep.windows import Window, WindowRef
 WindowListener = Callable[[Window, List[Match]], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _WindowBuffer:
     """Kept (position, event) pairs of one in-flight window."""
 
@@ -52,9 +52,9 @@ class OperatorStats:
         return self.memberships_dropped / total if total else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessResult:
-    """Outcome of processing one queue item."""
+    """Outcome of processing one queue item (slotted: one per event)."""
 
     complex_events: List[ComplexEvent] = field(default_factory=list)
     memberships_kept: int = 0
@@ -117,6 +117,16 @@ class CEPOperator:
         """Seed the window-size predictor (e.g. from the training phase)."""
         self._size_sum += size * weight
         self._size_count += weight
+
+    @property
+    def predictor_state(self) -> Tuple[float, int]:
+        """``(size_sum, size_count)`` of the running-average predictor.
+
+        The sharded runtime seeds its coordinator-owned predictor from
+        this so a cluster predicts window sizes exactly like the
+        (possibly primed) sequential operator would.
+        """
+        return float(self._size_sum), self._size_count
 
     # ------------------------------------------------------------------
     # processing

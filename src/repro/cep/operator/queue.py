@@ -22,9 +22,14 @@ from repro.cep.events import Event
 from repro.cep.windows import Window, WindowRef
 
 
-@dataclass
+@dataclass(slots=True)
 class QueuedItem:
-    """One input-queue entry: an event plus its window bookkeeping."""
+    """One input-queue entry: an event plus its window bookkeeping.
+
+    Slotted: one instance exists per event on the hot path, and slots
+    cut both the allocation cost and the attribute-access cost of the
+    stage chain that threads it through.
+    """
 
     event: Event
     refs: List[WindowRef] = field(default_factory=list)

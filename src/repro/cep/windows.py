@@ -29,23 +29,30 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional
 from repro.cep.events import Event, EventStream
 
 
-@dataclass
+@dataclass(slots=True)
 class WindowRef:
-    """An event's membership in one window."""
+    """An event's membership in one window.
+
+    Slotted: windows overlap, so several refs exist per event on the
+    hot path.
+    """
 
     window_id: int
     position: int  # 0-based arrival index of the event within the window
 
 
-@dataclass
+@dataclass(slots=True)
 class AssignResult:
-    """Result of feeding one event to a :class:`WindowAssigner`."""
+    """Result of feeding one event to a :class:`WindowAssigner`.
+
+    Slotted: one instance per event (per chain) on the hot path.
+    """
 
     assignments: List[WindowRef] = field(default_factory=list)
     closed: List["Window"] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Window:
     """A closed (complete) window of events.
 

@@ -1,0 +1,282 @@
+"""The cluster coordinator: shared state, merge-and-order, observability.
+
+One coordinator per :class:`~repro.cluster.sharded.ShardedPipeline`.
+It owns everything that must *not* be per-shard:
+
+- the trained utility model (the single source of truth that
+  :meth:`~repro.cluster.sharded.ShardedPipeline.retrain` broadcasts),
+- the merge buffer that re-orders shard results back into the exact
+  sequential emission order (windows are stamped with a dispatch index
+  when routed; results are released in index order, making a sharded
+  run's output provably identical to a sequential run's),
+- per-shard metrics, drift signals and backpressure, aggregated into
+  one :class:`ClusterSnapshot`.
+
+Workers keep only replaceable state (matcher, shedder copy); the
+coordinator keeps everything the cluster has to agree on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cep.events import ComplexEvent
+
+
+@dataclass
+class ShardStatus:
+    """One shard's health and workload, as of its last sync."""
+
+    shard_id: int
+    alive: bool = True
+    pending_windows: int = 0  # dispatched, result not yet received
+    pending_events: int = 0  # their total event count (backpressure)
+    windows: int = 0
+    memberships_kept: int = 0
+    memberships_dropped: int = 0
+    drop_rate: float = 0.0
+    complex_events: int = 0
+    busy_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    utilization: float = 0.0
+    batches_received: int = 0
+    messages_received: int = 0
+    model_versions: Dict[str, int] = field(default_factory=dict)
+    model_fingerprints: Dict[str, str] = field(default_factory=dict)
+    shedding_active: Dict[str, bool] = field(default_factory=dict)
+
+
+@dataclass
+class DriftSignal:
+    """Coordinator-level drift check of one chain (match-rate collapse).
+
+    The coordinator sees every merged detection and every dispatched
+    window, so it can compare the live matches-per-window rate against
+    the rate the deployed model was trained at -- the cluster-level
+    analogue of :class:`repro.core.drift.DriftDetector`'s match-rate
+    signal (per-shard hit rates would be biased by routing).
+    """
+
+    chain: str
+    windows: int
+    match_rate: Optional[float]
+    trained_match_rate: float
+    drifted: bool
+    reason: str = ""
+
+
+@dataclass
+class ClusterSnapshot:
+    """One cluster-level view: shards, routing, shedding, drift."""
+
+    shards: List[ShardStatus]
+    events_ingested: int
+    windows_dispatched: Dict[str, int]
+    complex_events: Dict[str, int]
+    shedding: Dict[str, bool]
+    drift: Dict[str, DriftSignal]
+    router: Dict[str, object]
+    transport: Dict[str, object]
+    model_versions: Dict[str, int]
+
+    @property
+    def total_pending_events(self) -> int:
+        """Cluster-wide backpressure: dispatched-but-unfinished events."""
+        return sum(shard.pending_events for shard in self.shards)
+
+    def drop_rate(self) -> float:
+        """Cluster-wide membership drop rate."""
+        kept = sum(s.memberships_kept for s in self.shards)
+        dropped = sum(s.memberships_dropped for s in self.shards)
+        total = kept + dropped
+        return dropped / total if total else 0.0
+
+    def utilization(self) -> List[float]:
+        """Per-shard busy fractions, in shard order."""
+        return [shard.utilization for shard in self.shards]
+
+    def queue_depths(self) -> List[int]:
+        """Per-shard outstanding window counts, in shard order."""
+        return [shard.pending_windows for shard in self.shards]
+
+
+class _MergeBuffer:
+    """Re-orders one chain's shard results by dispatch index."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, List[ComplexEvent]] = {}
+        self._next_dispatch = 0
+        self._next_release = 0
+        self._released: List[ComplexEvent] = []
+
+    def stamp(self) -> int:
+        """Next dispatch index (called by the router path, in order)."""
+        index = self._next_dispatch
+        self._next_dispatch += 1
+        return index
+
+    def offer(self, index: int, events: List[ComplexEvent]) -> None:
+        """Accept one shard result and release any now-contiguous run."""
+        self._pending[index] = events
+        while self._next_release in self._pending:
+            self._released.extend(self._pending.pop(self._next_release))
+            self._next_release += 1
+
+    @property
+    def outstanding(self) -> int:
+        """Dispatched windows whose results have not been released."""
+        return self._next_dispatch - self._next_release
+
+    def take_released(self) -> List[ComplexEvent]:
+        """Return and clear the in-order detections released so far."""
+        released = self._released
+        self._released = []
+        return released
+
+
+class ClusterCoordinator:
+    """Aggregates shard results and state for a sharded pipeline."""
+
+    def __init__(
+        self,
+        chain_names: List[str],
+        shards: int,
+        trained_match_rates: Optional[Dict[str, float]] = None,
+        drift_history: int = 200,
+        drift_threshold: float = 0.3,
+        drift_min_windows: int = 20,
+    ) -> None:
+        self.chain_names = list(chain_names)
+        self.shard_status = [ShardStatus(shard_id=i) for i in range(shards)]
+        self.events_ingested = 0
+        self.windows_dispatched = {name: 0 for name in chain_names}
+        self.complex_event_counts = {name: 0 for name in chain_names}
+        self.model_versions = {name: 1 for name in chain_names}
+        self.shedding = {name: False for name in chain_names}
+        self._merge = {name: _MergeBuffer() for name in chain_names}
+        self._trained_match_rates = dict(trained_match_rates or {})
+        self._drift_threshold = drift_threshold
+        self._drift_min_windows = drift_min_windows
+        self._recent_matches: Dict[str, deque] = {
+            name: deque(maxlen=drift_history) for name in chain_names
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch / result bookkeeping
+    # ------------------------------------------------------------------
+    def stamp_dispatch(self, chain: str, shard: int, cost: int) -> int:
+        """Record one routed window; returns its global dispatch index."""
+        self.windows_dispatched[chain] += 1
+        status = self.shard_status[shard]
+        status.pending_windows += 1
+        status.pending_events += cost
+        return self._merge[chain].stamp()
+
+    def on_result(
+        self, chain: str, shard: int, index: int, cost: int,
+        events: List[ComplexEvent],
+    ) -> None:
+        """Fold one shard result into the merge buffer and counters."""
+        status = self.shard_status[shard]
+        status.pending_windows = max(0, status.pending_windows - 1)
+        status.pending_events = max(0, status.pending_events - cost)
+        self.complex_event_counts[chain] += len(events)
+        self._recent_matches[chain].append(len(events))
+        self._merge[chain].offer(index, events)
+
+    def take_ordered(self, chain: str) -> List[ComplexEvent]:
+        """In-order detections released since the last take."""
+        return self._merge[chain].take_released()
+
+    def outstanding(self, chain: Optional[str] = None) -> int:
+        """Windows dispatched but not yet merged back."""
+        if chain is not None:
+            return self._merge[chain].outstanding
+        return sum(buffer.outstanding for buffer in self._merge.values())
+
+    # ------------------------------------------------------------------
+    # shard metrics (sync replies)
+    # ------------------------------------------------------------------
+    def on_shard_metrics(self, shard: int, metrics: Dict[str, object]) -> None:
+        """Fold one worker's sync metrics into its status row."""
+        status = self.shard_status[shard]
+        status.busy_seconds = metrics["busy_seconds"]
+        status.wall_seconds = metrics["wall_seconds"]
+        status.utilization = metrics["utilization"]
+        status.batches_received = metrics["batches_received"]
+        status.messages_received = metrics["messages_received"]
+        windows = kept = dropped = detected = 0
+        for name, chain_metrics in metrics["chains"].items():
+            windows += chain_metrics["windows"]
+            kept += chain_metrics["memberships_kept"]
+            dropped += chain_metrics["memberships_dropped"]
+            detected += chain_metrics["complex_events"]
+            status.model_versions[name] = chain_metrics["model_version"]
+            status.shedding_active[name] = chain_metrics["shedding_active"]
+            if "model_fingerprint" in chain_metrics:
+                status.model_fingerprints[name] = chain_metrics["model_fingerprint"]
+        status.windows = windows
+        status.memberships_kept = kept
+        status.memberships_dropped = dropped
+        total = kept + dropped
+        status.drop_rate = dropped / total if total else 0.0
+        status.complex_events = detected
+
+    # ------------------------------------------------------------------
+    # drift
+    # ------------------------------------------------------------------
+    def drift_signals(self) -> Dict[str, DriftSignal]:
+        """Cluster-level match-rate drift per chain."""
+        signals: Dict[str, DriftSignal] = {}
+        for name in self.chain_names:
+            recent = self._recent_matches[name]
+            trained = self._trained_match_rates.get(name, 0.0)
+            rate = sum(recent) / len(recent) if recent else None
+            if len(recent) < self._drift_min_windows:
+                signals[name] = DriftSignal(
+                    name, len(recent), rate, trained, False, "warming up"
+                )
+            elif (
+                rate is not None
+                and trained > 0.0
+                and rate < self._drift_threshold * trained
+            ):
+                signals[name] = DriftSignal(
+                    name,
+                    len(recent),
+                    rate,
+                    trained,
+                    True,
+                    f"match rate {rate:.2f} collapsed vs trained {trained:.2f}",
+                )
+            else:
+                signals[name] = DriftSignal(
+                    name, len(recent), rate, trained, False, "model fits"
+                )
+        return signals
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        router_metrics: Dict[str, object],
+        transport_metrics: Dict[str, object],
+        alive: List[bool],
+    ) -> ClusterSnapshot:
+        """Assemble the cluster-level snapshot."""
+        for status, shard_alive in zip(self.shard_status, alive):
+            status.alive = shard_alive
+        return ClusterSnapshot(
+            shards=list(self.shard_status),
+            events_ingested=self.events_ingested,
+            windows_dispatched=dict(self.windows_dispatched),
+            complex_events=dict(self.complex_event_counts),
+            shedding=dict(self.shedding),
+            drift=self.drift_signals(),
+            router=dict(router_metrics),
+            transport=dict(transport_metrics),
+            model_versions=dict(self.model_versions),
+        )

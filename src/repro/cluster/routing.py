@@ -1,0 +1,183 @@
+"""Routing policies: which shard processes which window.
+
+The unit of distribution is the *complete window* -- exactly the unit
+window-based data-parallel CEP systems (RIP, SPECTRE) distribute, and
+the reason detections stay independent of the parallelism degree: every
+window is matched whole, on exactly one shard, with the same shedder
+state everywhere.
+
+Three ready-made policies:
+
+- ``round-robin`` -- windows cycle over shards by window id (the
+  paper's deployment shape; deterministic and balanced for
+  homogeneous windows),
+- ``hash`` -- windows stick to shards by a key (window id by default,
+  or any attribute of the window's opening event), so per-key state
+  such as downstream caches stays shard-local,
+- ``least-loaded`` -- windows go to the shard with the least
+  outstanding work (event count in flight), absorbing skew from
+  variable window sizes.
+
+Custom policies subclass :class:`Router`.  Routing never affects
+*which* complex events are detected -- only where the matching work
+runs -- because shedding decisions are window-local and coordinated by
+the :class:`~repro.cluster.sharded.ShardedPipeline`'s coordinator.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Optional, Union
+
+from repro.cep.windows import Window
+
+
+class Router:
+    """Base routing policy: maps complete windows to shard indices.
+
+    ``bind(shards)`` is called once by the sharded pipeline before any
+    routing; ``route(window, chain)`` must return an index in
+    ``[0, shards)``.  ``on_dispatch``/``on_complete`` observe the work
+    a routing decision created and retired -- feedback hooks for
+    load-aware policies.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "router"
+
+    def __init__(self) -> None:
+        self.shards = 0
+        self.routed = 0
+
+    def bind(self, shards: int) -> "Router":
+        """Fix the shard count; called once before routing starts."""
+        if shards <= 0:
+            raise ValueError("shard count must be positive")
+        self.shards = shards
+        return self
+
+    def route(self, window: Window, chain: str) -> int:
+        """Shard index for ``window`` of query chain ``chain``."""
+        raise NotImplementedError
+
+    def on_dispatch(self, shard: int, cost: int) -> None:
+        """A window of ``cost`` events was sent to ``shard``."""
+
+    def on_complete(self, shard: int, cost: int) -> None:
+        """A previously dispatched window came back from ``shard``."""
+
+    def metrics(self) -> Dict[str, object]:
+        """Router counters for the cluster snapshot."""
+        return {"policy": self.name, "routed": self.routed}
+
+
+class RoundRobinRouter(Router):
+    """Windows cycle over shards in window-id order (paper deployment).
+
+    Uses ``window_id % shards`` -- the same dispatch rule as the
+    in-process :class:`~repro.cep.parallel.WindowParallelOperator`, so
+    a sharded run distributes windows exactly like the logical
+    parallel operator it replaces.
+    """
+
+    name = "round-robin"
+
+    def route(self, window: Window, chain: str) -> int:
+        self.routed += 1
+        return window.window_id % self.shards
+
+
+class HashKeyRouter(Router):
+    """Windows stick to shards by a deterministic key hash.
+
+    ``key`` extracts the routing key from the window; the default is
+    the window id.  ``attribute`` is a convenience for the common case
+    of keying on an attribute of the window's *opening* event (e.g.
+    the striker id of a man-marking window, or a stock symbol), which
+    keeps all windows of one entity on one shard.
+
+    The hash is ``crc32`` over the key's string form -- stable across
+    processes and Python invocations, unlike the salted builtin
+    ``hash``.
+    """
+
+    name = "hash"
+
+    def __init__(
+        self,
+        key: Optional[Callable[[Window], object]] = None,
+        attribute: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if key is not None and attribute is not None:
+            raise ValueError("pass either a key function or an attribute name")
+        if attribute is not None:
+            key = lambda window: (  # noqa: E731 - tiny adapter
+                window.events[0].attr(attribute) if window.events else None
+            )
+        self.key = key if key is not None else (lambda window: window.window_id)
+
+    def route(self, window: Window, chain: str) -> int:
+        self.routed += 1
+        digest = zlib.crc32(str(self.key(window)).encode("utf-8"))
+        return digest % self.shards
+
+
+class LeastLoadedRouter(Router):
+    """Windows go to the shard with the least outstanding work.
+
+    Load is the number of dispatched-but-unfinished window events per
+    shard, maintained from the pipeline's dispatch/completion feedback.
+    Ties break toward the lowest shard index, so routing is
+    deterministic given the same feedback sequence.
+    """
+
+    name = "least-loaded"
+
+    def bind(self, shards: int) -> "Router":
+        super().bind(shards)
+        self.loads = [0] * shards
+        return self
+
+    def route(self, window: Window, chain: str) -> int:
+        self.routed += 1
+        return self.loads.index(min(self.loads))
+
+    def on_dispatch(self, shard: int, cost: int) -> None:
+        self.loads[shard] += cost
+
+    def on_complete(self, shard: int, cost: int) -> None:
+        self.loads[shard] = max(0, self.loads[shard] - cost)
+
+    def metrics(self) -> Dict[str, object]:
+        report = super().metrics()
+        report["loads"] = list(self.loads)
+        return report
+
+
+_ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    HashKeyRouter.name: HashKeyRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+}
+
+
+def available_routers() -> list:
+    """Registered routing policy names."""
+    return sorted(_ROUTERS)
+
+
+def create_router(spec: Union[str, Router, None], shards: int) -> Router:
+    """Resolve ``spec`` (name, instance or ``None``) into a bound router."""
+    if spec is None:
+        router: Router = RoundRobinRouter()
+    elif isinstance(spec, Router):
+        router = spec
+    elif isinstance(spec, str):
+        if spec not in _ROUTERS:
+            known = ", ".join(available_routers())
+            raise ValueError(f"unknown router {spec!r}; registered: {known}")
+        router = _ROUTERS[spec]()
+    else:
+        raise TypeError(f"router must be a name or Router instance, got {spec!r}")
+    return router.bind(shards)

@@ -1,0 +1,591 @@
+"""`ShardedPipeline`: a Pipeline executed across real worker processes.
+
+The sharded runtime splits a built :class:`repro.pipeline.Pipeline`
+into the three roles of a window-parallel CEP deployment (paper §5,
+RIP/SPECTRE shape):
+
+- the **router** (parent process) runs every chain's ingress half --
+  admission, custom middleware, window assignment -- and ships each
+  *complete window* to a shard chosen by the routing policy, batched
+  over the IPC queues;
+- **N shard workers** (forked processes) run the egress half -- the
+  shedding decision per (event, position) and the pattern matcher --
+  over their share of windows;
+- the **coordinator** (parent process) owns the trained model,
+  broadcasts hot model swaps and coordinated shedding state to every
+  shard, and merges shard results back into exact sequential emission
+  order.
+
+State ownership is strict: workers hold only replaceable copies
+(matcher, shedder); the model, the window-size predictor, the overload
+detector and all routing/merge state live in the parent.  Workers are
+forked *after* ``train()``/``deploy()``, so they inherit exactly the
+configured shedder; later changes reach them only through coordinator
+broadcasts -- which is what makes detections independent of the shard
+count.
+
+Typical use::
+
+    sharded = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .distributed(shards=4, router="round-robin", batch_size=32)
+        .build()
+    )
+    sharded.train(train_stream).deploy(...)
+    with sharded:
+        result = sharded.run(live_stream)
+        sharded.retrain(fresh_stream)      # hot swap on every shard
+        print(sharded.snapshot())
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.cep.events import ComplexEvent, Event
+from repro.cluster.coordinator import ClusterCoordinator, ClusterSnapshot
+from repro.cluster.routing import Router, create_router
+from repro.cluster.transport import BatchingSender, drain, drain_for
+from repro.cluster.worker import ShardChain, shard_main
+from repro.core.persistence import model_to_dict
+from repro.pipeline.pipeline import Pipeline
+from repro.shedding.base import DropCommand
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of one :meth:`ShardedPipeline.run` sharded replay."""
+
+    matches: Dict[str, List[ComplexEvent]]
+    events_fed: int
+    wall_seconds: float
+    snapshot: ClusterSnapshot
+
+    @property
+    def complex_events(self) -> List[ComplexEvent]:
+        """The first (or only) query's detections, in sequential order."""
+        return next(iter(self.matches.values()), [])
+
+    def for_query(self, name: str) -> List[ComplexEvent]:
+        """Detections of query ``name``."""
+        return self.matches[name]
+
+    def totals(self) -> Dict[str, int]:
+        """Detections per query."""
+        return {name: len(events) for name, events in self.matches.items()}
+
+    @property
+    def events_per_second(self) -> float:
+        """Ingested events per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_fed / self.wall_seconds
+
+
+class _ChainState:
+    """Router-side state of one chain: predictor, dispatch bookkeeping."""
+
+    def __init__(self, chain) -> None:
+        self.chain = chain
+        self.name = chain.query.name
+        # the window-size predictor is coordinator-owned shared state:
+        # seeded from the chain's (possibly primed) operator so a
+        # sharded run predicts exactly like the sequential run would
+        self.size_sum, self.size_count = chain.operator.predictor_state
+        self.pending_events = 0  # this chain's in-flight backpressure
+        self.collected: List[ComplexEvent] = []
+
+    def predict(self, window) -> float:
+        """Update-then-predict, mirroring ``WindowParallelOperator``."""
+        if not window.truncated:
+            self.size_sum += window.size
+            self.size_count += 1
+        if self.size_count == 0:
+            return 0.0
+        return self.size_sum / self.size_count
+
+
+class ShardedPipeline:
+    """Multi-process sharded execution of a built pipeline."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        shards: int,
+        router: Union[str, Router, None] = None,
+        batch_size: int = 32,
+        linger: float = 0.0,
+        sync_timeout: float = 120.0,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError("shard count must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        for chain in pipeline.chains:
+            if chain.operator is None:
+                raise ValueError(
+                    "sharded execution needs sequential chains: windows are "
+                    "already the unit of distribution across shards (query "
+                    f"{chain.query.name!r} uses .parallel({chain.degree}))"
+                )
+            if chain.adaptive_options is not None:
+                raise ValueError(
+                    "adaptive retraining is coordinator work in a cluster: "
+                    "drop .adaptive() and call retrain() on the "
+                    "ShardedPipeline (drift signals appear in snapshot())"
+                )
+            # egress = [shedding, match, emit, *custom]; shed+match run
+            # on the shards and emission happens at merge time, so a
+            # custom egress stage would silently never execute
+            if len(chain.egress) > 3:
+                raise ValueError(
+                    "custom egress stages do not run in sharded mode "
+                    "(shedding/matching happen on the shard workers); "
+                    "use ingress stages (they run on the router) or a "
+                    ".sink() (fires on the merged, ordered detections)"
+                )
+        self.pipeline = pipeline
+        self.shards = shards
+        self.router = create_router(router, shards)
+        self.batch_size = batch_size
+        self.linger = linger
+        self.sync_timeout = sync_timeout
+        self.started = False
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers: List[multiprocessing.Process] = []
+        self._senders: List[BatchingSender] = []
+        self._in_queues: list = []
+        self._out_queue = None
+        self._chain_states: List[_ChainState] = []
+        self._in_flight: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        self._sync_seen: set = set()
+        self._detector_shedding: Dict[str, bool] = {}
+        self._sync_token = 0
+        self._last_check = 0.0
+        self.coordinator: Optional[ClusterCoordinator] = None
+
+    # ------------------------------------------------------------------
+    # pipeline lifecycle proxies (all before start())
+    # ------------------------------------------------------------------
+    @property
+    def chains(self):
+        """The wrapped pipeline's query chains."""
+        return self.pipeline.chains
+
+    @property
+    def model(self):
+        """The first (or only) chain's trained model."""
+        return self.pipeline.model
+
+    @property
+    def models(self):
+        """Trained models per query name."""
+        return self.pipeline.models
+
+    def train(self, stream: Iterable[Event]) -> "ShardedPipeline":
+        """Fit every chain's model (coordinator-side; before start)."""
+        self._require_not_started("train")
+        self.pipeline.train(stream)
+        return self
+
+    def warm(self, stream: Iterable[Event]) -> "ShardedPipeline":
+        """Warm online shedder statistics (before start)."""
+        self._require_not_started("warm")
+        self.pipeline.warm(stream)
+        return self
+
+    def deploy(self, **kwargs) -> "ShardedPipeline":
+        """Build shedders/detectors on the inner pipeline (before start)."""
+        self._require_not_started("deploy")
+        self.pipeline.deploy(**kwargs)
+        return self
+
+    def _require_not_started(self, what: str) -> None:
+        if self.started:
+            raise RuntimeError(
+                f"{what}() must happen before start(): workers inherit the "
+                "configured pipeline at fork (use retrain() for live model "
+                "updates)"
+            )
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedPipeline":
+        """Fork the shard workers (idempotent)."""
+        if self.started:
+            return self
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "sharded execution requires the 'fork' start method: "
+                "queries carry predicates (closures) that cannot cross a "
+                "spawn boundary"
+            )
+        chains = self.pipeline.chains
+        self._chain_states = [_ChainState(chain) for chain in chains]
+        trained_rates = {}
+        for chain in chains:
+            model = chain.model
+            if model is not None and model.windows_trained > 0:
+                trained_rates[chain.query.name] = (
+                    model.matches_trained / model.windows_trained
+                )
+        self.coordinator = ClusterCoordinator(
+            [chain.query.name for chain in chains],
+            shards=self.shards,
+            trained_match_rates=trained_rates,
+        )
+        for chain in chains:
+            self.coordinator.shedding[chain.query.name] = bool(
+                chain.shedder is not None and chain.shedder.active
+            )
+        self._detector_shedding = {
+            chain.query.name: False for chain in chains
+        }
+        self._out_queue = self._ctx.Queue()
+        self._workers = []
+        self._senders = []
+        self._in_queues = []
+        self._in_flight = {}
+        for shard_id in range(self.shards):
+            in_queue = self._ctx.Queue()
+            self._in_queues.append(in_queue)
+            # per-shard chain state is built pre-fork so each worker
+            # owns a private matcher but inherits the shared shedder
+            shard_chains = {
+                chain.query.name: ShardChain(chain.query, chain.shedder)
+                for chain in chains
+            }
+            process = self._ctx.Process(
+                target=shard_main,
+                args=(
+                    shard_id,
+                    shard_chains,
+                    in_queue,
+                    self._out_queue,
+                    self.batch_size,
+                    self.linger,
+                ),
+                daemon=True,
+                name=f"repro-shard-{shard_id}",
+            )
+            process.start()
+            self._workers.append(process)
+            self._senders.append(
+                BatchingSender(
+                    in_queue, batch_size=self.batch_size, linger=self.linger
+                )
+            )
+        self._last_check = time.monotonic()
+        self.started = True
+        return self
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every worker (idempotent; terminates stragglers)."""
+        if not self.started:
+            return
+        for sender in self._senders:
+            try:
+                sender.send(("stop",))
+                sender.flush()
+            except (OSError, ValueError):  # queue already gone
+                pass
+        for process in self._workers:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        # release the queues without joining their feeder threads: after
+        # a worker death the in-queue may hold undeliverable pickled
+        # windows, and waiting for them to flush would hang interpreter
+        # exit (multiprocessing joins feeder threads atexit)
+        for q in [*self._in_queues, self._out_queue]:
+            if q is None:
+                continue
+            q.cancel_join_thread()
+            q.close()
+        self._workers = []
+        self._senders = []
+        self._in_queues = []
+        self._out_queue = None
+        self.started = False
+
+    def __enter__(self) -> "ShardedPipeline":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.shutdown(timeout=0.5)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # the sharded run
+    # ------------------------------------------------------------------
+    def run(self, stream: Iterable[Event]) -> ShardedResult:
+        """Replay ``stream`` through the cluster; merge-and-order results.
+
+        The router ingests events in stream order, ships complete
+        windows to shards, and the coordinator releases detections in
+        dispatch order -- the returned per-query lists are identical
+        (contents *and* order) to a sequential ``Pipeline.run`` /
+        ``simulate_pipeline`` of the same deployment.
+        """
+        self.start()
+        coordinator = self.coordinator
+        t_start = time.perf_counter()
+        events_fed = 0
+        for event in stream:
+            now = event.timestamp
+            for state in self._chain_states:
+                chain = state.chain
+                if chain.ingest(event, now):
+                    queue = chain.queue
+                    while queue:
+                        item = queue.pop()
+                        for window in item.closed_windows:
+                            self._dispatch(state, window)
+            events_fed += 1
+            coordinator.events_ingested += 1
+            self._drain_results()
+            self._check_overload()
+        # end of stream: still-open windows flush as truncated windows
+        for state in self._chain_states:
+            for window in state.chain.window_assign.flush():
+                self._dispatch(state, window)
+        self._sync()
+        wall = time.perf_counter() - t_start
+
+        matches: Dict[str, List[ComplexEvent]] = {}
+        for state in self._chain_states:
+            state.collected.extend(coordinator.take_ordered(state.name))
+            ordered = state.collected
+            state.collected = []
+            if ordered:
+                # sinks fire here, in sequential order (batch semantics:
+                # sharded emission happens at merge time, not per event)
+                state.chain.emit.dispatch(ordered)
+            matches[state.name] = ordered
+        return ShardedResult(
+            matches=matches,
+            events_fed=events_fed,
+            wall_seconds=wall,
+            snapshot=self.snapshot(),
+        )
+
+    def _dispatch(self, state: _ChainState, window) -> None:
+        predicted = state.predict(window)
+        shard = self.router.route(window, state.name)
+        cost = window.size
+        self.router.on_dispatch(shard, cost)
+        index = self.coordinator.stamp_dispatch(state.name, shard, cost)
+        self._in_flight[(state.name, index)] = (shard, cost)
+        state.pending_events += cost
+        self._senders[shard].send(("win", state.name, index, window, predicted))
+
+    def _drain_results(self, block_timeout: Optional[float] = None) -> None:
+        if block_timeout is not None:
+            self._consume(drain_for(self._out_queue, block_timeout))
+        self._consume(drain(self._out_queue))
+
+    def _consume(self, messages) -> None:
+        coordinator = self.coordinator
+        for message in messages:
+            tag = message[0]
+            if tag == "res":
+                _tag, shard, chain_name, index, events = message
+                _shard, cost = self._in_flight.pop((chain_name, index))
+                self.router.on_complete(shard, cost)
+                self._chain_state(chain_name).pending_events -= cost
+                coordinator.on_result(chain_name, shard, index, cost, events)
+            elif tag == "sync":
+                _tag, shard, token, metrics = message
+                coordinator.on_shard_metrics(shard, metrics)
+                self._sync_seen.add((shard, token))
+            elif tag == "err":
+                _tag, shard, trace = message
+                raise RuntimeError(
+                    f"shard worker {shard} failed:\n{trace}"
+                )
+
+    def _chain_state(self, name: str) -> _ChainState:
+        for state in self._chain_states:
+            if state.name == name:
+                return state
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # sync barrier
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Flush all transport, wait until every shard caught up."""
+        self._sync_token += 1
+        token = self._sync_token
+        self._sync_seen = set()
+        for sender in self._senders:
+            sender.send(("sync", token))
+            sender.flush()
+        deadline = time.monotonic() + self.sync_timeout
+        expected = {(shard, token) for shard in range(self.shards)}
+        while not expected.issubset(self._sync_seen):
+            self._drain_results(block_timeout=0.05)
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"cluster sync timed out after {self.sync_timeout:.0f}s "
+                    f"(missing shards: "
+                    f"{sorted(s for s, t in expected - self._sync_seen)})"
+                )
+            self._raise_on_dead_workers()
+
+    def _raise_on_dead_workers(self) -> None:
+        dead = [
+            process.name
+            for process in self._workers
+            if not process.is_alive()
+        ]
+        if dead:
+            raise RuntimeError(
+                f"shard worker(s) died: {', '.join(dead)} -- "
+                "results for their in-flight windows are lost; "
+                "restart the ShardedPipeline"
+            )
+
+    def ping(self) -> ClusterSnapshot:
+        """Round-trip a sync barrier and return a fresh snapshot."""
+        self.start()
+        self._sync()
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # coordinated shedding
+    # ------------------------------------------------------------------
+    def broadcast_shedding(
+        self, command: DropCommand, chain: Optional[str] = None
+    ) -> None:
+        """Activate shedding with ``command`` on every shard at once.
+
+        Applies the same command to the coordinator-side shedder (so a
+        later ``retrain()`` replays consistent state) and broadcasts it
+        to all workers.  ``chain`` limits the change to one query.
+        """
+        for state in self._iter_chain_states(chain):
+            shedder = state.chain.shedder
+            if shedder is None:
+                raise RuntimeError(
+                    f"chain {state.name!r} has no shedder to command; "
+                    "deploy() a shedding strategy first"
+                )
+            shedder.on_drop_command(command)
+            shedder.activate()
+            self._broadcast(("cmd", state.name, command, True))
+            if self.coordinator is not None:
+                self.coordinator.shedding[state.name] = True
+
+    def stop_shedding(self, chain: Optional[str] = None) -> None:
+        """Deactivate shedding on every shard at once."""
+        for state in self._iter_chain_states(chain):
+            shedder = state.chain.shedder
+            if shedder is not None:
+                shedder.deactivate()
+            self._broadcast(("cmd", state.name, None, False))
+            if self.coordinator is not None:
+                self.coordinator.shedding[state.name] = False
+
+    def _iter_chain_states(self, chain: Optional[str]):
+        if not self.started:
+            self.start()
+        if chain is None:
+            return list(self._chain_states)
+        return [self._chain_state(chain)]
+
+    def _broadcast(self, message) -> None:
+        for sender in self._senders:
+            sender.send(message)
+            sender.flush()
+
+    def _check_overload(self) -> None:
+        """Coordinated shedding: one detector decision, every shard obeys.
+
+        The coordinator owns each chain's overload detector; the
+        "queue size" it checks is the cluster-wide backpressure (events
+        dispatched to shards but not yet matched).  State changes are
+        broadcast so all shards activate, re-command or deactivate
+        together -- shards never make independent shedding decisions.
+        """
+        now = time.monotonic()
+        interval = self.pipeline.config.check_interval
+        if now - self._last_check < interval:
+            return
+        self._last_check = now
+        for state in self._chain_states:
+            detector = state.chain.detector
+            if detector is None:
+                continue
+            command = detector.check(now, state.pending_events)
+            if command is not None:
+                self._broadcast(("cmd", state.name, command, True))
+                self.coordinator.shedding[state.name] = True
+                self._detector_shedding[state.name] = True
+            elif self._detector_shedding[state.name] and not detector.shedding:
+                # only undo detector-driven activations: shedding that
+                # was configured statically (inherited at fork or via
+                # broadcast_shedding) is not the detector's to cancel
+                self._broadcast(("cmd", state.name, None, False))
+                self.coordinator.shedding[state.name] = False
+                self._detector_shedding[state.name] = False
+
+    # ------------------------------------------------------------------
+    # hot model swap
+    # ------------------------------------------------------------------
+    def retrain(self, stream: Iterable[Event]) -> "ShardedPipeline":
+        """Retrain on ``stream`` and hot-swap the model on every shard.
+
+        Training runs coordinator-side (paper §3.1: model building is
+        not time-critical); the new model is then broadcast and each
+        worker rebinds its shedder atomically
+        (:meth:`~repro.core.shedder.ESpiceShedder.rebind_model`), so
+        shards keep serving O(1) decisions throughout the swap.
+        """
+        self.pipeline.retrain(stream)
+        if self.started:
+            for state in self._chain_states:
+                model = state.chain.model
+                if model is None:
+                    continue
+                version = self.coordinator.model_versions[state.name] + 1
+                self.coordinator.model_versions[state.name] = version
+                payload = model_to_dict(model)
+                self._broadcast(("model", state.name, payload, version))
+        return self
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ClusterSnapshot:
+        """Cluster-level snapshot: shards, routing, shedding, drift."""
+        if self.coordinator is None:
+            raise RuntimeError("snapshot() needs start() first")
+        transport = {
+            "batch_size": self.batch_size,
+            "linger": self.linger,
+            "batches": sum(s.batches_sent for s in self._senders),
+            "messages": sum(s.messages_sent for s in self._senders),
+            "avg_batch": round(
+                sum(s.messages_sent for s in self._senders)
+                / max(1, sum(s.batches_sent for s in self._senders)),
+                2,
+            ),
+        }
+        return self.coordinator.snapshot(
+            router_metrics=self.router.metrics(),
+            transport_metrics=transport,
+            alive=[process.is_alive() for process in self._workers],
+        )

@@ -1,0 +1,127 @@
+"""Batched event transport over the cluster's IPC queues.
+
+Every message crossing a process boundary pays a pickle plus a queue
+lock round-trip; at tens of thousands of windows per second that
+per-message cost dominates.  :class:`BatchingSender` amortises it by
+accumulating messages and shipping them as one list -- one pickle, one
+lock -- flushed when the batch reaches ``batch_size`` or when the
+oldest buffered message has waited ``linger`` seconds (the classic
+size-or-time rule of batched messaging systems).
+
+``batch_size=1`` degenerates to unbatched sends; ``linger=0`` flushes
+purely by size (plus the explicit :meth:`flush` barriers the sharded
+pipeline inserts at sync points), which keeps replay runs
+deterministic.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from typing import Callable, Iterator, List
+
+
+class BatchingSender:
+    """Size-or-linger batching wrapper around a ``put()``-style queue."""
+
+    def __init__(
+        self,
+        queue,
+        batch_size: int = 32,
+        linger: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        if linger < 0.0:
+            raise ValueError("linger must be non-negative")
+        self.queue = queue
+        self.batch_size = batch_size
+        self.linger = linger
+        self._clock = clock
+        self._buffer: List[object] = []
+        self._oldest: float = 0.0
+        self.messages_sent = 0
+        self.batches_sent = 0
+        self.max_batch = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def send(self, message: object) -> None:
+        """Buffer one message; flush if the batch is full or lingered."""
+        if not self._buffer:
+            self._oldest = self._clock()
+        self._buffer.append(message)
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+        elif self.linger > 0.0 and self._clock() - self._oldest >= self.linger:
+            self.flush()
+
+    def maybe_flush(self) -> None:
+        """Flush if the oldest buffered message outwaited ``linger``."""
+        if (
+            self._buffer
+            and self.linger > 0.0
+            and self._clock() - self._oldest >= self.linger
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship the buffered messages as one batch (no-op when empty)."""
+        if not self._buffer:
+            return
+        batch = self._buffer
+        self._buffer = []
+        self.queue.put(batch)
+        self.messages_sent += len(batch)
+        self.batches_sent += 1
+        if len(batch) > self.max_batch:
+            self.max_batch = len(batch)
+
+    def average_batch_size(self) -> float:
+        """Mean messages per shipped batch (0.0 before any flush)."""
+        if self.batches_sent == 0:
+            return 0.0
+        return self.messages_sent / self.batches_sent
+
+    def metrics(self) -> dict:
+        """Transport counters for the cluster snapshot."""
+        return {
+            "messages": self.messages_sent,
+            "batches": self.batches_sent,
+            "avg_batch": round(self.average_batch_size(), 2),
+            "max_batch": self.max_batch,
+            "buffered": len(self._buffer),
+        }
+
+
+def drain(mp_queue, max_batches: int = 1000) -> Iterator[object]:
+    """Yield every message currently available on ``mp_queue``.
+
+    Non-blocking: stops at the first ``Empty`` (or after
+    ``max_batches`` batches, so a fast producer cannot starve the
+    caller's own loop).  Each queue entry is a batch (a list) produced
+    by a :class:`BatchingSender`; messages are yielded individually.
+    """
+    for _ in range(max_batches):
+        try:
+            batch = mp_queue.get_nowait()
+        except queue_module.Empty:
+            return
+        for message in batch:
+            yield message
+
+
+def drain_for(mp_queue, timeout: float) -> Iterator[object]:
+    """Yield messages from one blocking ``get`` bounded by ``timeout``.
+
+    Returns without yielding when nothing arrives in time -- the
+    caller's wait loop decides whether to keep waiting or give up.
+    """
+    try:
+        batch = mp_queue.get(timeout=timeout)
+    except queue_module.Empty:
+        return
+    for message in batch:
+        yield message

@@ -1,0 +1,195 @@
+"""The shard worker process: shed + match windows shipped by the router.
+
+Each worker runs :func:`shard_main` in its own OS process.  It owns a
+matcher per query chain and (a process-local copy of) the chain's load
+shedder; the window-size prediction it needs for position scaling is
+*not* local state -- the router computes it from the global window
+sequence and attaches it to every shipped window, so every shard
+decides exactly as a sequential operator would, regardless of how many
+shards exist or which windows each one saw.
+
+Protocol (all messages travel in :class:`~repro.cluster.transport`
+batches)::
+
+    coordinator -> worker
+        ("win",   chain, dispatch_idx, window, predicted_ws)
+        ("model", chain, payload, version)      # hot model swap
+        ("cmd",   chain, drop_command | None, active)  # coordinated shedding
+        ("sync",  token)                        # flush + report metrics
+        ("stop",)
+
+    worker -> coordinator
+        ("res",  shard_id, chain, dispatch_idx, [ComplexEvent, ...])
+        ("sync", shard_id, token, metrics)
+        ("err",  shard_id, traceback_text)
+
+Workers are forked from the parent after ``train()``/``deploy()``, so
+they inherit the trained model, the shedder's drop command and its
+activation state -- a worker never makes a decision the parent has not
+configured.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from repro.cep.events import ComplexEvent
+from repro.cep.patterns.query import Query
+from repro.cep.windows import Window
+from repro.core.persistence import model_from_dict
+from repro.shedding.base import LoadShedder
+
+
+class ShardChain:
+    """Worker-side state of one query chain: matcher + shedder + counters."""
+
+    def __init__(self, query: Query, shedder: Optional[LoadShedder]) -> None:
+        self.query = query
+        self.shedder = shedder
+        self.matcher = query.new_matcher()
+        self.model_version = 1
+        self.windows = 0
+        self.memberships_kept = 0
+        self.memberships_dropped = 0
+        self.complex_events = 0
+
+    def process_window(
+        self, window: Window, predicted_ws: float
+    ) -> List[ComplexEvent]:
+        """Shed and match one complete window.
+
+        Mirrors
+        :meth:`repro.cep.parallel.WindowParallelOperator.process_window`
+        -- the proven degree-invariant path -- except that the window
+        size prediction comes from the router instead of local state.
+        """
+        self.windows += 1
+        shedder = self.shedder
+        shedding = shedder is not None and shedder.active
+        kept_positions: List[int] = []
+        kept_events = []
+        for position, event in enumerate(window.events):
+            if shedding and shedder.should_drop(event, position, predicted_ws):
+                self.memberships_dropped += 1
+            else:
+                self.memberships_kept += 1
+                kept_positions.append(position)
+                kept_events.append(event)
+        matches = self.matcher.match_window(kept_events, kept_positions)
+        # detection_time is the window's close time (stream time): the
+        # shard's local processing clock is meaningless cluster-wide.
+        # ComplexEvent identity (pattern, window, constituents) is what
+        # the sequential-equality guarantee covers.
+        complex_events = [
+            ComplexEvent(
+                pattern_name=self.query.name,
+                window_id=window.window_id,
+                events=tuple(e for _pos, e in match),
+                detection_time=window.close_time,
+            )
+            for match in matches
+        ]
+        self.complex_events += len(complex_events)
+        return complex_events
+
+    def swap_model(self, payload: dict, version: int) -> None:
+        """Hot-swap the broadcast model into the local shedder."""
+        model = model_from_dict(payload)
+        if self.shedder is not None and hasattr(self.shedder, "rebind_model"):
+            self.shedder.rebind_model(model)
+        self.model_version = version
+
+    def apply_command(self, command, active: bool) -> None:
+        """Apply a coordinated shedding state change."""
+        if self.shedder is None:
+            return
+        if command is not None:
+            self.shedder.on_drop_command(command)
+        if active:
+            self.shedder.activate()
+        else:
+            self.shedder.deactivate()
+
+    def metrics(self) -> Dict[str, object]:
+        total = self.memberships_kept + self.memberships_dropped
+        report: Dict[str, object] = {
+            "windows": self.windows,
+            "memberships_kept": self.memberships_kept,
+            "memberships_dropped": self.memberships_dropped,
+            "drop_rate": self.memberships_dropped / total if total else 0.0,
+            "complex_events": self.complex_events,
+            "model_version": self.model_version,
+            "shedding_active": (
+                self.shedder.active if self.shedder is not None else False
+            ),
+        }
+        if self.shedder is not None and hasattr(self.shedder, "model"):
+            model = self.shedder.model
+            if hasattr(model, "fingerprint"):
+                report["model_fingerprint"] = model.fingerprint()
+        return report
+
+
+def shard_main(
+    shard_id: int,
+    chains: Dict[str, ShardChain],
+    in_queue,
+    out_queue,
+    batch_size: int,
+    linger: float,
+) -> None:
+    """Worker process entry point (runs until a ``stop`` message)."""
+    from repro.cluster.transport import BatchingSender
+
+    sender = BatchingSender(out_queue, batch_size=batch_size, linger=linger)
+    started = time.perf_counter()
+    busy = 0.0
+    batches_in = 0
+    messages_in = 0
+    try:
+        running = True
+        while running:
+            batch = in_queue.get()
+            batches_in += 1
+            for message in batch:
+                messages_in += 1
+                tag = message[0]
+                if tag == "win":
+                    _tag, chain_name, dispatch_idx, window, predicted = message
+                    work_start = time.perf_counter()
+                    complex_events = chains[chain_name].process_window(
+                        window, predicted
+                    )
+                    busy += time.perf_counter() - work_start
+                    sender.send(
+                        ("res", shard_id, chain_name, dispatch_idx, complex_events)
+                    )
+                elif tag == "model":
+                    _tag, chain_name, payload, version = message
+                    chains[chain_name].swap_model(payload, version)
+                elif tag == "cmd":
+                    _tag, chain_name, command, active = message
+                    chains[chain_name].apply_command(command, active)
+                elif tag == "sync":
+                    sender.flush()
+                    wall = time.perf_counter() - started
+                    metrics = {
+                        "busy_seconds": busy,
+                        "wall_seconds": wall,
+                        "utilization": busy / wall if wall > 0 else 0.0,
+                        "batches_received": batches_in,
+                        "messages_received": messages_in,
+                        "chains": {
+                            name: chain.metrics() for name, chain in chains.items()
+                        },
+                    }
+                    out_queue.put([("sync", shard_id, message[1], metrics)])
+                elif tag == "stop":
+                    running = False
+                    break
+            sender.flush()
+    except Exception:  # pragma: no cover - exercised via crash tests only
+        out_queue.put([("err", shard_id, traceback.format_exc())])
+        raise

@@ -32,6 +32,7 @@ working::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -76,6 +77,17 @@ class ESpiceConfig:
     check_interval: float = 0.1
     reference_size: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "ESpiceConfig is deprecated; configure the same knobs through "
+            "Pipeline.builder() (.latency_bound()/.f()/.bin_size()/"
+            ".check_interval()/.reference_size())",
+            DeprecationWarning,
+            # 3, not 2: the dataclass-generated __init__ ("<string>")
+            # sits between this frame and the deprecated call site
+            stacklevel=3,
+        )
+
 
 class ESpice:
     """Deprecated facade wiring model, shedder and detector together.
@@ -85,8 +97,21 @@ class ESpice:
     """
 
     def __init__(self, query: Query, config: Optional[ESpiceConfig] = None) -> None:
+        warnings.warn(
+            "ESpice is deprecated; use Pipeline.builder().query(...)"
+            '.shedder("espice", ...) and train()/deploy() instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.query = query
-        self.config = config if config is not None else ESpiceConfig()
+        if config is None:
+            # the facade already warned above; constructing the default
+            # config must not blame ESpiceConfig on a user who never
+            # touched it
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                config = ESpiceConfig()
+        self.config = config
         self.builder = ModelBuilder(
             bin_size=self.config.bin_size,
             reference_size=self.config.reference_size,

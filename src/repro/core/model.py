@@ -14,6 +14,7 @@ periodically produces a :class:`UtilityModel`:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +51,23 @@ class UtilityModel:
     def partition_cdts(self, plan: PartitionPlan) -> List[CDT]:
         """One CDT per partition of ``plan``."""
         return build_partition_cdts(self.table, self.shares, plan)
+
+    def fingerprint(self) -> str:
+        """Short content hash of the model's decision-relevant state.
+
+        Two models with equal fingerprints make identical shedding
+        decisions; the cluster coordinator uses this to verify that a
+        broadcast hot swap actually landed on every shard.
+        """
+        payload = repr(
+            (
+                sorted(self.table.type_ids.items()),
+                self.table.as_matrix(),
+                self.reference_size,
+                self.bin_size,
+            )
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
 
     def __repr__(self) -> str:
         return (

@@ -58,6 +58,7 @@ from repro.runtime.simulation import (
     SimulationResult,
     measure_mean_memberships,
     simulate_pipeline,
+    simulate_sharded,
 )
 from repro.shedding.registry import (
     available_shedders,
@@ -94,4 +95,5 @@ __all__ = [
     "measure_mean_memberships",
     "register_shedder",
     "simulate_pipeline",
+    "simulate_sharded",
 ]

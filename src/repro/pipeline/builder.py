@@ -54,6 +54,7 @@ class PipelineBuilder:
         self._degree = 1
         self._adaptive: Optional[Dict[str, Any]] = None
         self._model: Optional["UtilityModel"] = None
+        self._distributed: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # queries
@@ -187,6 +188,37 @@ class PipelineBuilder:
         self._degree = degree
         return self
 
+    def distributed(
+        self,
+        shards: int,
+        router: Any = "round-robin",
+        batch_size: int = 32,
+        linger: float = 0.0,
+    ) -> "PipelineBuilder":
+        """Execute across ``shards`` real worker processes.
+
+        ``build()`` then returns a
+        :class:`repro.cluster.ShardedPipeline`: complete windows are
+        routed to forked shard workers (``router`` names a
+        :mod:`repro.cluster.routing` policy or is a ``Router``
+        instance), events travel in batches of ``batch_size`` messages
+        (shipped early once the oldest waits ``linger`` seconds), and
+        the coordinator merges detections back into sequential order.
+        Train and deploy before iterating -- workers inherit the
+        deployed state at fork.
+        """
+        if shards <= 0:
+            raise ValueError("shard count must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        self._distributed = {
+            "shards": shards,
+            "router": router,
+            "batch_size": batch_size,
+            "linger": linger,
+        }
+        return self
+
     def adaptive(self, **options: Any) -> "PipelineBuilder":
         """Enable drift-driven automatic retraining (§3.6).
 
@@ -215,8 +247,13 @@ class PipelineBuilder:
                 built.append(stage())
         return built
 
-    def build(self) -> Pipeline:
-        """Validate and assemble the pipeline."""
+    def build(self):
+        """Validate and assemble the pipeline.
+
+        Returns a :class:`Pipeline`, or a
+        :class:`repro.cluster.ShardedPipeline` wrapping one when
+        :meth:`distributed` was called.
+        """
         if not self._queries:
             raise ValueError("a pipeline needs at least one query")
         multi = len(self._queries) > 1
@@ -232,6 +269,18 @@ class PipelineBuilder:
                 "adaptive retraining requires the sequential operator "
                 "(parallel chains have no window listeners)"
             )
+        if self._distributed is not None:
+            if self._degree > 1:
+                raise ValueError(
+                    "combine either .parallel() or .distributed(): shards "
+                    "already parallelise over windows"
+                )
+            if self._adaptive is not None:
+                raise ValueError(
+                    "adaptive retraining is coordinator work in a cluster: "
+                    "drop .adaptive() and call retrain() on the "
+                    "ShardedPipeline"
+                )
         chains = []
         for query in self._queries:
             chains.append(
@@ -250,4 +299,9 @@ class PipelineBuilder:
                     model=self._model,
                 )
             )
-        return Pipeline(chains, self._config)
+        pipeline = Pipeline(chains, self._config)
+        if self._distributed is not None:
+            from repro.cluster import ShardedPipeline
+
+            return ShardedPipeline(pipeline, **self._distributed)
+        return pipeline

@@ -193,6 +193,11 @@ class QueryChain:
             *(egress_stages or []),
         ]
         self.stages: List[Stage] = [*self.ingress, *self.egress]
+        # hot-path dispatch: the per-event loops call prebound
+        # ``on_event`` methods instead of re-resolving stage attributes
+        # per event (the stage chain is fixed after construction)
+        self._ingress_dispatch = tuple(s.on_event for s in self.ingress)
+        self._egress_dispatch = tuple(s.on_event for s in self.egress)
 
         # --- shedding machinery ---------------------------------------
         self.shedder: Optional[LoadShedder] = None
@@ -388,16 +393,16 @@ class QueryChain:
     def ingest(self, event: Event, now: float) -> bool:
         """Run the ingress half; returns False when the event was vetoed."""
         ctx = StageContext(event=event, now=now)
-        for stage in self.ingress:
-            if stage.on_event(ctx) is False:
+        for on_event in self._ingress_dispatch:
+            if on_event(ctx) is False:
                 return False
         return True
 
     def process_item(self, item: QueuedItem, now: float) -> ProcessResult:
         """Run the egress half over one dequeued item."""
         ctx = StageContext(event=item.event, now=now, item=item)
-        for stage in self.egress:
-            if stage.on_event(ctx) is False:
+        for on_event in self._egress_dispatch:
+            if on_event(ctx) is False:
                 break
         return ctx.result if ctx.result is not None else ProcessResult()
 

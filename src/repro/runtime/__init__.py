@@ -22,6 +22,7 @@ from repro.runtime.simulation import (
     SimulationResult,
     measure_mean_memberships,
     simulate,
+    simulate_sharded,
 )
 
 __all__ = [
@@ -36,5 +37,6 @@ __all__ = [
     "measure_mean_memberships",
     "poisson_arrivals",
     "simulate",
+    "simulate_sharded",
     "uniform_arrivals",
 ]

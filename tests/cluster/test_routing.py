@@ -1,0 +1,129 @@
+"""Routing policies: determinism, balance, load feedback, registry."""
+
+import pytest
+
+from repro.cep.events import Event
+from repro.cep.windows import Window
+from repro.cluster.routing import (
+    HashKeyRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+    available_routers,
+    create_router,
+)
+
+
+def make_window(window_id, events=None):
+    return Window(window_id=window_id, events=events or [])
+
+
+class TestRoundRobin:
+    def test_cycles_over_shards_by_window_id(self):
+        router = RoundRobinRouter().bind(3)
+        shards = [router.route(make_window(i), "q") for i in range(9)]
+        assert shards == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_matches_window_parallel_operator_dispatch(self):
+        """Same rule as WindowParallelOperator.instance_of."""
+        from repro.cep.parallel import WindowParallelOperator
+        from repro.cep.patterns import seq, spec
+        from repro.cep.patterns.query import Query
+        from repro.cep.windows import CountSlidingWindows
+
+        query = Query(
+            name="toy",
+            pattern=seq("toy", spec("A")),
+            window_factory=lambda: CountSlidingWindows(size=2),
+        )
+        parallel = WindowParallelOperator(query, degree=4)
+        router = RoundRobinRouter().bind(4)
+        for window_id in range(16):
+            window = make_window(window_id)
+            assert router.route(window, "toy") == parallel.instance_of(window)
+
+
+class TestHashKey:
+    def test_deterministic_and_in_range(self):
+        router = HashKeyRouter().bind(5)
+        first = [router.route(make_window(i), "q") for i in range(50)]
+        second = [router.route(make_window(i), "q") for i in range(50)]
+        assert first == second
+        assert all(0 <= s < 5 for s in first)
+        assert len(set(first)) > 1  # not everything on one shard
+
+    def test_attribute_key_sticks_entities_to_shards(self):
+        router = HashKeyRouter(attribute="symbol").bind(4)
+        def window_for(symbol, window_id):
+            opener = Event("T", seq=window_id, timestamp=0.0, attrs={"symbol": symbol})
+            return make_window(window_id, [opener])
+        a = {router.route(window_for("ACME", i), "q") for i in range(10)}
+        b = {router.route(window_for("BETA", i + 10), "q") for i in range(10)}
+        assert len(a) == 1 and len(b) == 1  # all windows of a key co-located
+
+    def test_key_function(self):
+        router = HashKeyRouter(key=lambda w: w.window_id // 10).bind(3)
+        shards = {router.route(make_window(i), "q") for i in range(10)}
+        assert len(shards) == 1  # same key -> same shard
+
+    def test_key_and_attribute_conflict(self):
+        with pytest.raises(ValueError):
+            HashKeyRouter(key=lambda w: 0, attribute="x")
+
+
+class TestLeastLoaded:
+    def test_prefers_idle_shard(self):
+        router = LeastLoadedRouter().bind(3)
+        assert router.route(make_window(0), "q") == 0
+        router.on_dispatch(0, 100)
+        assert router.route(make_window(1), "q") == 1
+        router.on_dispatch(1, 100)
+        assert router.route(make_window(2), "q") == 2
+        router.on_dispatch(2, 5)
+        # shard 2 has by far the least outstanding work
+        assert router.route(make_window(3), "q") == 2
+
+    def test_completion_feedback_frees_load(self):
+        router = LeastLoadedRouter().bind(2)
+        router.on_dispatch(0, 50)
+        router.on_dispatch(1, 10)
+        assert router.route(make_window(0), "q") == 1
+        router.on_complete(0, 50)
+        assert router.route(make_window(1), "q") == 0
+        assert router.metrics()["loads"] == [0, 10]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert available_routers() == ["hash", "least-loaded", "round-robin"]
+
+    def test_create_by_name_binds(self):
+        router = create_router("round-robin", 4)
+        assert isinstance(router, RoundRobinRouter)
+        assert router.shards == 4
+
+    def test_default_is_round_robin(self):
+        assert isinstance(create_router(None, 2), RoundRobinRouter)
+
+    def test_instance_passthrough(self):
+        instance = LeastLoadedRouter()
+        assert create_router(instance, 3) is instance
+        assert instance.shards == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            create_router("nope", 2)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            create_router(42, 2)
+
+    def test_bad_shards(self):
+        with pytest.raises(ValueError):
+            Router().bind(0)
+
+    def test_metrics_count_routed(self):
+        router = create_router("round-robin", 2)
+        for i in range(5):
+            router.route(make_window(i), "q")
+        assert router.metrics() == {"policy": "round-robin", "routed": 5}

@@ -1,0 +1,109 @@
+"""Batched transport: size-or-linger flushing and drain helpers."""
+
+import queue
+
+import pytest
+
+from repro.cluster.transport import BatchingSender, drain, drain_for
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class ListQueue:
+    """put()-compatible sink capturing batches."""
+
+    def __init__(self):
+        self.batches = []
+
+    def put(self, batch):
+        self.batches.append(batch)
+
+
+class TestBatchingSender:
+    def test_flushes_at_batch_size(self):
+        sink = ListQueue()
+        sender = BatchingSender(sink, batch_size=3)
+        sender.send("a")
+        sender.send("b")
+        assert sink.batches == []  # still buffering
+        sender.send("c")
+        assert sink.batches == [["a", "b", "c"]]
+
+    def test_linger_flushes_partial_batch(self):
+        sink = ListQueue()
+        clock = FakeClock()
+        sender = BatchingSender(sink, batch_size=100, linger=0.5, clock=clock)
+        sender.send("a")
+        clock.advance(0.6)
+        sender.maybe_flush()
+        assert sink.batches == [["a"]]
+
+    def test_linger_checked_on_send(self):
+        sink = ListQueue()
+        clock = FakeClock()
+        sender = BatchingSender(sink, batch_size=100, linger=0.5, clock=clock)
+        sender.send("a")
+        clock.advance(0.6)
+        sender.send("b")  # the lingered "a" ships together with "b"
+        assert sink.batches == [["a", "b"]]
+
+    def test_explicit_flush_and_empty_flush(self):
+        sink = ListQueue()
+        sender = BatchingSender(sink, batch_size=10)
+        sender.flush()  # empty: no batch shipped
+        assert sink.batches == []
+        sender.send("a")
+        sender.flush()
+        assert sink.batches == [["a"]]
+
+    def test_counters(self):
+        sink = ListQueue()
+        sender = BatchingSender(sink, batch_size=2)
+        for message in "abcde":
+            sender.send(message)
+        sender.flush()
+        assert sender.messages_sent == 5
+        assert sender.batches_sent == 3  # 2 + 2 + 1
+        assert sender.max_batch == 2
+        assert sender.average_batch_size() == pytest.approx(5 / 3)
+        metrics = sender.metrics()
+        assert metrics["messages"] == 5 and metrics["buffered"] == 0
+
+    def test_batching_amortises_queue_puts(self):
+        """The point of the transport: N messages, ~N/batch_size puts."""
+        sink = ListQueue()
+        sender = BatchingSender(sink, batch_size=50)
+        for i in range(1000):
+            sender.send(i)
+        sender.flush()
+        assert sender.batches_sent == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingSender(ListQueue(), batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingSender(ListQueue(), batch_size=1, linger=-1.0)
+
+
+class TestDrain:
+    def test_drain_yields_individual_messages(self):
+        q = queue.Queue()
+        q.put(["a", "b"])
+        q.put(["c"])
+        assert list(drain(q)) == ["a", "b", "c"]
+        assert list(drain(q)) == []  # empty now, non-blocking
+
+    def test_drain_for_times_out_quietly(self):
+        q = queue.Queue()
+        assert list(drain_for(q, timeout=0.01)) == []
+        q.put(["x"])
+        assert list(drain_for(q, timeout=0.01)) == ["x"]

@@ -1,0 +1,75 @@
+"""ISSUE satellite: the ESpice/ESpiceConfig deprecation path is load-bearing.
+
+The facade survives as a shim over the pipeline's shared factories; a
+refactor (like the cluster work) must neither silently drop the
+``DeprecationWarning`` nor break the legacy wiring itself.  These
+tests pin both.
+"""
+
+import warnings
+
+import pytest
+
+from repro.cep.events import StreamBuilder
+from repro.cep.patterns import seq, spec
+from repro.cep.patterns.query import Query
+from repro.cep.windows import CountSlidingWindows
+from repro.core.espice import ESpice, ESpiceConfig
+from repro.core.shedder import ESpiceShedder
+
+
+def toy_query():
+    return Query(
+        name="toy",
+        pattern=seq("toy", spec("A"), spec("B")),
+        window_factory=lambda: CountSlidingWindows(size=4),
+    )
+
+
+def toy_stream(repeats=30):
+    sb = StreamBuilder(rate=10.0)
+    for _ in range(repeats):
+        sb.emit_many(["A", "B", "C", "D"])
+    return sb.stream
+
+
+class TestDeprecationWarnings:
+    def test_espice_config_warns(self):
+        with pytest.warns(DeprecationWarning, match="ESpiceConfig is deprecated"):
+            ESpiceConfig(latency_bound=1.0, f=0.8)
+
+    def test_espice_facade_warns(self):
+        with pytest.warns(DeprecationWarning, match="ESpice is deprecated"):
+            ESpice(toy_query())
+
+    def test_warning_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning, match="Pipeline.builder"):
+            ESpice(toy_query())
+        with pytest.warns(DeprecationWarning, match="Pipeline.builder"):
+            ESpiceConfig()
+
+    def test_warning_points_at_caller(self):
+        """stacklevel=2: the warning blames the deprecated call site."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ESpiceConfig()
+        ours = [w for w in caught if w.category is DeprecationWarning]
+        assert ours and ours[0].filename == __file__
+
+
+class TestShimStillWorks:
+    """Deprecated does not mean broken: the legacy wiring must function."""
+
+    def test_legacy_train_and_build_flow(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            espice = ESpice(toy_query(), ESpiceConfig(latency_bound=1.0, f=0.8))
+        model = espice.train(toy_stream())
+        assert model.reference_size > 0
+        shedder = espice.build_shedder()
+        assert isinstance(shedder, ESpiceShedder)
+        detector = espice.build_detector(
+            shedder, fixed_processing_latency=0.001, fixed_input_rate=1200.0
+        )
+        assert detector.shedder is shedder
+        assert detector.f == 0.8
