@@ -55,6 +55,90 @@ class TestSheddingDecision:
         event = Event("T3", 0, 0.0)
         benchmark(shedder.should_drop, event, 700, 2000.0)
 
+    def test_decision_throughput_scalar_vs_batched(self, benchmark):
+        """Decisions/second: scalar loop vs the vectorized kernel.
+
+        The batched numbers cover both backends (numpy skipped when it
+        is not installed) across batch sizes bracketing the
+        numpy/fallback crossover; every batch is asserted bit-identical
+        to the scalar loop before it is timed.
+        """
+        import random
+        import time
+
+        from repro.core.kernel import HAVE_NUMPY
+
+        model = synthetic_model()
+        rng = random.Random(13)
+        predicted = 2000.0
+
+        def variant(backend):
+            shedder = armed_shedder(model)
+            shedder._kernel_backend = backend
+            shedder._kernel = None
+            return shedder
+
+        def throughput(fn, pairs, target=200_000):
+            reps = max(1, target // pairs)
+            start = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            elapsed = time.perf_counter() - start
+            return reps * pairs / elapsed
+
+        def measure():
+            report = {}
+            for batch_size in (16, 256, 4096):
+                events = [
+                    Event(f"T{rng.randint(0, 19)}", i, 0.0)
+                    for i in range(batch_size)
+                ]
+                positions = [rng.randint(0, 1999) for _ in range(batch_size)]
+                scalar = variant(None)
+                expected = [
+                    scalar.should_drop(e, p, predicted)
+                    for e, p in zip(events, positions)
+                ]
+                row = {
+                    "scalar": throughput(
+                        lambda: [
+                            scalar.should_drop(e, p, predicted)
+                            for e, p in zip(events, positions)
+                        ],
+                        batch_size,
+                    )
+                }
+                backends = ["fallback"] + (["numpy"] if HAVE_NUMPY else [])
+                for backend in backends:
+                    shedder = variant(backend)
+                    assert (
+                        shedder.should_drop_batch(events, positions, predicted)
+                        == expected
+                    )
+                    row[backend] = throughput(
+                        lambda s=shedder: s.should_drop_batch(
+                            events, positions, predicted
+                        ),
+                        batch_size,
+                    )
+                report[batch_size] = row
+            return report
+
+        report = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print("\nShedding-decision throughput (decisions/second, N=2000, M=20):")
+        for batch_size, row in report.items():
+            cells = "  ".join(
+                f"{name}: {rate / 1e6:6.2f} M/s" for name, rate in row.items()
+            )
+            print(f"  batch={batch_size:5d}  {cells}")
+        benchmark.extra_info.update(
+            {
+                f"{name}_dps_batch{batch_size}": round(rate)
+                for batch_size, row in report.items()
+                for name, rate in row.items()
+            }
+        )
+
     def test_decision_is_constant_in_window_size(self, benchmark):
         """O(1) claim: decisions on an 8x larger table cost the same.
 

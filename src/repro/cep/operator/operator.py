@@ -151,6 +151,41 @@ class CEPOperator:
             shedder.should_drop(event, ref.position, predicted) for ref in item.refs
         ]
 
+    def decide_batch(
+        self, items: List[QueuedItem], shedder: Optional[object] = None
+    ) -> List[Optional[List[bool]]]:
+        """Drop decisions for a batch of items in one shedder pass.
+
+        All memberships of ``items`` are flattened into one
+        (event, position) batch and resolved by the shedder's
+        :meth:`~repro.shedding.base.LoadShedder.should_drop_batch`
+        (vectorized for eSPICE, a faithful per-pair loop otherwise),
+        then sliced back per item.  The caller must guarantee the
+        predictor state is constant across ``items`` -- i.e. no window
+        completes between them -- which is exactly the segment contract
+        of the pipeline's batched egress.  Decisions are bit-identical
+        to calling :meth:`decide` per item.
+        """
+        shedder = shedder if shedder is not None else self.shedder
+        if shedder is None or not getattr(shedder, "active", True):
+            return [None] * len(items)
+        predicted = self.predicted_window_size()
+        events: List[Event] = []
+        positions: List[int] = []
+        for item in items:
+            event = item.event
+            for ref in item.refs:
+                events.append(event)
+                positions.append(ref.position)
+        mask = shedder.should_drop_batch(events, positions, predicted)
+        out: List[Optional[List[bool]]] = []
+        start = 0
+        for item in items:
+            count = len(item.refs)
+            out.append(mask[start : start + count])
+            start += count
+        return out
+
     def process(self, item: QueuedItem, now: float = 0.0) -> ProcessResult:
         """Process one queue item; completes any windows it closed.
 

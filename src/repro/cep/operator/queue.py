@@ -68,6 +68,28 @@ class InputQueue:
         self.total_dequeued += 1
         return item
 
+    def pop_all(self) -> List[QueuedItem]:
+        """Dequeue every item at once (the batched path's single drain).
+
+        One bulk operation instead of a pop-per-item loop; dequeue
+        accounting matches popping each item individually.
+        """
+        items = list(self._items)
+        self._items.clear()
+        self.total_dequeued += len(items)
+        return items
+
+    def consume_all(self) -> int:
+        """Dequeue everything without materialising the items.
+
+        For batched callers that already hold the items (they travel on
+        the stage contexts); returns how many were consumed.
+        """
+        count = len(self._items)
+        self._items.clear()
+        self.total_dequeued += count
+        return count
+
     def peek(self) -> Optional[QueuedItem]:
         """The oldest item without removing it, or ``None``."""
         return self._items[0] if self._items else None

@@ -94,18 +94,19 @@ class WindowParallelOperator:
             self._size_count += 1
 
         predicted = self.predicted_window_size()
-        kept_positions: List[int] = []
-        kept_events: List[Event] = []
-        for position, event in enumerate(window.events):
-            drop = False
-            if self.shedder is not None and getattr(self.shedder, "active", True):
-                drop = self.shedder.should_drop(event, position, predicted)
-            if drop:
-                stats.memberships_dropped += 1
-            else:
-                stats.memberships_kept += 1
-                kept_positions.append(position)
-                kept_events.append(event)
+        events = window.events
+        shedder = self.shedder
+        if shedder is not None and getattr(shedder, "active", True):
+            # whole-window micro-batch: one vectorized kernel pass
+            mask = shedder.should_drop_batch(events, range(len(events)), predicted)
+            kept_positions = [p for p, drop in enumerate(mask) if not drop]
+            kept_events = [events[p] for p in kept_positions]
+            stats.memberships_dropped += len(events) - len(kept_events)
+            stats.memberships_kept += len(kept_events)
+        else:
+            kept_positions = list(range(len(events)))
+            kept_events = list(events)
+            stats.memberships_kept += len(kept_events)
 
         matches: List[Match] = self._matchers[instance].match_window(
             kept_events, kept_positions

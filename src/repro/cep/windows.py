@@ -109,6 +109,19 @@ class WindowAssigner:
         """Assign ``event``; report memberships and windows closed before it."""
         raise NotImplementedError
 
+    def on_events(self, events: Iterable[Event]) -> List[AssignResult]:
+        """Assign a micro-batch of events in arrival order.
+
+        Window membership is a pure streaming function, so the base
+        implementation is a loop with the dispatch hoisted; assigners
+        with cheaper bulk bookkeeping may override.  Results align with
+        ``events`` one-to-one -- batched callers
+        (:meth:`repro.pipeline.stages.WindowAssignStage.process_batch`)
+        rely on that.
+        """
+        on_event = self.on_event
+        return [on_event(event) for event in events]
+
     def flush(self) -> List[Window]:
         """Close and return every still-open window (end of stream).
 

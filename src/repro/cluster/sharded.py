@@ -53,6 +53,7 @@ from repro.cluster.routing import Router, create_router
 from repro.cluster.transport import BatchingSender, drain, drain_for
 from repro.cluster.worker import ShardChain, shard_main
 from repro.core.persistence import model_to_dict
+from repro.pipeline.batching import iter_batches
 from repro.pipeline.pipeline import Pipeline
 from repro.shedding.base import DropCommand
 
@@ -333,34 +334,61 @@ class ShardedPipeline:
     def run(self, stream: Iterable[Event]) -> ShardedResult:
         """Replay ``stream`` through the cluster; merge-and-order results.
 
-        The router ingests events in stream order, ships complete
-        windows to shards, and the coordinator releases detections in
-        dispatch order -- the returned per-query lists are identical
-        (contents *and* order) to a sequential ``Pipeline.run`` /
+        The router ingests events in stream order -- micro-batched into
+        :class:`~repro.pipeline.batching.EventBatch` objects of
+        ``batch_size`` events -- ships each batch's complete windows to
+        the shards as single ``winbatch`` messages (the batch formed at
+        ingress is what travels; windows are not re-wrapped one message
+        at a time), and the coordinator releases detections in dispatch
+        order: the returned per-query lists are identical (contents
+        *and* order) to a sequential ``Pipeline.run`` /
         ``simulate_pipeline`` of the same deployment.
         """
         self.start()
         coordinator = self.coordinator
         t_start = time.perf_counter()
         events_fed = 0
-        for event in stream:
-            now = event.timestamp
+        # bounded queues need per-event admission; the batched ingress
+        # is only equivalent when rejections cannot depend on drain
+        # interleaving (see Pipeline.run)
+        batched_ingress = self.pipeline.config.queue_capacity is None
+        for batch in iter_batches(stream, self.batch_size):
             for state in self._chain_states:
                 chain = state.chain
-                if chain.ingest(event, now):
-                    queue = chain.queue
-                    while queue:
-                        item = queue.pop()
-                        for window in item.closed_windows:
-                            self._dispatch(state, window)
-            events_fed += 1
-            coordinator.events_ingested += 1
+                if batched_ingress:
+                    # synchronous drain, like QueryChain.run_batch: the
+                    # staging depth of the batch is not backlog
+                    assign_stage = chain.window_assign
+                    depth_before = assign_stage.max_queue_depth
+                    chain.ingest_batch(batch)
+                    items = chain.queue.pop_all()
+                    assign_stage.max_queue_depth = max(
+                        depth_before, 1 if items else 0
+                    )
+                else:
+                    items = []
+                    for event, now in zip(batch.events, batch.nows):
+                        if chain.ingest(event, now):
+                            queue = chain.queue
+                            while queue:
+                                items.append(queue.pop())
+                per_shard: Dict[int, List[tuple]] = {}
+                for item in items:
+                    for window in item.closed_windows:
+                        shard, entry = self._stamp(state, window)
+                        per_shard.setdefault(shard, []).append(entry)
+                self._ship(state, per_shard)
+            events_fed += len(batch.events)
+            coordinator.events_ingested += len(batch.events)
             self._drain_results()
             self._check_overload()
         # end of stream: still-open windows flush as truncated windows
         for state in self._chain_states:
+            per_shard = {}
             for window in state.chain.window_assign.flush():
-                self._dispatch(state, window)
+                shard, entry = self._stamp(state, window)
+                per_shard.setdefault(shard, []).append(entry)
+            self._ship(state, per_shard)
         self._sync()
         wall = time.perf_counter() - t_start
 
@@ -381,7 +409,8 @@ class ShardedPipeline:
             snapshot=self.snapshot(),
         )
 
-    def _dispatch(self, state: _ChainState, window) -> None:
+    def _stamp(self, state: _ChainState, window) -> Tuple[int, tuple]:
+        """Route + stamp one window; returns its shard and wire entry."""
         predicted = state.predict(window)
         shard = self.router.route(window, state.name)
         cost = window.size
@@ -389,6 +418,17 @@ class ShardedPipeline:
         index = self.coordinator.stamp_dispatch(state.name, shard, cost)
         self._in_flight[(state.name, index)] = (shard, cost)
         state.pending_events += cost
+        return shard, (index, window, predicted)
+
+    def _ship(self, state: _ChainState, per_shard: Dict[int, List[tuple]]) -> None:
+        """Send each shard its share of a batch as one ``winbatch``."""
+        for shard, entries in per_shard.items():
+            self._senders[shard].send_now(("winbatch", state.name, entries))
+
+    def _dispatch(self, state: _ChainState, window) -> None:
+        """Ship one window on its own (kept for targeted tests/tools)."""
+        shard, entry = self._stamp(state, window)
+        index, window, predicted = entry
         self._senders[shard].send(("win", state.name, index, window, predicted))
 
     def _drain_results(self, block_timeout: Optional[float] = None) -> None:
@@ -400,7 +440,15 @@ class ShardedPipeline:
         coordinator = self.coordinator
         for message in messages:
             tag = message[0]
-            if tag == "res":
+            if tag == "resbatch":
+                _tag, shard, chain_name, results = message
+                state = self._chain_state(chain_name)
+                for index, events in results:
+                    _shard, cost = self._in_flight.pop((chain_name, index))
+                    self.router.on_complete(shard, cost)
+                    state.pending_events -= cost
+                    coordinator.on_result(chain_name, shard, index, cost, events)
+            elif tag == "res":
                 _tag, shard, chain_name, index, events = message
                 _shard, cost = self._in_flight.pop((chain_name, index))
                 self.router.on_complete(shard, cost)

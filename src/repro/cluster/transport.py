@@ -58,6 +58,18 @@ class BatchingSender:
         elif self.linger > 0.0 and self._clock() - self._oldest >= self.linger:
             self.flush()
 
+    def send_now(self, message: object) -> None:
+        """Ship ``message`` immediately (after anything already buffered).
+
+        For messages that are themselves batches -- e.g. a router's
+        ``winbatch`` carrying every window an :class:`EventBatch`
+        closed -- re-buffering would only delay work that is already
+        amortized; queue order relative to buffered messages is
+        preserved.
+        """
+        self._buffer.append(message)
+        self.flush()
+
     def maybe_flush(self) -> None:
         """Flush if the oldest buffered message outwaited ``linger``."""
         if (

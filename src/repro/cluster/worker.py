@@ -12,16 +12,23 @@ Protocol (all messages travel in :class:`~repro.cluster.transport`
 batches)::
 
     coordinator -> worker
-        ("win",   chain, dispatch_idx, window, predicted_ws)
+        ("winbatch", chain, [(dispatch_idx, window, predicted_ws), ...])
+        ("win",   chain, dispatch_idx, window, predicted_ws)  # single-window path
         ("model", chain, payload, version)      # hot model swap
         ("cmd",   chain, drop_command | None, active)  # coordinated shedding
         ("sync",  token)                        # flush + report metrics
         ("stop",)
 
     worker -> coordinator
+        ("resbatch", shard_id, chain, [(dispatch_idx, [ComplexEvent, ...]), ...])
         ("res",  shard_id, chain, dispatch_idx, [ComplexEvent, ...])
         ("sync", shard_id, token, metrics)
         ("err",  shard_id, traceback_text)
+
+``winbatch`` carries every window one router-side
+:class:`~repro.pipeline.batching.EventBatch` closed for one shard --
+the micro-batch formed at ingress travels end-to-end instead of being
+re-wrapped into per-window messages.
 
 Workers are forked from the parent after ``train()``/``deploy()``, so
 they inherit the trained model, the shedder's drop command and its
@@ -67,16 +74,21 @@ class ShardChain:
         """
         self.windows += 1
         shedder = self.shedder
-        shedding = shedder is not None and shedder.active
-        kept_positions: List[int] = []
-        kept_events = []
-        for position, event in enumerate(window.events):
-            if shedding and shedder.should_drop(event, position, predicted_ws):
-                self.memberships_dropped += 1
-            else:
-                self.memberships_kept += 1
-                kept_positions.append(position)
-                kept_events.append(event)
+        events = window.events
+        if shedder is not None and shedder.active:
+            # a complete window is a natural micro-batch: one kernel
+            # pass resolves every (event, position) of the window
+            mask = shedder.should_drop_batch(
+                events, range(len(events)), predicted_ws
+            )
+            kept_positions = [p for p, drop in enumerate(mask) if not drop]
+            kept_events = [events[p] for p in kept_positions]
+            self.memberships_dropped += len(events) - len(kept_events)
+            self.memberships_kept += len(kept_events)
+        else:
+            kept_positions = list(range(len(events)))
+            kept_events = list(events)
+            self.memberships_kept += len(kept_events)
         matches = self.matcher.match_window(kept_events, kept_positions)
         # detection_time is the window's close time (stream time): the
         # shard's local processing clock is meaningless cluster-wide.
@@ -156,7 +168,19 @@ def shard_main(
             for message in batch:
                 messages_in += 1
                 tag = message[0]
-                if tag == "win":
+                if tag == "winbatch":
+                    # one message per (EventBatch, shard): shed + match
+                    # every window, reply with one result batch
+                    _tag, chain_name, entries = message
+                    chain = chains[chain_name]
+                    work_start = time.perf_counter()
+                    results = [
+                        (dispatch_idx, chain.process_window(window, predicted))
+                        for dispatch_idx, window, predicted in entries
+                    ]
+                    busy += time.perf_counter() - work_start
+                    sender.send_now(("resbatch", shard_id, chain_name, results))
+                elif tag == "win":
                     _tag, chain_name, dispatch_idx, window, predicted = message
                     work_start = time.perf_counter()
                     complex_events = chains[chain_name].process_window(

@@ -1,0 +1,342 @@
+"""Vectorized shedding kernel: batch drop-mask resolution (paper §3.5).
+
+The per-event shedding decision is O(1), but in the interpreted scalar
+path each decision still pays a method-call chain, attribute chasing
+and branchy float arithmetic.  This module flattens the decision's
+state -- the utility table rows and the per-partition thresholds --
+into contiguous arrays once, so a *batch* of (type, position) pairs
+resolves to a boolean drop mask in a single pass:
+
+    drop[i]  ⇔  UT(T_i, scaled(P_i)) ≤ uth(partition(scaled(P_i)))
+
+Two interchangeable backends produce **bit-for-bit identical masks**
+(property-tested against the scalar :meth:`ESpiceShedder._decide`):
+
+- ``numpy``: the whole batch is resolved with vectorized array ops;
+  auto-selected when NumPy is importable.
+- ``fallback``: pure stdlib -- the flattened rows live in one Python
+  list and a tight loop with hoisted locals resolves the batch.  No
+  third-party dependency, so ``install_requires`` stays empty.
+
+Select explicitly via the ``backend=`` argument or the
+``REPRO_KERNEL_BACKEND`` environment variable (``numpy`` |
+``fallback``); the default is auto-detection.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import scaling
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None
+    HAVE_NUMPY = False
+
+#: Environment variable that forces a backend (``numpy`` | ``fallback``).
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Below this batch size the numpy backend routes to the stdlib loop:
+#: array construction overhead dominates tiny batches (the two paths
+#: are bit-identical, so this is purely a constant-factor choice;
+#: measured crossover on CPython 3.11 is ~32-64 pairs).
+NUMPY_MIN_BATCH = 32
+
+
+def default_backend() -> str:
+    """The backend a kernel built without ``backend=`` will use."""
+    forced = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if forced in ("numpy", "fallback"):
+        if forced == "numpy" and not HAVE_NUMPY:
+            raise RuntimeError(
+                f"{BACKEND_ENV}=numpy requested but numpy is not importable"
+            )
+        return forced
+    return "numpy" if HAVE_NUMPY else "fallback"
+
+
+class SheddingKernel:
+    """Flattened utility rows + thresholds with batched drop resolution.
+
+    Parameters
+    ----------
+    rows:
+        The utility matrix, one row of bin utilities per type (the
+        order of ``type_ids``).
+    type_ids:
+        Mapping from type name to row index (``UtilityTable.type_ids``).
+    reference / bin_size:
+        The *model's* reference window size and bin size -- used for
+        the fast scale-down path and the partition computation, exactly
+        like the scalar shedder's cached ``_reference``/``_bin_size``.
+    table_reference / table_bin_size:
+        The *table's* own reference/bin parameters, used by the precise
+        scale-up path (they normally equal the model's, but the scalar
+        path reads them off the table, so the kernel mirrors that).
+    backend:
+        ``"numpy"`` | ``"fallback"`` | ``None`` (auto-detect).
+
+    Thresholds arrive separately via :meth:`set_thresholds` (they change
+    with every drop command; the flattened rows only change on a model
+    swap, which rebuilds the kernel).
+    """
+
+    __slots__ = (
+        "backend",
+        "bins",
+        "bin_size",
+        "reference",
+        "table_reference",
+        "table_bin_size",
+        "table_bins",
+        "partition_size",
+        "partition_count",
+        "_type_rows",
+        "_unknown_row",
+        "_flat",
+        "_np_rows",
+        "_np_cumrows",
+        "_thresholds",
+        "_np_thresholds",
+    )
+
+    def __init__(
+        self,
+        rows: Sequence[Sequence[int]],
+        type_ids: Dict[str, int],
+        reference: int,
+        bin_size: int,
+        table_reference: Optional[int] = None,
+        table_bin_size: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        if backend is None:
+            backend = default_backend()
+        if backend not in ("numpy", "fallback"):
+            raise ValueError(f"unknown kernel backend {backend!r}")
+        if backend == "numpy" and not HAVE_NUMPY:
+            raise RuntimeError("numpy backend requested but numpy is missing")
+        self.backend = backend
+        self.reference = reference
+        self.bin_size = bin_size
+        self.table_reference = (
+            table_reference if table_reference is not None else reference
+        )
+        self.table_bin_size = (
+            table_bin_size if table_bin_size is not None else bin_size
+        )
+        self.bins = len(rows[0]) if rows else 0
+        self.table_bins = scaling.bin_count(self.table_reference, self.table_bin_size)
+        self.partition_size = float(reference)
+        self.partition_count = 0
+        # type name -> row index; unknown types resolve to an all-zero
+        # row appended after the real ones (utility 0: safe to drop
+        # first, same as the scalar path's "no evidence" rule)
+        self._type_rows = dict(type_ids)
+        self._unknown_row = len(rows)
+        flat: List[int] = []
+        for row in rows:
+            flat.extend(int(v) for v in row)
+        flat.extend(0 for _ in range(self.bins))  # the unknown-type row
+        self._flat = flat
+        self._thresholds: List[int] = []
+        self._np_thresholds = None
+        if backend == "numpy":
+            matrix = _np.zeros((len(rows) + 1, self.bins), dtype=_np.int64)
+            if rows:
+                matrix[:-1, :] = _np.asarray(rows, dtype=_np.int64)
+            self._np_rows = matrix
+            # per-row prefix sums for the scale-up averaging path:
+            # sum(row[first..last]) = cum[row, last+1] - cum[row, first]
+            cum = _np.zeros((len(rows) + 1, self.bins + 1), dtype=_np.int64)
+            _np.cumsum(matrix, axis=1, out=cum[:, 1:])
+            self._np_cumrows = cum
+        else:
+            self._np_rows = None
+            self._np_cumrows = None
+
+    # ------------------------------------------------------------------
+    def set_thresholds(
+        self, thresholds: Sequence[int], partition_size: float
+    ) -> None:
+        """Install the per-partition ``uth`` array of the current drop
+        command (cheap: thresholds change per command, rows do not)."""
+        self._thresholds = [int(t) for t in thresholds]
+        self.partition_count = len(self._thresholds)
+        self.partition_size = float(partition_size)
+        if self.backend == "numpy":
+            self._np_thresholds = _np.asarray(self._thresholds, dtype=_np.int64)
+
+    @property
+    def thresholds(self) -> List[int]:
+        """Current per-partition thresholds (diagnostics, tests)."""
+        return list(self._thresholds)
+
+    def row_index(self, type_name: str) -> int:
+        """Row index of ``type_name`` (the unknown row if unseen)."""
+        return self._type_rows.get(type_name, self._unknown_row)
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        events: Sequence,
+        positions: Sequence[int],
+        predicted_ws: float,
+    ) -> List[bool]:
+        """Drop mask for a batch of (event, position) pairs.
+
+        ``events[i]`` sits at (unshedded) window position
+        ``positions[i]`` of a window predicted to span ``predicted_ws``
+        events -- the same contract as
+        :meth:`repro.shedding.base.LoadShedder.should_drop`, batched.
+        The mask is bit-identical to calling the scalar decision per
+        pair.
+        """
+        n = len(positions)
+        if n == 0:
+            return []
+        if not self._thresholds:
+            return [False] * n
+        reference = self.reference
+        window_size = predicted_ws if predicted_ws > 0 else reference
+        if self.backend == "numpy" and n >= NUMPY_MIN_BATCH:
+            return self._decide_numpy(events, positions, window_size)
+        return self._decide_fallback(events, positions, window_size)
+
+    # ------------------------------------------------------------------
+    # numpy backend
+    # ------------------------------------------------------------------
+    def _decide_numpy(
+        self, events: Sequence, positions: Sequence[int], window_size: float
+    ) -> List[bool]:
+        np = _np
+        reference = self.reference
+        row_of = self._type_rows
+        unknown = self._unknown_row
+        rows = np.fromiter(
+            (row_of.get(e.event_type, unknown) for e in events),
+            dtype=np.int64,
+            count=len(positions),
+        )
+        pos = np.asarray(positions, dtype=np.int64)
+
+        if window_size >= reference - 1.0:
+            if window_size <= reference + 1.0:
+                # identity/near-identity: clamp into the reference range
+                ref_pos = np.minimum(pos, reference - 1)
+            else:
+                # scale down: several window positions share a cell
+                ref_pos = (pos * reference / window_size).astype(np.int64)
+                np.minimum(ref_pos, reference - 1, out=ref_pos)
+            utility = self._np_rows[rows, ref_pos // self.bin_size]
+        else:
+            # scale up (ws < N): a position covers several cells whose
+            # utilities are averaged (paper §3.6) -- vectorized version
+            # of UtilityTable.utility + scaling.scale_position
+            t_ref = self.table_reference
+            t_bs = self.table_bin_size
+            factor = t_ref / window_size
+            lo = pos * factor
+            np.minimum(lo, t_ref - 1e-9, out=lo)
+            hi = (pos + 1) * factor
+            np.maximum(hi, lo + 1e-9, out=hi)
+            np.minimum(hi, float(t_ref), out=hi)
+            first = lo.astype(np.int64) // t_bs
+            last = (np.ceil(hi).astype(np.int64) - 1) // t_bs
+            top = self.table_bins - 1
+            np.minimum(first, top, out=first)
+            np.maximum(last, first, out=last)
+            np.minimum(last, top, out=last)
+            count = last - first + 1
+            cum = self._np_cumrows
+            span_sum = cum[rows, last + 1] - cum[rows, first]
+            utility = np.where(
+                count == 1,
+                self._np_rows[rows, first],
+                np.rint(span_sum / count).astype(np.int64),
+            )
+            # the partition uses the *model* reference, like the scalar path
+            m_factor = reference / window_size
+            m_lo = pos * m_factor
+            np.minimum(m_lo, reference - 1e-9, out=m_lo)
+            ref_pos = m_lo.astype(np.int64)
+
+        partition = (ref_pos / self.partition_size).astype(np.int64)
+        np.minimum(partition, self.partition_count - 1, out=partition)
+        mask = utility <= self._np_thresholds[partition]
+        return mask.tolist()
+
+    # ------------------------------------------------------------------
+    # stdlib fallback backend
+    # ------------------------------------------------------------------
+    def _decide_fallback(
+        self, events: Sequence, positions: Sequence[int], window_size: float
+    ) -> List[bool]:
+        reference = self.reference
+        bins = self.bins
+        bin_size = self.bin_size
+        flat = self._flat
+        row_of = self._type_rows
+        unknown = self._unknown_row
+        thresholds = self._thresholds
+        top_part = len(thresholds) - 1
+        psize = self.partition_size
+        out: List[bool] = []
+        append = out.append
+
+        if window_size >= reference - 1.0:
+            if window_size <= reference + 1.0:
+                last_pos = reference - 1
+                for event, position in zip(events, positions):
+                    ref_position = position if position < reference else last_pos
+                    base = row_of.get(event.event_type, unknown) * bins
+                    utility = flat[base + ref_position // bin_size]
+                    partition = int(ref_position / psize)
+                    if partition > top_part:
+                        partition = top_part
+                    append(utility <= thresholds[partition])
+            else:
+                for event, position in zip(events, positions):
+                    ref_position = int(position * reference / window_size)
+                    if ref_position >= reference:
+                        ref_position = reference - 1
+                    base = row_of.get(event.event_type, unknown) * bins
+                    utility = flat[base + ref_position // bin_size]
+                    partition = int(ref_position / psize)
+                    if partition > top_part:
+                        partition = top_part
+                    append(utility <= thresholds[partition])
+            return out
+
+        # scale-up slow path (ws < N): batch-compute the covered bin
+        # ranges and reference positions, then average the covered cells
+        spans = scaling.positions_to_bins_batch(
+            positions, window_size, self.table_reference, self.table_bin_size
+        )
+        ref_positions = scaling.reference_positions_batch(
+            positions, window_size, reference
+        )
+        for i, (event, position) in enumerate(zip(events, positions)):
+            first, last = spans[i]
+            base = row_of.get(event.event_type, unknown) * bins
+            if first == last:
+                utility = flat[base + first]
+            else:
+                span = flat[base + first : base + last + 1]
+                utility = round(sum(span) / len(span))
+            partition = int(ref_positions[i] / psize)
+            if partition > top_part:
+                partition = top_part
+            append(utility <= thresholds[partition])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SheddingKernel(backend={self.backend}, types={self._unknown_row}, "
+            f"bins={self.bins}, partitions={self.partition_count})"
+        )

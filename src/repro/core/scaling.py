@@ -19,7 +19,7 @@ All of that reduces to: position ``P`` covers the reference interval
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 
 def bin_count(reference_size: int, bin_size: int) -> int:
@@ -85,3 +85,79 @@ def reference_position(
     """
     lo, _hi = scale_position(position, window_size, reference_size)
     return min(int(lo), reference_size - 1)
+
+
+# ----------------------------------------------------------------------
+# batch-level scaling (the vectorized shedding kernel's fallback path)
+# ----------------------------------------------------------------------
+def reference_positions_batch(
+    positions: Sequence[int], window_size: float, reference_size: int
+) -> List[int]:
+    """``int(scale_position(p, ws, N)[0])`` for every position at once.
+
+    One pass with the scaling factor hoisted out of the loop; produces
+    exactly the per-position values of the scalar function (used by the
+    shedding kernel's partition computation).
+    """
+    if window_size <= 0.0:
+        top = reference_size - 1
+        return [position if position < top else top for position in positions]
+    factor = reference_size / window_size
+    clamp = reference_size - 1e-9
+    return [
+        int(lo if (lo := position * factor) < clamp else clamp)
+        for position in positions
+    ]
+
+
+def positions_to_bins_batch(
+    positions: Sequence[int],
+    window_size: float,
+    reference_size: int,
+    bin_size: int,
+) -> List[Tuple[int, int]]:
+    """Inclusive bin ranges for a batch of positions (one pass).
+
+    Bit-identical to calling :func:`position_to_bins` per position,
+    with the scaling factor and clamps hoisted out of the loop.
+    """
+    top = bin_count(reference_size, bin_size) - 1
+    if window_size <= 0.0:
+        return [position_to_bins(p, window_size, reference_size, bin_size)
+                for p in positions]
+    factor = reference_size / window_size
+    lo_clamp = reference_size - 1e-9
+    hi_clamp = float(reference_size)
+    ceil = math.ceil
+    out: List[Tuple[int, int]] = []
+    for position in positions:
+        lo = position * factor
+        hi = (position + 1) * factor
+        if lo > lo_clamp:
+            lo = lo_clamp
+        lo_eps = lo + 1e-9
+        if hi < lo_eps:
+            hi = lo_eps
+        if hi > hi_clamp:
+            hi = hi_clamp
+        first = int(lo) // bin_size
+        last = int(ceil(hi) - 1) // bin_size
+        out.append((min(first, top), min(max(last, first), top)))
+    return out
+
+
+def partitions_batch(
+    reference_positions: Sequence[int],
+    partition_size: float,
+    partition_count: int,
+) -> List[int]:
+    """Partition index of every (already scaled) reference position.
+
+    Mirrors the scalar shedder's ``int(ref_pos / psize)`` with the
+    clamp into ``[0, partition_count)``.
+    """
+    top = partition_count - 1
+    return [
+        part if (part := int(ref_pos / partition_size)) <= top else top
+        for ref_pos in reference_positions
+    ]

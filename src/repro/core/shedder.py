@@ -15,11 +15,12 @@ robust to variable window sizes (§3.6).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.cep.events import Event
 from repro.core import scaling
 from repro.core.cdt import CDT
+from repro.core.kernel import SheddingKernel
 from repro.core.model import UtilityModel
 from repro.core.partitions import PartitionPlan
 from repro.shedding.base import DropCommand, LoadShedder
@@ -28,7 +29,9 @@ from repro.shedding.base import DropCommand, LoadShedder
 class ESpiceShedder(LoadShedder):
     """Utility-threshold shedder backed by a trained model."""
 
-    def __init__(self, model: UtilityModel) -> None:
+    def __init__(
+        self, model: UtilityModel, kernel_backend: Optional[str] = None
+    ) -> None:
         super().__init__()
         self.model = model
         self._plan: Optional[PartitionPlan] = None
@@ -42,6 +45,11 @@ class ESpiceShedder(LoadShedder):
         self._reference = model.reference_size
         self._bin_size = model.bin_size
         self._partition_size = float(model.reference_size)
+        # the vectorized batch kernel is built lazily from the same
+        # model state; ``kernel_backend`` pins numpy/fallback (tests,
+        # benchmarks), None auto-detects
+        self._kernel_backend = kernel_backend
+        self._kernel: Optional[SheddingKernel] = None
 
     # ------------------------------------------------------------------
     # drop command handling (Algorithm 2, lines 1-7)
@@ -71,6 +79,10 @@ class ESpiceShedder(LoadShedder):
         self._command = command
         self._thresholds = [cdt.threshold_for(command.x) for cdt in self._cdts]
         self._partition_size = self._plan.partition_size
+        if self._kernel is not None:
+            # thresholds are the only kernel state a command changes;
+            # the flattened rows survive (they depend on the model only)
+            self._kernel.set_thresholds(self._thresholds, self._partition_size)
 
     @property
     def thresholds(self) -> List[int]:
@@ -105,6 +117,11 @@ class ESpiceShedder(LoadShedder):
         self._cdts = []
         self._thresholds = []
         self._partition_size = float(model.reference_size)
+        # the flattened kernel arrays mirror the *old* model's utility
+        # rows -- invalidate them with the swap, or a mid-batch swap
+        # would keep deciding against stale utilities (the next batch
+        # rebuilds the kernel lazily from the new model)
+        self._kernel = None
         if command is not None:
             self.on_drop_command(command)
         if was_active:
@@ -145,6 +162,53 @@ class ESpiceShedder(LoadShedder):
         if partition >= len(thresholds):
             partition = len(thresholds) - 1
         return utility <= thresholds[partition]
+
+    # ------------------------------------------------------------------
+    # batched decision (vectorized kernel; bit-identical to the scalar
+    # path, property-tested)
+    # ------------------------------------------------------------------
+    def kernel(self) -> SheddingKernel:
+        """The flattened batch kernel (built lazily from the live model).
+
+        Rebuilt automatically after :meth:`rebind_model`; a new drop
+        command only swaps the threshold arrays in place.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            table = self.model.table
+            kernel = SheddingKernel(
+                rows=table.as_matrix(),
+                type_ids=table.type_ids,
+                reference=self._reference,
+                bin_size=self._bin_size,
+                table_reference=table.reference_size,
+                table_bin_size=table.bin_size,
+                backend=self._kernel_backend,
+            )
+            kernel.set_thresholds(self._thresholds, self._partition_size)
+            self._kernel = kernel
+        return kernel
+
+    def should_drop_batch(
+        self,
+        events: Sequence[Event],
+        positions: Sequence[int],
+        predicted_ws: float,
+    ) -> List[bool]:
+        """Batched :meth:`should_drop`: one kernel pass per batch.
+
+        Counter semantics match the scalar loop exactly: every pair
+        counts as a decision, every ``True`` as a drop.
+        """
+        n = len(positions)
+        if not self._active or n == 0:
+            return [False] * n
+        self.decisions += n
+        if not self._thresholds:
+            return [False] * n
+        mask = self.kernel().decide(events, positions, predicted_ws)
+        self.drops += mask.count(True)
+        return mask
 
     def threshold_for_partition(self, partition: int) -> int:
         """``uth(part)`` (diagnostics, tests)."""

@@ -32,6 +32,7 @@ import one module: quality comparison (:func:`ground_truth`,
 middleware stages.
 """
 
+from repro.pipeline.batching import EventBatch, MicroBatcher, StageBatch
 from repro.pipeline.builder import PipelineBuilder
 from repro.pipeline.pipeline import (
     Pipeline,
@@ -70,8 +71,11 @@ from repro.shedding.registry import (
 __all__ = [
     "AdmissionStage",
     "EmitStage",
+    "EventBatch",
     "LoggingStage",
     "MatchStage",
+    "MicroBatcher",
+    "StageBatch",
     "ParallelMatchStage",
     "Pipeline",
     "PipelineBuilder",

@@ -150,6 +150,26 @@ class PipelineBuilder:
         self._config.queue_capacity = capacity
         return self
 
+    def batch(self, batch_size: int, linger: float = 0.0) -> "PipelineBuilder":
+        """Micro-batch the hot event path (size-or-linger).
+
+        ``run()``/``feed()`` then accumulate up to ``batch_size``
+        events (shipping early once the oldest buffered event is
+        ``linger`` event-time seconds old) and each stage processes the
+        batch in one call, with the shedding decisions resolved by the
+        vectorized kernel (:mod:`repro.core.kernel`).  Detections stay
+        bit-identical and identically ordered; only constants drop.
+        ``batch_size=1`` (the default) keeps per-event execution, and a
+        bounded :meth:`queue_capacity` forces it.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        if linger < 0.0:
+            raise ValueError("linger must be non-negative")
+        self._config.batch_size = batch_size
+        self._config.linger = linger
+        return self
+
     def seed(self, seed: int) -> "PipelineBuilder":
         """RNG seed handed to sampling shedders."""
         self._config.seed = seed

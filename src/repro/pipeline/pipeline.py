@@ -45,6 +45,7 @@ from repro.core.adaptive import AdaptiveController
 from repro.core.fvalue import effective_f
 from repro.core.model import ModelBuilder, UtilityModel
 from repro.core.overload import OverloadDetector
+from repro.pipeline.batching import EventBatch, MicroBatcher, StageBatch
 from repro.pipeline.stages import (
     AdmissionStage,
     EmitStage,
@@ -88,6 +89,11 @@ class PipelineConfig:
     reference_size: Optional[int] = None
     queue_capacity: Optional[int] = None
     seed: int = 0
+    #: Micro-batch size of the hot event path (1 = per-event execution).
+    batch_size: int = 1
+    #: Event-time seconds the oldest buffered event may wait before the
+    #: micro-batch ships early (0 = flush purely by size).
+    linger: float = 0.0
 
     def __post_init__(self) -> None:
         if self.latency_bound <= 0.0:
@@ -98,6 +104,10 @@ class PipelineConfig:
             raise ValueError("bin size must be positive")
         if self.check_interval <= 0.0:
             raise ValueError("check interval must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        if self.linger < 0.0:
+            raise ValueError("linger must be non-negative")
 
 
 @dataclass
@@ -414,6 +424,85 @@ class QueryChain:
             complex_events.extend(self.process_item(item, now).complex_events)
         return complex_events
 
+    # ------------------------------------------------------------------
+    # micro-batched event path (amortized stage dispatch; detections are
+    # bit-identical and identically ordered vs the per-event path)
+    # ------------------------------------------------------------------
+    def ingest_batch(self, batch: EventBatch) -> StageBatch:
+        """Run the ingress half over a whole micro-batch.
+
+        Each ingress stage processes the batch in one
+        :meth:`~repro.pipeline.stages.Stage.process_batch` call (custom
+        stages fall back to their per-event ``on_event``).  Requires an
+        unbounded queue: per-event admission interleaves enqueue and
+        drain, so capacity checks are only equivalent when they cannot
+        trigger -- the pipeline falls back to per-event execution when
+        a ``queue_capacity`` is configured.
+        """
+        stage_batch = StageBatch.from_events(batch)
+        for stage in self.ingress:
+            stage.process_batch(stage_batch)
+        return stage_batch
+
+    def process_batch(self, stage_batch: StageBatch) -> None:
+        """Run the egress half over an ingested micro-batch.
+
+        When per-event shedding decisions are live, the batch is split
+        into *segments* at window-closing items: completing a window
+        updates the window-size predictor and may fire listeners (drift
+        detection, adaptive retrain with a hot model swap), so the
+        decisions of later items must see that new state exactly as
+        they would per event.  Within a segment no such state change
+        can occur, and the shedding stage resolves every (event,
+        window) pair with one vectorized kernel pass.  Without live
+        shedding the whole batch is one segment.
+        """
+        self.queue.consume_all()  # the batch's items leave the queue as one drain
+        egress = self.egress
+        shedding_live = (
+            self.shedding.per_event
+            and self.shedder is not None
+            and self.shedder.active
+            and self.operator is not None
+        )
+        if not shedding_live:
+            for stage in egress:
+                stage.process_batch(stage_batch)
+            return
+        for segment in self._segments(stage_batch):
+            for stage in egress:
+                stage.process_batch(segment)
+
+    def run_batch(self, batch: EventBatch) -> StageBatch:
+        """Ingest and immediately drain one micro-batch (synchronous mode).
+
+        The queue exists only within this call, so the backpressure
+        metric is reconciled to its per-event equivalent: interleaved
+        execution never sees more than one item queued, and the staging
+        depth of the batch must not masquerade as backlog.
+        """
+        assign_stage = self.window_assign
+        depth_before = assign_stage.max_queue_depth
+        stage_batch = self.ingest_batch(batch)
+        pushed = self.queue.size
+        self.process_batch(stage_batch)
+        assign_stage.max_queue_depth = max(depth_before, 1 if pushed else 0)
+        return stage_batch
+
+    @staticmethod
+    def _segments(stage_batch: StageBatch) -> List[StageBatch]:
+        """Split a batch after every item that closes windows."""
+        segments: List[StageBatch] = []
+        current: List = []
+        for ctx in stage_batch.contexts:
+            current.append(ctx)
+            if not ctx.stopped and ctx.item is not None and ctx.item.closed_windows:
+                segments.append(StageBatch(current))
+                current = []
+        if current:
+            segments.append(StageBatch(current))
+        return segments
+
     def on_tick(self, now: float) -> None:
         """Periodic duty for every stage (detector checks, refills)."""
         for stage in self.stages:
@@ -459,6 +548,14 @@ class Pipeline:
         self.config = config
         self._events_fed = 0
         self._next_tick: Optional[float] = None
+        # live-mode micro-batcher (size-or-linger); None = per-event
+        # feeds.  Bounded queues need per-event admission, so batching
+        # only engages on unbounded pipelines.
+        self._feed_batcher: Optional[MicroBatcher] = (
+            MicroBatcher(config.batch_size, config.linger)
+            if config.batch_size > 1 and config.queue_capacity is None
+            else None
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -550,8 +647,18 @@ class Pipeline:
         ``now``); periodic stage duty runs on the configured check
         interval.  Returns the complex events each query detected as a
         consequence of this event.
+
+        With a configured micro-batch (``.batch(batch_size, linger)``)
+        the event is buffered instead and the whole batch is processed
+        -- with identical detections, in identical order -- once it
+        fills, lingers out, or a detector tick is due; the return value
+        then carries the flushed batch's detections (usually empty for
+        buffering calls).  :meth:`flush_pending` forces the buffer
+        through.
         """
         at = now if now is not None else event.timestamp
+        if self._feed_batcher is not None:
+            return self._feed_batched(event, at)
         self._advance_ticks(at)
         out: Dict[str, List[ComplexEvent]] = {}
         for chain in self.chains:
@@ -559,6 +666,51 @@ class Pipeline:
             out[chain.query.name] = chain.drain(at) if admitted else []
         self._events_fed += 1
         return out
+
+    def _feed_batched(self, event: Event, at: float) -> Dict[str, List[ComplexEvent]]:
+        batcher = self._feed_batcher
+        out = {chain.query.name: [] for chain in self.chains}
+        if (
+            self._next_tick is not None
+            and self._next_tick <= at
+            and batcher
+            and self._ticks_observable()
+        ):
+            # a due tick is a batch boundary: buffered events must be
+            # processed before detector duty runs, like per-event mode
+            self._collect_batch(batcher.take(), out)
+        self._advance_ticks(at)
+        self._collect_batch(batcher.add(event, at), out)
+        return out
+
+    def flush_pending(self) -> Dict[str, List[ComplexEvent]]:
+        """Process whatever the live micro-batcher still buffers.
+
+        No-op (empty result) without batching or with an empty buffer.
+        Call at the end of a feed session -- or whenever a downstream
+        consumer must observe everything fed so far.
+        """
+        out = {chain.query.name: [] for chain in self.chains}
+        if self._feed_batcher is not None:
+            self._collect_batch(self._feed_batcher.take(), out)
+        return out
+
+    def _collect_batch(
+        self,
+        batch: Optional[EventBatch],
+        out: Dict[str, List[ComplexEvent]],
+    ) -> None:
+        """Run one micro-batch through every chain, appending detections."""
+        if not batch:
+            return
+        for chain in self.chains:
+            stage_batch = chain.run_batch(batch)
+            collected = out[chain.query.name]
+            for ctx in stage_batch.contexts:
+                result = ctx.result
+                if result is not None and result.complex_events:
+                    collected.extend(result.complex_events)
+        self._events_fed += len(batch.events)
 
     def _advance_ticks(self, now: float) -> None:
         if self._next_tick is None:
@@ -569,21 +721,36 @@ class Pipeline:
                 chain.on_tick(self._next_tick)
             self._next_tick += self.config.check_interval
 
-    def run(self, stream: Iterable[Event]) -> PipelineResult:
+    def run(
+        self, stream: Iterable[Event], batch_size: Optional[int] = None
+    ) -> PipelineResult:
         """Replay ``stream`` through every chain in event time.
 
         Synchronous batch mode: no queueing delays, no shedding unless
         a shedder was activated explicitly -- with a default deployment
         this equals the ground truth of an unconstrained operator.
         Returns everything collected since the previous ``run``.
+
+        ``batch_size`` overrides the configured micro-batch size for
+        this replay (``None`` uses ``config.batch_size``).  Batched
+        replays produce bit-identical, identically ordered detections;
+        a bounded queue forces the per-event path (its admission checks
+        interleave enqueue and drain).
         """
         for chain in self.chains:
             chain.emit.drain_collected()
             chain.emit.retain = True
-        fed_before = self._events_fed
-        chains = self.chains
-        last = 0.0
         try:
+            # events still buffered by a live feed session are flushed
+            # with retention already on: their detections join this
+            # run's result instead of being silently dropped
+            self.flush_pending()
+            bsize = self.config.batch_size if batch_size is None else batch_size
+            if bsize > 1 and self.config.queue_capacity is None:
+                return self._run_batched(stream, bsize, self.config.linger)
+            fed_before = self._events_fed
+            chains = self.chains
+            last = 0.0
             # tighter per-event loop than feed(): detections accumulate
             # in the emit stages, so no per-event result dict is built
             for event in stream:
@@ -607,6 +774,79 @@ class Pipeline:
             metrics=self.metrics(),
             events_fed=self._events_fed - fed_before,
         )
+
+    def _run_batched(
+        self, stream: Iterable[Event], batch_size: int, linger: float
+    ) -> PipelineResult:
+        """Micro-batched replay: stage dispatch amortized per batch.
+
+        Equivalence with the per-event loop is structural: per-event
+        clocks travel with the batch, detector ticks force a flush
+        before they fire, and the egress splits at window completions
+        (see :meth:`QueryChain.process_batch`).  When no stage has
+        periodic duty (no overload detector, no tick-driven custom
+        stage) ticks are provably no-ops, so neither the flushes nor
+        the tick bookkeeping run at all -- otherwise every due tick
+        would cap the effective batch at ``check_interval``'s worth of
+        events.
+
+        Called by :meth:`run` only, inside its retain window (the
+        caller drains stale collections, sets ``emit.retain`` and
+        resets it afterwards).
+        """
+        fed_before = self._events_fed
+        chains = self.chains
+        last = 0.0
+        ticks = self._ticks_observable()
+        batcher = MicroBatcher(batch_size, linger)
+        if ticks:
+            for event in stream:
+                last = event.timestamp
+                if self._next_tick is not None and self._next_tick <= last:
+                    self._flush_run_batch(batcher.take())
+                self._advance_ticks(last)
+                self._flush_run_batch(batcher.add(event, last))
+        else:
+            add = batcher.add
+            flush = self._flush_run_batch
+            for event in stream:
+                last = event.timestamp
+                flush(add(event, last))
+            self._next_tick = None  # re-anchor: no tick was observable
+        self._flush_run_batch(batcher.take())
+        matches = {}
+        for chain in chains:
+            chain.flush(now=last)
+            matches[chain.query.name] = chain.emit.drain_collected()
+        return PipelineResult(
+            matches=matches,
+            metrics=self.metrics(),
+            events_fed=self._events_fed - fed_before,
+        )
+
+    def _ticks_observable(self) -> bool:
+        """Whether any stage would act on a periodic tick.
+
+        The core stages' ``on_tick`` is a no-op unless the shedding
+        stage carries an overload detector; a custom stage overriding
+        ``on_tick`` (rate limiters, ...) is assumed to act.
+        """
+        base = Stage.on_tick
+        for chain in self.chains:
+            for stage in chain.stages:
+                if isinstance(stage, SheddingStage):
+                    if stage.detector is not None:
+                        return True
+                elif type(stage).on_tick is not base:
+                    return True
+        return False
+
+    def _flush_run_batch(self, batch: Optional[EventBatch]) -> None:
+        if not batch:
+            return
+        for chain in self.chains:
+            chain.run_batch(batch)
+        self._events_fed += len(batch.events)
 
     # ------------------------------------------------------------------
     # virtual-time overload simulation (the paper's experimental setup)

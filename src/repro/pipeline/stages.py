@@ -18,18 +18,20 @@ halves itself, which is how the same chain serves both push-based
 ingestion and deterministic replay.
 
 Every stage implements the common :class:`Stage` protocol --
-``on_event`` / ``on_tick`` / ``metrics`` -- so cross-cutting concerns
-(rate limiting, sampling, logging, ...) drop into the chain exactly
-like framework middleware; :class:`RateLimitStage`,
+``on_event`` / ``process_batch`` / ``on_tick`` / ``metrics`` -- so
+cross-cutting concerns (rate limiting, sampling, logging, ...) drop
+into the chain exactly like framework middleware; :class:`RateLimitStage`,
 :class:`SamplingStage` and :class:`LoggingStage` are ready-made
-examples.
+examples.  ``process_batch`` is the micro-batched hot path (see
+:mod:`repro.pipeline.batching`); its default implementation loops
+``on_event``, so a custom stage needs nothing extra to stay correct.
 """
 
 from __future__ import annotations
 
 import logging
 import random
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.cep.events import ComplexEvent, Event
 from repro.cep.operator.operator import CEPOperator, ProcessResult
@@ -38,6 +40,9 @@ from repro.cep.parallel import WindowParallelOperator
 from repro.cep.windows import Window, WindowAssigner
 from repro.core.overload import OverloadDetector
 from repro.shedding.base import LoadShedder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.batching import StageBatch
 
 #: Signature of a complex-event subscriber attached to the emit stage.
 EventSink = Callable[[ComplexEvent], None]
@@ -48,10 +53,12 @@ class StageContext:
 
     Ingress stages read/replace :attr:`event` and may veto it; the
     window-assign stage fills :attr:`item`; egress stages fill
-    :attr:`drops` and :attr:`result`.
+    :attr:`drops` and :attr:`result`.  :attr:`stopped` is the batched
+    path's veto marker: once a stage stops a context, every later stage
+    skips it (the per-event path short-circuits the loop instead).
     """
 
-    __slots__ = ("event", "now", "item", "drops", "result")
+    __slots__ = ("event", "now", "item", "drops", "result", "stopped")
 
     def __init__(
         self,
@@ -64,6 +71,7 @@ class StageContext:
         self.item = item
         self.drops: Optional[List[bool]] = None
         self.result: Optional[ProcessResult] = None
+        self.stopped = False
 
 
 class Stage:
@@ -83,6 +91,19 @@ class Stage:
 
     def on_event(self, ctx: StageContext) -> bool:
         return True
+
+    def process_batch(self, batch: "StageBatch") -> None:
+        """Process a micro-batch of contexts (see :mod:`.batching`).
+
+        The default loops :meth:`on_event` over the batch's live
+        contexts in stream order -- custom stages that never heard of
+        batching keep their exact per-event semantics, vetoes included.
+        Core stages override this with amortized implementations.
+        """
+        on_event = self.on_event
+        for ctx in batch.contexts:
+            if not ctx.stopped and on_event(ctx) is False:
+                ctx.stopped = True
 
     def on_tick(self, now: float) -> None:
         pass
@@ -124,6 +145,18 @@ class AdmissionStage(Stage):
         if self.detector is not None:
             self.detector.record_arrival(ctx.now)
         return True
+
+    def process_batch(self, batch: "StageBatch") -> None:
+        if self.capacity is not None:
+            # bounded queues are driven per event (the pipeline falls
+            # back before batching; this guard keeps direct callers safe)
+            super().process_batch(batch)
+            return
+        self.arrivals += len(batch.contexts)
+        if self.detector is not None:
+            record = self.detector.record_arrival
+            for ctx in batch.contexts:
+                record(ctx.now)
 
     def metrics(self) -> Dict[str, object]:
         return {
@@ -168,6 +201,32 @@ class WindowAssignStage(Stage):
             return False
         self.max_queue_depth = max(self.max_queue_depth, self.queue.size)
         return True
+
+    def process_batch(self, batch: "StageBatch") -> None:
+        live = [ctx for ctx in batch.contexts if not ctx.stopped]
+        assignments = self.assigner.on_events([ctx.event for ctx in live])
+        push = self.queue.push
+        memberships = 0
+        closed = 0
+        for ctx, assignment in zip(live, assignments):
+            item = QueuedItem(
+                event=ctx.event,
+                refs=assignment.assignments,
+                closed_windows=assignment.closed,
+                enqueue_time=ctx.now,
+            )
+            ctx.item = item
+            memberships += len(assignment.assignments)
+            closed += len(assignment.closed)
+            if not push(item):
+                self.rejected += 1
+                ctx.stopped = True
+        self.assigned_memberships += memberships
+        self.windows_closed += closed
+        # the queue only grows during batched ingress, so the depth
+        # after the last push is the batch's maximum
+        if self.queue.size > self.max_queue_depth:
+            self.max_queue_depth = self.queue.size
 
     def flush(self) -> List[Window]:
         """Close every still-open window (end of stream)."""
@@ -217,6 +276,26 @@ class SheddingStage(Stage):
             ctx.drops = self.operator.decide(ctx.item, shedder=self.shedder)
         return True
 
+    def process_batch(self, batch: "StageBatch") -> None:
+        """Resolve every (event, window) pair of the batch in one pass.
+
+        The caller guarantees one shared predictor state for the batch
+        (the chain splits batches at window completions), so a single
+        window-size prediction covers every pair and the shedder's
+        vectorized kernel resolves the whole drop mask at once.
+        """
+        shedder = self.shedder
+        if not (self.per_event and shedder is not None and self.operator is not None):
+            return
+        if not getattr(shedder, "active", True):
+            return  # operator.decide would return None per item
+        live = [ctx for ctx in batch.contexts if not ctx.stopped]
+        drops = self.operator.decide_batch(
+            [ctx.item for ctx in live], shedder=shedder
+        )
+        for ctx, item_drops in zip(live, drops):
+            ctx.drops = item_drops
+
     def on_tick(self, now: float) -> None:
         if self.detector is not None and self.queue is not None:
             self.detector.check(now, self.queue.size)
@@ -249,6 +328,12 @@ class MatchStage(Stage):
     def on_event(self, ctx: StageContext) -> bool:
         ctx.result = self.operator.apply(ctx.item, ctx.drops, now=ctx.now)
         return True
+
+    def process_batch(self, batch: "StageBatch") -> None:
+        apply = self.operator.apply
+        for ctx in batch.contexts:
+            if not ctx.stopped:
+                ctx.result = apply(ctx.item, ctx.drops, now=ctx.now)
 
     def flush(self, windows: List[Window], now: float) -> List[ComplexEvent]:
         """Complete still-open windows at end of stream."""
@@ -332,6 +417,15 @@ class EmitStage(Stage):
         if ctx.result is not None and ctx.result.complex_events:
             self.dispatch(ctx.result.complex_events)
         return True
+
+    def process_batch(self, batch: "StageBatch") -> None:
+        dispatch = self.dispatch
+        for ctx in batch.contexts:
+            if ctx.stopped:
+                continue
+            result = ctx.result
+            if result is not None and result.complex_events:
+                dispatch(result.complex_events)
 
     def dispatch(self, complex_events: List[ComplexEvent]) -> None:
         """Record and fan out detections (also used by the flush path)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.cep.events import Event
 
@@ -81,6 +82,28 @@ class LoadShedder(abc.ABC):
         if drop:
             self.drops += 1
         return drop
+
+    def should_drop_batch(
+        self,
+        events: Sequence[Event],
+        positions: Sequence[int],
+        predicted_ws: float,
+    ) -> List[bool]:
+        """Drop decisions for a batch of (event, position) pairs.
+
+        ``events[i]`` sits at position ``positions[i]`` of a window
+        predicted to span ``predicted_ws`` events (one shared prediction
+        -- the caller batches only pairs decided under the same
+        predictor state).  The default loops :meth:`should_drop`, so
+        every shedder -- including sampling shedders whose RNG sequence
+        must advance per decision -- behaves exactly as if consulted
+        per pair; shedders with a vectorized kernel override this.
+        """
+        should_drop = self.should_drop
+        return [
+            should_drop(event, position, predicted_ws)
+            for event, position in zip(events, positions)
+        ]
 
     def observed_drop_rate(self) -> float:
         """Fraction of decisions that dropped (diagnostics)."""

@@ -1,0 +1,278 @@
+"""The vectorized shedding kernel (repro.core.kernel).
+
+The kernel's contract is strict: for any model, drop command, window
+size and (type, position) batch, the drop mask must be bit-identical to
+calling the scalar ``ESpiceShedder._decide`` per pair -- on both the
+numpy and the pure-stdlib fallback backend.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.cep.events import Event
+from repro.core import kernel as kernel_module
+from repro.core import scaling
+from repro.core.kernel import HAVE_NUMPY, SheddingKernel, default_backend
+from repro.core.model import UtilityModel
+from repro.core.position_shares import PositionShares
+from repro.core.shedder import ESpiceShedder
+from repro.core.utility_table import UtilityTable
+from repro.shedding.base import DropCommand
+
+BACKENDS = ["fallback"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+def make_model(types=6, positions=40, bin_size=2, seed=0):
+    rng = random.Random(seed)
+    bins = math.ceil(positions / bin_size)
+    matrix = [[rng.randint(0, 100) for _ in range(bins)] for _ in range(types)]
+    names = [f"T{i}" for i in range(types)]
+    table = UtilityTable.from_matrix(matrix, names, bin_size=bin_size)
+    shares = PositionShares.uniform(table.type_ids, table.reference_size, bin_size)
+    return UtilityModel(
+        table=table,
+        shares=shares,
+        reference_size=table.reference_size,
+        bin_size=bin_size,
+    )
+
+
+def armed(model, backend, partitions=3, x_fraction=0.3):
+    shedder = ESpiceShedder(model, kernel_backend=backend)
+    psize = model.reference_size / partitions
+    shedder.on_drop_command(
+        DropCommand(
+            x=x_fraction * psize, partition_count=partitions, partition_size=psize
+        )
+    )
+    shedder.activate()
+    return shedder
+
+
+def batch_for(model, rng, size=64, window_size=40.0):
+    names = [f"T{i}" for i in range(model.table.type_count + 2)]  # + unknown types
+    events = [Event(rng.choice(names), i, 0.0) for i in range(size)]
+    top = int(max(window_size, model.reference_size) * 2) + 3
+    positions = [rng.randint(0, top) for _ in range(size)]
+    return events, positions
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestKernelEqualsScalar:
+    def test_fuzz_equivalence(self, backend):
+        """Random models x window sizes x batches: masks match scalar."""
+        rng = random.Random(7)
+        for trial in range(60):
+            model = make_model(
+                types=rng.randint(1, 8),
+                positions=rng.randint(2, 70),
+                bin_size=rng.choice([1, 2, 5]),
+                seed=trial,
+            )
+            shedder = armed(
+                model,
+                backend,
+                partitions=rng.randint(1, 5),
+                x_fraction=rng.random(),
+            )
+            n = model.reference_size
+            for ws in (0.0, 1.0, n * 0.3, n - 1.5, n - 0.5, float(n), n + 0.9, n * 3.7):
+                events, positions = batch_for(model, rng, window_size=max(ws, 1.0))
+                scalar = [
+                    shedder._decide(e, p, ws) for e, p in zip(events, positions)
+                ]
+                assert shedder.kernel().decide(events, positions, ws) == scalar
+
+    def test_scale_up_averaging_path(self, backend):
+        """ws < N - 1 exercises the covered-cell averaging exactly."""
+        model = make_model(types=3, positions=30, bin_size=3, seed=5)
+        shedder = armed(model, backend, partitions=4)
+        events = [Event("T1", i, 0.0) for i in range(12)]
+        positions = list(range(12))
+        ws = 11.0  # well below N=30
+        scalar = [shedder._decide(e, p, ws) for e, p in zip(events, positions)]
+        assert shedder.kernel().decide(events, positions, ws) == scalar
+
+    def test_unknown_types_use_zero_utility(self, backend):
+        model = make_model(seed=2)
+        shedder = armed(model, backend)
+        ws = float(model.reference_size)
+        alien = [Event("NOPE", i, 0.0) for i in range(5)]
+        scalar = [shedder._decide(e, p, ws) for e, p in zip(alien, range(5))]
+        assert shedder.kernel().decide(alien, list(range(5)), ws) == scalar
+
+    def test_empty_batch(self, backend):
+        model = make_model()
+        shedder = armed(model, backend)
+        assert shedder.kernel().decide([], [], 40.0) == []
+        assert shedder.should_drop_batch([], [], 40.0) == []
+
+    def test_no_thresholds_drops_nothing(self, backend):
+        model = make_model()
+        shedder = ESpiceShedder(model, kernel_backend=backend)
+        shedder.activate()
+        events = [Event("T0", i, 0.0) for i in range(4)]
+        assert shedder.should_drop_batch(events, [0, 1, 2, 3], 40.0) == [False] * 4
+        # scalar counts those as decisions; the batch path must too
+        assert shedder.decisions == 4
+        assert shedder.drops == 0
+
+    def test_counters_match_scalar_loop(self, backend):
+        rng = random.Random(3)
+        model = make_model(seed=3)
+        events, positions = batch_for(model, rng)
+        ws = float(model.reference_size)
+
+        scalar_shedder = armed(model, None)
+        scalar = [
+            scalar_shedder.should_drop(e, p, ws) for e, p in zip(events, positions)
+        ]
+        batch_shedder = armed(model, backend)
+        batched = batch_shedder.should_drop_batch(events, positions, ws)
+        assert batched == scalar
+        assert batch_shedder.decisions == scalar_shedder.decisions
+        assert batch_shedder.drops == scalar_shedder.drops
+
+    def test_inactive_shedder_decides_nothing(self, backend):
+        model = make_model()
+        shedder = ESpiceShedder(model, kernel_backend=backend)
+        psize = model.reference_size / 2
+        shedder.on_drop_command(
+            DropCommand(x=psize, partition_count=2, partition_size=psize)
+        )
+        events = [Event("T0", i, 0.0) for i in range(3)]
+        assert shedder.should_drop_batch(events, [0, 1, 2], 40.0) == [False] * 3
+        assert shedder.decisions == 0  # scalar should_drop does not count either
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestBackendsAgree:
+    def test_numpy_equals_fallback(self):
+        rng = random.Random(11)
+        for trial in range(30):
+            model = make_model(
+                types=rng.randint(1, 6),
+                positions=rng.randint(3, 50),
+                bin_size=rng.choice([1, 2, 4]),
+                seed=100 + trial,
+            )
+            numpy_shedder = armed(model, "numpy", partitions=rng.randint(1, 4))
+            fallback_shedder = armed(model, "fallback", partitions=1)
+            fallback_shedder.on_drop_command(numpy_shedder._command)
+            n = model.reference_size
+            for ws in (1.0, n * 0.4, float(n), n * 2.2):
+                events, positions = batch_for(model, rng, window_size=max(ws, 1.0))
+                assert numpy_shedder.kernel().decide(
+                    events, positions, ws
+                ) == fallback_shedder.kernel().decide(events, positions, ws)
+
+
+class TestBackendSelection:
+    def test_default_backend_auto_detects(self):
+        assert default_backend() == ("numpy" if HAVE_NUMPY else "fallback")
+
+    def test_env_var_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv(kernel_module.BACKEND_ENV, "fallback")
+        assert default_backend() == "fallback"
+        model = make_model()
+        assert ESpiceShedder(model).kernel().backend == "fallback"
+
+    def test_unknown_backend_rejected(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            SheddingKernel(
+                rows=model.table.as_matrix(),
+                type_ids=model.table.type_ids,
+                reference=model.reference_size,
+                bin_size=model.bin_size,
+                backend="cuda",
+            )
+
+
+class TestKernelLifecycle:
+    """The satellite fix: flattened arrays must track model hot swaps."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_drop_command_swaps_thresholds_in_place(self, backend):
+        model = make_model(seed=8)
+        shedder = armed(model, backend, partitions=2, x_fraction=0.1)
+        kernel_before = shedder.kernel()
+        psize = model.reference_size / 2
+        shedder.on_drop_command(
+            DropCommand(x=0.9 * psize, partition_count=2, partition_size=psize)
+        )
+        # same kernel object (rows unchanged), new thresholds installed
+        assert shedder.kernel() is kernel_before
+        assert shedder.kernel().thresholds == shedder.thresholds
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rebind_model_invalidates_flattened_rows(self, backend):
+        """Regression: a hot model swap mid-batch must rebuild the
+        kernel, or decisions keep resolving against the old model's
+        flattened utilities."""
+        rng = random.Random(21)
+        old_model = make_model(seed=31, positions=40, bin_size=2)
+        new_model = make_model(seed=32, positions=40, bin_size=2)
+        shedder = armed(old_model, backend)
+        events, positions = batch_for(old_model, rng)
+        ws = float(old_model.reference_size)
+
+        before = shedder.should_drop_batch(events, positions, ws)
+        assert before == [shedder._decide(e, p, ws) for e, p in zip(events, positions)]
+
+        shedder.rebind_model(new_model)  # mid-batch hot swap
+        after = shedder.should_drop_batch(events, positions, ws)
+        expected = [shedder._decide(e, p, ws) for e, p in zip(events, positions)]
+        assert after == expected
+        # the models genuinely disagree somewhere, or this proves nothing
+        fresh = armed(new_model, backend)
+        fresh.on_drop_command(shedder._command)
+        assert after == fresh.kernel().decide(events, positions, ws)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rebind_replays_command_into_new_kernel(self, backend):
+        old_model = make_model(seed=41)
+        new_model = make_model(seed=42)
+        shedder = armed(old_model, backend, partitions=3)
+        command = shedder._command
+        shedder.rebind_model(new_model)
+        kernel = shedder.kernel()
+        assert kernel.thresholds == shedder.thresholds
+        assert shedder._command == command  # command survives the swap
+
+
+class TestScalingBatchHelpers:
+    def test_reference_positions_batch_matches_scalar(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            reference = rng.randint(1, 60)
+            ws = rng.choice([0.0, rng.uniform(0.5, 3 * reference)])
+            positions = [rng.randint(0, 3 * reference) for _ in range(20)]
+            expected = [
+                int(scaling.scale_position(p, ws, reference)[0]) for p in positions
+            ]
+            assert (
+                scaling.reference_positions_batch(positions, ws, reference)
+                == expected
+            )
+
+    def test_positions_to_bins_batch_matches_scalar(self):
+        rng = random.Random(6)
+        for _ in range(50):
+            reference = rng.randint(1, 60)
+            bin_size = rng.choice([1, 2, 3, 7])
+            ws = rng.choice([0.0, rng.uniform(0.5, 3 * reference)])
+            positions = [rng.randint(0, 3 * reference) for _ in range(20)]
+            expected = [
+                scaling.position_to_bins(p, ws, reference, bin_size)
+                for p in positions
+            ]
+            assert (
+                scaling.positions_to_bins_batch(positions, ws, reference, bin_size)
+                == expected
+            )
+
+    def test_partitions_batch_clamps(self):
+        assert scaling.partitions_batch([0, 5, 9, 99], 5.0, 2) == [0, 1, 1, 1]
