@@ -1,0 +1,200 @@
+"""Wire-ingest throughput: the serve front door vs in-process ``feed()``.
+
+``repro.serve`` puts a real asyncio TCP server between clients and the
+pipeline.  This benchmark prices that hop: the same soccer Q1 stream is
+replayed (1) straight into ``Pipeline.feed_many`` + ``finish`` -- the
+in-process ceiling, no sockets -- and (2) through
+:func:`repro.runtime.serve_replay` at 1, 8 and 64 concurrent framed-TCP
+connections, and events/sec are compared.
+
+Correctness is asserted alongside the numbers: the single-connection
+wire run must produce detections bit-identical and identically ordered
+to the in-process run (the serve determinism guarantee), and every
+multi-connection run must deliver the full stream (delivery accounting;
+ordering across interleaved connections is intentionally unspecified,
+so only the 1-connection run asserts detection equality).
+
+Each run writes a machine-readable ``BENCH_serve.json`` (override the
+path with ``BENCH_SERVE_REPORT``) so the wire-overhead trajectory is
+trackable across PRs, like the chain-overhead numbers in
+``bench_pipeline``.
+
+Run ``python benchmarks/bench_serve.py --smoke`` for the quick
+CI-friendly variant: a short slice, same assertions, no speed
+expectations (a 1-core container measures syscall overhead, not
+scaling).
+"""
+
+import json
+import os
+import time
+
+#: Concurrent client connections measured against the baseline.
+CONNECTION_COUNTS = (1, 8, 64)
+#: Events per ingest request (the client-side wire batch).
+CLIENT_BATCH = 64
+#: Pipeline micro-batch size (matches the tracked bench_pipeline setup).
+PIPELINE_BATCH = 16
+#: Where the machine-readable report lands (cwd-relative by default).
+REPORT_PATH = os.environ.get("BENCH_SERVE_REPORT", "BENCH_serve.json")
+
+from repro.experiments import workloads
+from repro.pipeline import Pipeline
+from repro.queries import build_q1
+from repro.runtime import serve_replay
+
+
+def build_pipeline(batch_size=PIPELINE_BATCH):
+    return (
+        Pipeline.builder()
+        .query(build_q1(pattern_size=2, window_seconds=15.0))
+        .batch(batch_size)
+        .build()
+    )
+
+
+def in_process_replay(stream):
+    """The no-socket ceiling: feed_many + finish on a fresh pipeline."""
+    pipeline = build_pipeline()
+    start = time.perf_counter()
+    fed = pipeline.feed_many(stream)
+    final = pipeline.finish()
+    wall = time.perf_counter() - start
+    name = pipeline.chains[0].query.name
+    keys = [c.key for c in fed[name] + final[name]]
+    return len(stream) / wall if wall > 0 else 0.0, keys
+
+
+def run_bench(stream):
+    """Measure every configuration once; assert correctness throughout."""
+    n = len(stream)
+    in_process_eps, reference = in_process_replay(stream)
+    assert reference, "workload slice must detect something"
+
+    serve_eps = {}
+    for connections in CONNECTION_COUNTS:
+        result = serve_replay(
+            build_pipeline(),
+            stream,
+            batch_events=CLIENT_BATCH,
+            connections=connections,
+        )
+        # delivery accounting holds at every fan-in; detection equality
+        # (contents AND order) is the 1-connection determinism guarantee
+        assert result.events_sent == n
+        assert result.metrics["ingest"]["events_fed"] == n
+        assert result.metrics["state"] == "stopped"
+        if connections == 1:
+            wire_keys = [c.key for c in result.complex_events]
+            assert wire_keys == reference, (
+                "single-connection wire detections diverged from in-process"
+            )
+        else:
+            assert result.complex_events
+        serve_eps[connections] = result.events_per_second
+
+    return {
+        "events": n,
+        "detections": len(reference),
+        "client_batch": CLIENT_BATCH,
+        "pipeline_batch": PIPELINE_BATCH,
+        "cores": os.cpu_count() or 1,
+        "in_process_eps": in_process_eps,
+        "serve_eps": serve_eps,
+        "wire_cost_1conn": in_process_eps / serve_eps[1]
+        if serve_eps[1] > 0
+        else float("inf"),
+    }
+
+
+def write_report(out, path=REPORT_PATH):
+    """Emit the machine-readable artifact (BENCH_serve.json)."""
+    payload = {
+        "benchmark": "serve_ingest_throughput",
+        "unix_time": round(time.time(), 3),
+        "events": out["events"],
+        "detections": out["detections"],
+        "client_batch": out["client_batch"],
+        "pipeline_batch": out["pipeline_batch"],
+        "cores": out["cores"],
+        "in_process_eps": round(out["in_process_eps"], 1),
+        "serve_eps": {
+            str(c): round(eps, 1) for c, eps in out["serve_eps"].items()
+        },
+        "wire_cost_1conn": round(out["wire_cost_1conn"], 3),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def describe(out):
+    lines = [
+        "Serve ingest throughput (framed TCP, soccer Q1, "
+        f"{out['events']} events, {out['detections']} detections, "
+        f"{out['cores']} core(s)):",
+        f"  in-process feed():   {out['in_process_eps']:>10.0f} events/s",
+    ]
+    for connections in CONNECTION_COUNTS:
+        lines.append(
+            f"  serve, {connections:>2} conn:       "
+            f"{out['serve_eps'][connections]:>10.0f} events/s"
+        )
+    lines.append(
+        f"  wire cost (1 conn):  {out['wire_cost_1conn']:.2f}x vs in-process"
+    )
+    extra = {
+        "in_process_eps": round(out["in_process_eps"]),
+        **{
+            f"serve_eps_{c}conn": round(out["serve_eps"][c])
+            for c in CONNECTION_COUNTS
+        },
+        "wire_cost_1conn": round(out["wire_cost_1conn"], 3),
+        "cores": out["cores"],
+    }
+    return "\n".join(lines), extra
+
+
+def test_serve_ingest_throughput(report):
+    """The tracked number: events/s over the wire vs in-process."""
+    _train, stream = workloads.soccer_streams()
+
+    def runner():
+        out = run_bench(stream)
+        write_report(out)
+        return out
+
+    def _describe(out):
+        text, extra = describe(out)
+        return text + f"\n  report:              {REPORT_PATH}", extra
+
+    report(runner, _describe)
+
+
+# ----------------------------------------------------------------------
+# CI smoke mode: python benchmarks/bench_serve.py --smoke
+# ----------------------------------------------------------------------
+def smoke() -> int:
+    """Fast assertion pass: delivery + 1-connection detection equality
+    across every fan-in, on a short slice.  No speed expectations -- a
+    1-core CI box cannot parallelise connections, only serialise them.
+    Exits non-zero on violation; still writes BENCH_serve.json."""
+    _train, stream = workloads.soccer_streams(duration_seconds=600.0)
+    out = run_bench(stream)
+    path = write_report(out)
+    text, _extra = describe(out)
+    print(f"bench_serve --smoke:\n{text}\n  report:              {path}")
+    print("OK: delivery complete at every fan-in, 1-conn wire bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        raise SystemExit(smoke())
+    raise SystemExit(
+        "run under pytest (pytest benchmarks/bench_serve.py "
+        "--benchmark-only -s) or pass --smoke"
+    )

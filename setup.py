@@ -23,6 +23,11 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=[],
+    entry_points={
+        "console_scripts": [
+            "repro-serve=repro.serve.cli:main",
+        ],
+    },
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
     },

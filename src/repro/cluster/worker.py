@@ -38,6 +38,8 @@ configured.
 
 from __future__ import annotations
 
+import queue
+import signal
 import time
 import traceback
 from typing import Dict, List, Optional
@@ -144,6 +146,18 @@ class ShardChain:
         return report
 
 
+class _GracefulShutdown(BaseException):
+    """Raised by the SIGTERM handler to unwind the worker loop.
+
+    Deliberately a ``BaseException`` (like ``KeyboardInterrupt``): the
+    worker's ``except Exception`` error reporting must not swallow it.
+    """
+
+
+def _request_shutdown(signum, frame):  # pragma: no cover - signal context
+    raise _GracefulShutdown()
+
+
 def shard_main(
     shard_id: int,
     chains: Dict[str, ShardChain],
@@ -152,18 +166,41 @@ def shard_main(
     batch_size: int,
     linger: float,
 ) -> None:
-    """Worker process entry point (runs until a ``stop`` message)."""
+    """Worker process entry point (runs until a ``stop`` message).
+
+    SIGTERM and SIGINT (``KeyboardInterrupt``) are graceful-shutdown
+    requests, not crashes: the worker flushes any results it already
+    computed to the coordinator and returns cleanly (exit code 0) --
+    the same drain path a ``stop`` message takes.  Network front doors
+    and process supervisors deliver exactly these signals on shutdown,
+    and a worker traceback would misreport an orderly drain as a
+    failure.
+    """
     from repro.cluster.transport import BatchingSender
 
-    sender = BatchingSender(out_queue, batch_size=batch_size, linger=linger)
-    started = time.perf_counter()
-    busy = 0.0
-    batches_in = 0
-    messages_in = 0
+    # the handler must be installed in the child's main thread; fork
+    # inherits the parent's disposition, which for a driver under
+    # SIGTERM-based supervision would be to die mid-batch
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    sender = None
     try:
+        sender = BatchingSender(out_queue, batch_size=batch_size, linger=linger)
+        started = time.perf_counter()
+        busy = 0.0
+        batches_in = 0
+        messages_in = 0
         running = True
         while running:
-            batch = in_queue.get()
+            # bounded wait, not a bare get(): the kernel may deliver a
+            # process-directed signal to the queue feeder thread, where
+            # CPython only sets a pending flag -- the Python-level
+            # handler runs once the main thread executes bytecode
+            # again, which a blocking get() would never do.  The
+            # timeout bounds shutdown latency without busy-waiting.
+            try:
+                batch = in_queue.get(timeout=0.5)
+            except queue.Empty:
+                continue
             batches_in += 1
             for message in batch:
                 messages_in += 1
@@ -214,6 +251,15 @@ def shard_main(
                     running = False
                     break
             sender.flush()
+    except (KeyboardInterrupt, _GracefulShutdown):
+        # graceful drain: ship whatever results are already buffered,
+        # then exit 0 -- the coordinator treats this like a ``stop``
+        try:
+            if sender is not None:
+                sender.flush()
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+        return
     except Exception:  # pragma: no cover - exercised via crash tests only
         out_queue.put([("err", shard_id, traceback.format_exc())])
         raise

@@ -547,6 +547,7 @@ class Pipeline:
         self.chains = chains
         self.config = config
         self._events_fed = 0
+        self._last_fed = 0.0
         self._next_tick: Optional[float] = None
         # live-mode micro-batcher (size-or-linger); None = per-event
         # feeds.  Bounded queues need per-event admission, so batching
@@ -657,6 +658,8 @@ class Pipeline:
         through.
         """
         at = now if now is not None else event.timestamp
+        if at > self._last_fed:
+            self._last_fed = at
         if self._feed_batcher is not None:
             return self._feed_batched(event, at)
         self._advance_ticks(at)
@@ -681,6 +684,43 @@ class Pipeline:
             self._collect_batch(batcher.take(), out)
         self._advance_ticks(at)
         self._collect_batch(batcher.add(event, at), out)
+        return out
+
+    def feed_many(
+        self, events: Iterable[Event], now: Optional[float] = None
+    ) -> Dict[str, List[ComplexEvent]]:
+        """Push a slice of live events through every chain, in order.
+
+        The bulk ingest hook of network front doors
+        (:mod:`repro.serve`) and other push-based producers: each event
+        takes the exact :meth:`feed` path (micro-batching included),
+        and the per-query detections of the whole slice are merged into
+        one result mapping.
+        """
+        out: Dict[str, List[ComplexEvent]] = {
+            chain.query.name: [] for chain in self.chains
+        }
+        for event in events:
+            for name, detected in self.feed(event, now=now).items():
+                if detected:
+                    out[name].extend(detected)
+        return out
+
+    def finish(self) -> Dict[str, List[ComplexEvent]]:
+        """End a live feed session: flush the micro-batcher and windows.
+
+        Processes whatever the live micro-batcher still buffers, then
+        completes every chain's still-open windows at the time of the
+        last fed event -- the push-based equivalent of the end-of-stream
+        flush inside :meth:`run`.  Detections are dispatched through
+        the emit stage (sinks fire) and returned per query.  The
+        pipeline stays usable: later feeds simply open new windows.
+        """
+        out = self.flush_pending()
+        for chain in self.chains:
+            flushed = chain.flush(now=self._last_fed)
+            if flushed:
+                out[chain.query.name].extend(flushed)
         return out
 
     def flush_pending(self) -> Dict[str, List[ComplexEvent]]:

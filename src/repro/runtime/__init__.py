@@ -8,6 +8,9 @@
   ground-truth (no shedding, no overload) run (paper §2.1).
 - :mod:`repro.runtime.latency` -- per-event latency series and
   latency-bound accounting (Fig. 7).
+- :mod:`repro.runtime.serving` -- server-driven replay harness: the
+  same stored streams shipped through a real
+  :class:`repro.serve.PipelineServer` socket (tests, benchmarks, CI).
 """
 
 from repro.runtime.arrivals import (
@@ -17,6 +20,7 @@ from repro.runtime.arrivals import (
 )
 from repro.runtime.latency import LatencyStats, LatencyTracker
 from repro.runtime.quality import QualityReport, compare_results, ground_truth
+from repro.runtime.serving import ServeReplayResult, serve_replay
 from repro.runtime.simulation import (
     SimulationConfig,
     SimulationResult,
@@ -29,6 +33,7 @@ __all__ = [
     "LatencyStats",
     "LatencyTracker",
     "QualityReport",
+    "ServeReplayResult",
     "SimulationConfig",
     "SimulationResult",
     "burst_arrivals",
@@ -36,6 +41,7 @@ __all__ = [
     "ground_truth",
     "measure_mean_memberships",
     "poisson_arrivals",
+    "serve_replay",
     "simulate",
     "simulate_sharded",
     "uniform_arrivals",

@@ -1,0 +1,163 @@
+"""Server-driven replay harness: a stream through the wire, end to end.
+
+The serving counterpart of :func:`repro.runtime.simulation.simulate_pipeline`:
+:func:`serve_replay` stands up a real :class:`repro.serve.PipelineServer`
+on an ephemeral localhost port, replays a stored stream through one or
+more framed-TCP client connections (honouring backpressure), drains the
+server gracefully, and returns the per-query detections together with
+the server's wire-level metrics.
+
+With a single connection the events arrive in stream order, so the
+detections are bit-identical -- contents *and* order -- to an
+in-process replay of the same pipeline (``run`` / ``simulate_pipeline``
+without overload); that equivalence is what the serve test suite and
+the CI serve smoke step assert.  With several connections the stream is
+split round-robin and shipped concurrently: ordering then follows
+arrival interleaving (throughput benchmarks), so determinism claims
+only hold for ``connections=1``.
+
+Everything here is synchronous at the surface (``asyncio.run`` inside)
+so tests, benchmarks and CI steps need no async plumbing of their own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+from repro.cep.events import ComplexEvent, Event
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard: serve imports the
+    # pipeline package, whose __init__ imports repro.runtime; importing
+    # serve lazily (inside serve_replay) keeps both import orders valid
+    from repro.pipeline.pipeline import Pipeline
+    from repro.serve.client import IngestReport
+    from repro.serve.middleware import ServerMiddleware
+    from repro.serve.server import ServeConfig
+
+__all__ = ["ServeReplayResult", "serve_replay"]
+
+
+@dataclass
+class ServeReplayResult:
+    """Outcome of one :func:`serve_replay` run."""
+
+    matches: Dict[str, List[ComplexEvent]]
+    metrics: Dict[str, object]
+    events_sent: int = 0
+    overloaded_responses: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    connections: int = 1
+    reports: List[IngestReport] = field(default_factory=list)
+
+    @property
+    def complex_events(self) -> List[ComplexEvent]:
+        """The first (or only) query's detections."""
+        return next(iter(self.matches.values()), [])
+
+    def for_query(self, name: str) -> List[ComplexEvent]:
+        return self.matches[name]
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_sent / self.wall_seconds
+
+
+def serve_replay(
+    pipeline: Pipeline,
+    stream: Iterable[Event],
+    batch_events: int = 64,
+    connections: int = 1,
+    config: Optional[ServeConfig] = None,
+    middleware: Sequence[ServerMiddleware] = (),
+    auth: Optional[str] = None,
+    max_retries: int = 100,
+) -> ServeReplayResult:
+    """Replay ``stream`` into ``pipeline`` over real localhost TCP.
+
+    Parameters
+    ----------
+    pipeline:
+        A built (and usually trained/deployed) pipeline; it is mutated
+        exactly as a live deployment would be.
+    batch_events:
+        Events per ingest request (the client-side batch).
+    connections:
+        Concurrent client connections; 1 preserves stream order (and
+        the determinism guarantee), >1 splits the stream round-robin.
+    config / middleware / auth:
+        Forwarded to the server (and ``auth`` to every client).
+
+    Returns the per-query detections (including the graceful-drain
+    flush of still-open windows) and the server's final metrics.
+    """
+    from repro.serve.client import ServeClient
+    from repro.serve.server import PipelineServer, ServeConfig
+
+    if connections <= 0:
+        raise ValueError("connection count must be positive")
+    events = list(stream)
+    collected: Dict[str, List[ComplexEvent]] = {
+        chain.query.name: [] for chain in pipeline.chains
+    }
+    sinks = []
+    for chain in pipeline.chains:
+        sink = collected[chain.query.name].append
+        chain.emit.subscribe(sink)
+        sinks.append((chain, sink))
+
+    async def _run() -> ServeReplayResult:
+        server = PipelineServer(
+            pipeline,
+            config=config if config is not None else ServeConfig(),
+            middleware=middleware,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            if connections == 1:
+                slices = [events]
+            else:
+                slices = [events[i::connections] for i in range(connections)]
+
+            async def ship(slice_events: List[Event]) -> IngestReport:
+                client = await ServeClient.connect(
+                    server.config.host, server.port, auth=auth
+                )
+                try:
+                    return await client.ingest_stream(
+                        slice_events,
+                        batch_events=batch_events,
+                        max_retries=max_retries,
+                    )
+                finally:
+                    await client.close()
+
+            reports = await asyncio.gather(
+                *(ship(s) for s in slices if s)
+            )
+        finally:
+            await server.stop()
+        wall = loop.time() - started
+        return ServeReplayResult(
+            matches=collected,
+            metrics=server.metrics(),
+            events_sent=sum(r.events_sent for r in reports),
+            overloaded_responses=sum(r.overloaded_responses for r in reports),
+            retries=sum(r.retries for r in reports),
+            wall_seconds=wall,
+            connections=connections,
+            reports=list(reports),
+        )
+
+    try:
+        return asyncio.run(_run())
+    finally:
+        # leave the pipeline as we found it: collection sinks are ours
+        for chain, sink in sinks:
+            chain.emit.sinks.remove(sink)

@@ -1,0 +1,190 @@
+"""Minimal async client of the framed serve protocol.
+
+Used by the tests, the serve benchmark and ``examples/serve_demo.py``;
+it speaks the length-prefixed TCP protocol
+(:mod:`repro.serve.protocol`) and exposes backpressure explicitly:
+:meth:`ServeClient.ingest` returns the server's structured response
+verbatim (an ``overloaded`` rejection included), while
+:meth:`ServeClient.ingest_stream` is the well-behaved client loop --
+batch, send, and on ``overloaded`` wait the server's ``retry_after``
+hint before retrying, so the shedding decision made at the server
+actually slows the producer down.
+
+::
+
+    async with await ServeClient.connect("127.0.0.1", port) as client:
+        report = await client.ingest_stream(events, batch_events=64)
+        print(report.overloaded_responses, "backpressure responses")
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cep.events import Event
+from repro.serve.protocol import (
+    MAGIC,
+    ProtocolError,
+    encode_frame,
+    events_to_wire,
+    read_frame,
+)
+
+__all__ = ["ServeClient", "IngestReport"]
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one :meth:`ServeClient.ingest_stream` replay."""
+
+    events_sent: int = 0
+    batches_sent: int = 0
+    overloaded_responses: int = 0
+    retries: int = 0
+    rejected: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def saw_backpressure(self) -> bool:
+        """Whether the server pushed back at least once."""
+        return self.overloaded_responses > 0
+
+
+class ServeClient:
+    """One framed-protocol connection to a :class:`PipelineServer`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        auth: Optional[str] = None,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._auth = auth
+        self.closed = False
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, auth: Optional[str] = None
+    ) -> "ServeClient":
+        """Open a connection and announce the framed protocol."""
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(MAGIC)
+        await writer.drain()
+        return cls(reader, writer, auth=auth)
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # request/response
+    # ------------------------------------------------------------------
+    async def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one frame and await its response frame."""
+        if self.closed:
+            raise RuntimeError("client is closed")
+        if self._auth is not None:
+            message.setdefault("auth", self._auth)
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        return response
+
+    async def ingest(self, events: Iterable[Event]) -> Dict[str, object]:
+        """Ship one batch of events; returns the structured response.
+
+        The response is the server's verbatim JSON: ``{"ok": true,
+        "accepted": n, ...}`` on admission, or a rejection such as the
+        ``overloaded`` backpressure payload (queue utilization,
+        per-query shedding state, ``retry_after``).
+        """
+        return await self.request(
+            {"op": "ingest", "events": events_to_wire(events)}
+        )
+
+    async def ingest_stream(
+        self,
+        events: Iterable[Event],
+        batch_events: int = 64,
+        max_retries: int = 100,
+        retry_after_cap: float = 5.0,
+    ) -> IngestReport:
+        """Replay ``events`` in order, honouring server backpressure.
+
+        Batches of ``batch_events`` are sent sequentially; an
+        ``overloaded`` response waits the server's ``retry_after`` hint
+        (capped) and retries the same batch, preserving stream order.
+        After ``max_retries`` consecutive rejections of one batch the
+        batch is recorded in ``report.rejected`` and skipped -- the
+        client-side equivalent of shedding.
+        """
+        if batch_events <= 0:
+            raise ValueError("batch size must be positive")
+        report = IngestReport()
+        batch: List[Event] = []
+
+        async def ship(current: List[Event]) -> None:
+            attempts = 0
+            while True:
+                response = await self.ingest(current)
+                if response.get("ok"):
+                    report.events_sent += len(current)
+                    report.batches_sent += 1
+                    return
+                if response.get("error") != "overloaded":
+                    raise ProtocolError(f"ingest rejected: {response}")
+                report.overloaded_responses += 1
+                attempts += 1
+                if attempts > max_retries:
+                    report.rejected.append(response)
+                    return
+                report.retries += 1
+                retry_after = response.get("retry_after", 0.05)
+                if not isinstance(retry_after, (int, float)) or retry_after <= 0:
+                    retry_after = 0.05
+                await asyncio.sleep(min(retry_after_cap, float(retry_after)))
+
+        for event in events:
+            batch.append(event)
+            if len(batch) >= batch_events:
+                await ship(batch)
+                batch = []
+        if batch:
+            await ship(batch)
+        return report
+
+    async def metrics(self) -> Dict[str, object]:
+        """The server's metrics tree (see ``PipelineServer.metrics``)."""
+        response = await self.request({"op": "metrics"})
+        if not response.get("ok"):
+            raise ProtocolError(f"metrics rejected: {response}")
+        return response["metrics"]
+
+    async def ping(self) -> bool:
+        """Round-trip one frame; True when the server answered ok."""
+        response = await self.request({"op": "ping"})
+        return bool(response.get("ok"))
+
+    async def close(self) -> None:
+        """Send ``bye`` (best effort) and close the connection."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._writer.write(encode_frame({"op": "bye"}))
+            await self._writer.drain()
+            await read_frame(self._reader)
+        except (ConnectionResetError, BrokenPipeError, OSError, ProtocolError):
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

@@ -1,0 +1,175 @@
+"""Minimal HTTP/1.1 surface of the network front door (stdlib only).
+
+Just enough HTTP for the three routes the server exposes --
+``POST /ingest`` (JSON event batches), ``GET /metrics`` and
+``GET /healthz`` -- parsed straight off the asyncio stream reader.
+Supported: ``Content-Length`` bodies, keep-alive (default on 1.1),
+``Connection: close``.  Not supported (and answered with a clean
+error): chunked transfer encoding, bodies beyond ``MAX_BODY``.
+
+The server shares one listening socket between this surface and the
+framed TCP protocol (:mod:`repro.serve.protocol`): a connection whose
+first four bytes are not the frame magic lands here, with those bytes
+re-attached to the request line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.serve.protocol import ProtocolError
+
+#: Hard ceiling on one request body (bounded server memory).
+MAX_BODY = 8 * 1024 * 1024
+
+#: Hard ceiling on the request line + headers block.
+MAX_HEADER = 64 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)  # lower-cased keys
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.header("connection").lower()
+        if connection == "close":
+            return False
+        if connection == "keep-alive":
+            return True
+        return True  # HTTP/1.1 default
+
+    def bearer_token(self) -> Optional[str]:
+        """The ``Authorization: Bearer <token>`` credential, if any."""
+        auth = self.header("authorization")
+        if auth.lower().startswith("bearer "):
+            return auth[7:].strip()
+        return None
+
+    def json(self) -> object:
+        """Decode the body as JSON; raises :class:`ProtocolError`."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader, preamble: bytes = b""
+) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` on EOF before a request line.
+
+    ``preamble`` re-attaches bytes the protocol sniffer already
+    consumed from the start of the connection.
+    """
+    line = preamble + await reader.readline()
+    if not line.strip():
+        return None
+    if len(line) > MAX_HEADER:
+        raise ProtocolError("request line too long")
+    try:
+        method, path, _version = line.decode("latin-1").split(None, 2)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed request line: {line!r}") from exc
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await reader.readline()
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER:
+            raise ProtocolError("header block too large")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, value = raw.decode("latin-1").split(":", 1)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed header line: {raw!r}") from exc
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise ProtocolError("chunked transfer encoding is not supported")
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError as exc:
+        raise ProtocolError(f"bad Content-Length: {length_header!r}") from exc
+    if length < 0:
+        raise ProtocolError(f"bad Content-Length: {length_header!r}")
+    if length > MAX_BODY:
+        raise ProtocolError(f"body of {length} bytes exceeds {MAX_BODY}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed mid-body") from exc
+    return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def http_response(
+    status: int,
+    payload: Dict[str, object],
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialise one JSON response."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
+
+
+def route(request: HttpRequest) -> Tuple[Optional[str], Optional[Tuple[int, str]]]:
+    """Map a request to a server op.
+
+    Returns ``(op, None)`` for a routed request or ``(None, (status,
+    error))`` for an HTTP-level rejection.
+    """
+    path = request.path.split("?", 1)[0]
+    if path == "/ingest":
+        if request.method != "POST":
+            return None, (405, "method_not_allowed")
+        return "ingest", None
+    if path == "/metrics":
+        if request.method != "GET":
+            return None, (405, "method_not_allowed")
+        return "metrics", None
+    if path == "/healthz":
+        if request.method not in ("GET", "HEAD"):
+            return None, (405, "method_not_allowed")
+        return "healthz", None
+    return None, (404, "not_found")

@@ -1,0 +1,314 @@
+"""Connection-level middleware of the network front door.
+
+The serve subsystem applies the same middleware idiom the pipeline
+applies to events (:mod:`repro.pipeline.stages`) one layer further out,
+at the *request* level -- the ``setup_middleware`` + ``Limiter(
+key_func=...)`` shape of production FastAPI/slowapi stacks, stdlib
+only.  Every request decoded from the wire (framed TCP or HTTP, see
+:mod:`repro.serve.server`) is threaded through an ordered chain of
+:class:`ServerMiddleware` objects before it reaches the pipeline:
+
+- :class:`TokenBucketLimiter` -- per-client token-bucket rate limiting
+  (``key_func`` picks the bucket key, default: peer address);
+- :class:`SharedSecretAuth` -- shared-secret request authentication
+  (``Authorization: Bearer <secret>`` over HTTP, ``"auth"`` field in
+  framed requests);
+- :class:`RequestLogMiddleware` -- request accounting plus optional
+  stdlib logging;
+- :class:`MaxInFlight` -- admission control on concurrently processed
+  requests.
+
+A middleware rejects a request by returning a :class:`Rejection`
+(carrying the HTTP status its error maps to); ``None`` passes the
+request on.  ``on_response`` fires -- in reverse order, for every
+middleware that saw the request -- once the response is known, which
+is where in-flight accounting releases its slot.
+
+Each middleware registers itself via ``setup_middleware(server)``; the
+module-level :func:`setup_middleware` applies a whole stack in order.
+"""
+
+from __future__ import annotations
+
+import hmac
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Request",
+    "Rejection",
+    "ServerMiddleware",
+    "TokenBucketLimiter",
+    "SharedSecretAuth",
+    "RequestLogMiddleware",
+    "MaxInFlight",
+    "setup_middleware",
+]
+
+
+@dataclass
+class Request:
+    """One decoded wire request, as middleware sees it.
+
+    ``events`` stays in wire form (a list of JSON objects): middleware
+    runs *before* event decoding, so a rejected flood never pays the
+    decode cost.
+    """
+
+    op: str  #: "ingest" | "metrics" | "healthz" | "ping"
+    client: str  #: peer key, e.g. "127.0.0.1" (port-less)
+    transport: str  #: "frame" | "http"
+    events: List[object] = field(default_factory=list)
+    auth: Optional[str] = None
+    path: str = ""  #: HTTP path ("" for framed requests)
+
+
+@dataclass
+class Rejection:
+    """A middleware veto: the structured error sent back to the client."""
+
+    error: str  #: machine-readable, e.g. "rate_limited"
+    status: int  #: HTTP status the error maps to (429, 401, 503, ...)
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON body of the rejection response."""
+        body: Dict[str, object] = {"ok": False, "error": self.error}
+        body.update(self.detail)
+        return body
+
+
+class ServerMiddleware:
+    """Base middleware: ``on_request`` / ``on_response`` / ``metrics``."""
+
+    #: Stable name used as the metrics key; subclasses override.
+    name: str = "middleware"
+
+    def setup_middleware(self, server) -> "ServerMiddleware":
+        """Register this middleware on ``server`` (returns self)."""
+        server.add_middleware(self)
+        return self
+
+    def on_request(self, request: Request) -> Optional[Rejection]:
+        """Inspect ``request``; return a :class:`Rejection` to veto it."""
+        return None
+
+    def on_response(self, request: Request, response: Dict[str, object]) -> None:
+        """Observe the response (fires even when a later middleware or
+        the server itself rejected the request)."""
+
+    def metrics(self) -> Dict[str, object]:
+        return {}
+
+
+class TokenBucketLimiter(ServerMiddleware):
+    """Per-client token-bucket rate limiting (requests/second).
+
+    One bucket per ``key_func(request)`` -- the slowapi
+    ``Limiter(key_func=get_remote_address)`` idiom; the default key is
+    the peer address, so each client host gets its own budget.  Only
+    the ops in ``ops`` consume tokens (metrics/health probes stay
+    free by default).  ``clock`` is injectable for deterministic tests.
+    """
+
+    name = "rate_limit"
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        key_func: Optional[Callable[[Request], str]] = None,
+        ops: Tuple[str, ...] = ("ingest",),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.burst = burst if burst is not None else max(1.0, rate)
+        if self.burst < 1.0:
+            raise ValueError("burst must allow at least one request")
+        self.key_func = key_func if key_func is not None else (lambda r: r.client)
+        self.ops = ops
+        self.clock = clock
+        self._buckets: Dict[str, Tuple[float, float]] = {}  # key -> (tokens, last)
+        self.passed = 0
+        self.limited = 0
+
+    def on_request(self, request: Request) -> Optional[Rejection]:
+        if request.op not in self.ops:
+            return None
+        key = self.key_func(request)
+        now = self.clock()
+        tokens, last = self._buckets.get(key, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        # epsilon absorbs float drift from repeated elapsed-time sums
+        if tokens >= 1.0 - 1e-9:
+            self._buckets[key] = (max(0.0, tokens - 1.0), now)
+            self.passed += 1
+            return None
+        self._buckets[key] = (tokens, now)
+        self.limited += 1
+        return Rejection(
+            error="rate_limited",
+            status=429,
+            detail={"retry_after": round((1.0 - tokens) / self.rate, 4)},
+        )
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "limited": self.limited,
+            "clients": len(self._buckets),
+        }
+
+
+class SharedSecretAuth(ServerMiddleware):
+    """Shared-secret request authentication.
+
+    Framed requests carry the secret in their ``"auth"`` field; HTTP
+    requests in ``Authorization: Bearer <secret>``.  Comparison is
+    constant-time.  Health probes are exempt by default so liveness
+    checks need no credentials.
+    """
+
+    name = "auth"
+
+    def __init__(self, secret: str, exempt: Tuple[str, ...] = ("healthz",)) -> None:
+        if not secret:
+            raise ValueError("secret must be non-empty")
+        self._secret = secret
+        self.exempt = exempt
+        self.accepted = 0
+        self.rejected = 0
+
+    def on_request(self, request: Request) -> Optional[Rejection]:
+        if request.op in self.exempt:
+            return None
+        supplied = request.auth or ""
+        if hmac.compare_digest(supplied.encode(), self._secret.encode()):
+            self.accepted += 1
+            return None
+        self.rejected += 1
+        return Rejection(error="auth_failed", status=401)
+
+    def metrics(self) -> Dict[str, object]:
+        return {"accepted": self.accepted, "rejected": self.rejected}
+
+
+class RequestLogMiddleware(ServerMiddleware):
+    """Request accounting per op and client, with optional logging."""
+
+    name = "request_log"
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        level: int = logging.INFO,
+    ) -> None:
+        self.logger = logger
+        self.level = level
+        self.requests = 0
+        self.by_op: Dict[str, int] = {}
+        self.by_client: Dict[str, int] = {}
+        self.errors = 0
+
+    def on_request(self, request: Request) -> Optional[Rejection]:
+        self.requests += 1
+        self.by_op[request.op] = self.by_op.get(request.op, 0) + 1
+        self.by_client[request.client] = self.by_client.get(request.client, 0) + 1
+        if self.logger is not None:
+            self.logger.log(
+                self.level,
+                "%s %s from %s (%d events)",
+                request.transport,
+                request.op,
+                request.client,
+                len(request.events),
+            )
+        return None
+
+    def on_response(self, request: Request, response: Dict[str, object]) -> None:
+        if not response.get("ok", False):
+            self.errors += 1
+            if self.logger is not None:
+                self.logger.log(
+                    self.level,
+                    "%s %s from %s -> %s",
+                    request.transport,
+                    request.op,
+                    request.client,
+                    response.get("error"),
+                )
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "by_op": dict(self.by_op),
+            "clients": len(self.by_client),
+        }
+
+
+class MaxInFlight(ServerMiddleware):
+    """Admission control: at most ``limit`` requests processed at once.
+
+    The slot is taken in ``on_request`` and released in
+    ``on_response`` -- the server guarantees the response hook fires
+    for every middleware whose request hook ran, so the counter cannot
+    leak even when a later middleware (or the ingest queue) rejects.
+    """
+
+    name = "max_in_flight"
+
+    def __init__(self, limit: int, ops: Tuple[str, ...] = ("ingest",)) -> None:
+        if limit <= 0:
+            raise ValueError("in-flight limit must be positive")
+        self.limit = limit
+        self.ops = ops
+        self.in_flight = 0
+        self.peak = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def on_request(self, request: Request) -> Optional[Rejection]:
+        if request.op not in self.ops:
+            return None
+        if self.in_flight >= self.limit:
+            self.rejected += 1
+            return Rejection(
+                error="busy",
+                status=503,
+                detail={"in_flight": self.in_flight, "limit": self.limit},
+            )
+        self.in_flight += 1
+        self.peak = max(self.peak, self.in_flight)
+        self.admitted += 1
+        return None
+
+    def on_response(self, request: Request, response: Dict[str, object]) -> None:
+        if request.op in self.ops and response.get("error") != "busy":
+            self.in_flight -= 1
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "limit": self.limit,
+            "in_flight": self.in_flight,
+            "peak": self.peak,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }
+
+
+def setup_middleware(server, middlewares: List[ServerMiddleware]):
+    """Register a whole middleware stack on ``server``, in order.
+
+    Order matters exactly like in web frameworks: e.g. put auth before
+    the rate limiter to keep unauthenticated floods from draining
+    authenticated clients' buckets, or after it to make auth itself
+    rate-limited.
+    """
+    for middleware in middlewares:
+        middleware.setup_middleware(server)
+    return server

@@ -1,0 +1,596 @@
+"""`PipelineServer`: the asyncio network front door of a Pipeline.
+
+Architecture (one process, one event loop)::
+
+    clients ──TCP──▶ listener ──▶ per-connection handler
+                                   │  protocol sniff: RPV1 magic → framed,
+                                   │  anything else → HTTP/1.1
+                                   ▼
+                       middleware chain (rate limit, auth, log, in-flight)
+                                   ▼
+                       bounded ingest queue  ── overflow → "overloaded"
+                                   ▼
+                       single consumer task ──▶ Pipeline.feed()
+                                   ▼
+                       EmitStage sinks (detections)
+
+Design decisions, each mirroring a paper/ROADMAP concern:
+
+- **Explicit backpressure, not buffering.**  The ingest queue is
+  bounded in *events* (``max_pending_events``).  A batch that does not
+  fit is refused with a structured ``overloaded`` response carrying
+  the queue utilization, the pipeline's current shedding state (drop
+  rate per query) and a ``retry_after`` hint derived from the measured
+  drain rate -- the overload/shedding decision becomes visible on the
+  wire instead of turning into unbounded server memory.
+- **One consumer, deterministic order.**  All connections funnel into
+  a single FIFO queue drained by one task that feeds the pipeline;
+  the event order seen by the pipeline is the admission order, so a
+  single client replaying a stream gets detections bit-identical to
+  an in-process replay (property-tested).
+- **Graceful drain.**  ``stop()`` stops accepting, lets the consumer
+  drain the queue, then runs :meth:`repro.pipeline.Pipeline.finish`
+  (flush of the live micro-batcher plus still-open windows), so the
+  final detections are emitted before the loop winds down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cep.events import ComplexEvent
+from repro.pipeline.pipeline import Pipeline
+from repro.serve import http as http_surface
+from repro.serve.middleware import Rejection, Request, ServerMiddleware
+from repro.serve.protocol import (
+    MAGIC,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    wire_to_events,
+)
+
+__all__ = ["ServeConfig", "PipelineServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one server instance.
+
+    Attributes
+    ----------
+    host / port:
+        Listening address; port 0 binds an ephemeral port (read it
+        back from :attr:`PipelineServer.port`).
+    max_pending_events:
+        Bound of the ingest queue in *events* (not batches): the
+        server never holds more than this many admitted-but-unfed
+        events, which is the memory bound the ``overloaded`` response
+        protects.
+    drain_timeout:
+        Seconds ``stop()`` waits for the consumer to drain the queue
+        before giving up (the pipeline is still flushed).
+    retry_after_min / retry_after_max:
+        Clamp of the ``retry_after`` hint in overloaded responses.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending_events: int = 65536
+    drain_timeout: float = 30.0
+    retry_after_min: float = 0.05
+    retry_after_max: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending_events <= 0:
+            raise ValueError("max pending events must be positive")
+        if self.drain_timeout <= 0.0:
+            raise ValueError("drain timeout must be positive")
+
+
+class PipelineServer:
+    """Serve a built :class:`~repro.pipeline.Pipeline` over TCP/HTTP."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        config: Optional[ServeConfig] = None,
+        middleware: Sequence[ServerMiddleware] = (),
+    ) -> None:
+        if not isinstance(pipeline, Pipeline):
+            raise TypeError(
+                "PipelineServer drives a built Pipeline; for a "
+                "ShardedPipeline put the server in front of the wrapped "
+                "pipeline or run the cluster behind a plain Pipeline "
+                "ingress (sharded serving is a ROADMAP item)"
+            )
+        self.pipeline = pipeline
+        self.config = config if config is not None else ServeConfig()
+        self.middlewares: List[ServerMiddleware] = []
+        for mw in middleware:
+            mw.setup_middleware(self)
+
+        self._state = "new"  # new -> serving -> draining -> stopped
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._consumer: Optional[asyncio.Task] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._pending = 0  # admitted-but-unfed events (queue bound)
+        self._writers: set = set()
+        self._drain_rate: Optional[float] = None  # events/s EMA of the consumer
+
+        # wire-level counters
+        self.connections_total = 0
+        self.connections_active = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        self.http_requests = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.events_admitted = 0
+        self.events_fed = 0
+        self.batches_admitted = 0
+        self.overloaded_responses = 0
+        self.protocol_errors = 0
+        self.detections = 0
+        self._detections_by_query: Dict[str, int] = {}
+        self._sinks = []
+        for chain in pipeline.chains:
+            sink = self._count_detection(chain.query.name)
+            chain.emit.subscribe(sink)
+            self._sinks.append((chain, sink))
+
+    # ------------------------------------------------------------------
+    # middleware registration (the setup_middleware target)
+    # ------------------------------------------------------------------
+    def add_middleware(self, middleware: ServerMiddleware) -> "PipelineServer":
+        """Append ``middleware`` to the chain (request order)."""
+        self.middlewares.append(middleware)
+        return self
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "PipelineServer":
+        """Bind the listener and start the consumer (idempotent)."""
+        if self._state in ("serving", "draining"):
+            return self
+        self._queue = asyncio.Queue()
+        self._pending = 0
+        self._consumer = asyncio.create_task(self._consume(), name="repro-serve-feed")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self._state = "serving"
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def pending_events(self) -> int:
+        """Admitted events not yet fed into the pipeline."""
+        return self._pending
+
+    async def stop(self) -> Dict[str, List[ComplexEvent]]:
+        """Graceful drain: stop accepting, flush everything, shut down.
+
+        Returns the final end-of-stream detections (per query), i.e.
+        what :meth:`Pipeline.finish` emitted for the live micro-batch
+        and still-open windows.  Idempotent; a second call returns an
+        empty mapping.
+        """
+        if self._state in ("stopped", "new"):
+            self._state = "stopped"
+            return {}
+        self._state = "draining"
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        try:
+            await asyncio.wait_for(self._queue.join(), self.config.drain_timeout)
+        except asyncio.TimeoutError:  # pragma: no cover - defensive
+            pass
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+        # end-of-stream flush: pending micro-batch + still-open windows
+        final = self.pipeline.finish()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        # detach the counting sinks: the pipeline outlives the server
+        for chain, sink in self._sinks:
+            if sink in chain.emit.sinks:
+                chain.emit.sinks.remove(sink)
+        self._sinks = []
+        self._state = "stopped"
+        return final
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the CLI's main loop)."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
+    # the single pipeline feeder
+    # ------------------------------------------------------------------
+    async def _consume(self) -> None:
+        queue = self._queue
+        feed = self.pipeline.feed
+        while True:
+            events = await queue.get()
+            started = time.perf_counter()
+            try:
+                for event in events:
+                    feed(event)
+            finally:
+                self._pending -= len(events)
+                self.events_fed += len(events)
+                queue.task_done()
+            elapsed = time.perf_counter() - started
+            if elapsed > 0.0:
+                rate = len(events) / elapsed
+                self._drain_rate = (
+                    rate
+                    if self._drain_rate is None
+                    else 0.8 * self._drain_rate + 0.2 * rate
+                )
+            # yield so connection handlers interleave between batches
+            await asyncio.sleep(0)
+
+    def _count_detection(self, query_name: str):
+        def sink(_complex_event: ComplexEvent) -> None:
+            self.detections += 1
+            self._detections_by_query[query_name] = (
+                self._detections_by_query.get(query_name, 0) + 1
+            )
+
+        return sink
+
+    # ------------------------------------------------------------------
+    # request dispatch (shared by both wire surfaces)
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: Request) -> Tuple[int, Dict[str, object]]:
+        """Run the middleware chain, then the op handler.
+
+        ``on_response`` fires in reverse order for exactly the
+        middlewares whose ``on_request`` ran (vetoes included), so
+        stateful middleware (in-flight slots) cannot leak.
+        """
+        ran: List[ServerMiddleware] = []
+        rejection: Optional[Rejection] = None
+        for mw in self.middlewares:
+            ran.append(mw)
+            rejection = mw.on_request(request)
+            if rejection is not None:
+                break
+        if rejection is not None:
+            status, payload = rejection.status, rejection.payload()
+        else:
+            status, payload = self._handle(request)
+        for mw in reversed(ran):
+            mw.on_response(request, payload)
+        return status, payload
+
+    def _handle(self, request: Request) -> Tuple[int, Dict[str, object]]:
+        if request.op == "ingest":
+            return self._admit(request.events)
+        if request.op == "healthz":
+            return 200, {
+                "ok": True,
+                "status": self._state,
+                "pending": self._pending,
+                "capacity": self.config.max_pending_events,
+            }
+        if request.op == "metrics":
+            return 200, {"ok": True, "metrics": self.metrics()}
+        if request.op == "ping":
+            return 200, {"ok": True, "op": "ping"}
+        return 400, {"ok": False, "error": "unknown_op", "op": request.op}
+
+    def _admit(self, wire_events: List[object]) -> Tuple[int, Dict[str, object]]:
+        """Admission: decode, check the bound, enqueue -- or push back."""
+        if self._state != "serving":
+            return 503, {"ok": False, "error": "draining"}
+        try:
+            events = wire_to_events(wire_events)
+        except ProtocolError as exc:
+            return 400, {"ok": False, "error": "bad_request", "detail": str(exc)}
+        n = len(events)
+        if n == 0:
+            return 200, {"ok": True, "accepted": 0, "pending": self._pending}
+        capacity = self.config.max_pending_events
+        if self._pending + n > capacity:
+            self.overloaded_responses += 1
+            return 503, self._overloaded_payload(n, capacity)
+        self._pending += n
+        self.events_admitted += n
+        self.batches_admitted += 1
+        self._queue.put_nowait(events)
+        return 200, {"ok": True, "accepted": n, "pending": self._pending}
+
+    def _overloaded_payload(self, batch: int, capacity: int) -> Dict[str, object]:
+        """The structured backpressure response (shedding on the wire)."""
+        retry = self.config.retry_after_min
+        if self._drain_rate is not None and self._drain_rate > 0.0:
+            retry = self._pending / self._drain_rate
+        retry = min(self.config.retry_after_max, max(self.config.retry_after_min, retry))
+        return {
+            "ok": False,
+            "error": "overloaded",
+            "accepted": 0,
+            "batch": batch,
+            "pending": self._pending,
+            "capacity": capacity,
+            "utilization": round(self._pending / capacity, 4),
+            "retry_after": round(retry, 4),
+            "shedding": self._shedding_snapshot(),
+        }
+
+    def _shedding_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-query shedding state, as sent to overloaded clients."""
+        snapshot: Dict[str, Dict[str, object]] = {}
+        for chain in self.pipeline.chains:
+            shedder = chain.shedder
+            snapshot[chain.query.name] = {
+                "active": bool(shedder is not None and shedder.active),
+                "drop_rate": (
+                    shedder.observed_drop_rate() if shedder is not None else 0.0
+                ),
+            }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _peer_key(writer: asyncio.StreamWriter) -> str:
+        peer = writer.get_extra_info("peername")
+        if isinstance(peer, tuple) and peer:
+            return str(peer[0])
+        return str(peer) if peer else "unknown"
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_total += 1
+        self.connections_active += 1
+        self._writers.add(writer)
+        try:
+            try:
+                first = await reader.readexactly(4)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+            self.bytes_in += 4
+            if first == MAGIC:
+                await self._serve_framed(reader, writer)
+            else:
+                await self._serve_http(reader, writer, preamble=first)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.connections_active -= 1
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_framed(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        client = self._peer_key(writer)
+        while True:
+            try:
+                message = await read_frame(reader)
+            except ProtocolError as exc:
+                self.protocol_errors += 1
+                await self._send_frame(
+                    writer, {"ok": False, "error": "protocol_error", "detail": str(exc)}
+                )
+                return
+            if message is None:
+                return
+            self.frames_in += 1
+            self.bytes_in += len(json.dumps(message, separators=(",", ":")))
+            op = message.get("op")
+            if op == "bye":
+                await self._send_frame(writer, {"ok": True, "op": "bye"})
+                return
+            if not isinstance(op, str):
+                self.protocol_errors += 1
+                await self._send_frame(
+                    writer, {"ok": False, "error": "protocol_error", "detail": "missing op"}
+                )
+                return
+            events = message.get("events", [])
+            if not isinstance(events, list):
+                self.protocol_errors += 1
+                await self._send_frame(
+                    writer,
+                    {"ok": False, "error": "protocol_error", "detail": "'events' must be an array"},
+                )
+                return
+            auth = message.get("auth")
+            request = Request(
+                op=op,
+                client=client,
+                transport="frame",
+                events=events,
+                auth=auth if isinstance(auth, str) else None,
+            )
+            _status, payload = self._dispatch(request)
+            payload.setdefault("op", op)
+            await self._send_frame(writer, payload)
+
+    async def _send_frame(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, object]
+    ) -> None:
+        data = encode_frame(payload)
+        self.frames_out += 1
+        self.bytes_out += len(data)
+        writer.write(data)
+        await writer.drain()
+
+    async def _serve_http(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        preamble: bytes,
+    ) -> None:
+        client = self._peer_key(writer)
+        while True:
+            try:
+                request = await http_surface.read_http_request(reader, preamble)
+            except ProtocolError as exc:
+                self.protocol_errors += 1
+                await self._send_http(
+                    writer,
+                    400,
+                    {"ok": False, "error": "bad_request", "detail": str(exc)},
+                    keep_alive=False,
+                )
+                return
+            preamble = b""  # only the first request carries sniffed bytes
+            if request is None:
+                return
+            self.http_requests += 1
+            self.bytes_in += len(request.body)
+            op, error = http_surface.route(request)
+            if op is None:
+                status, reason = error
+                await self._send_http(
+                    writer,
+                    status,
+                    {"ok": False, "error": reason, "path": request.path},
+                    keep_alive=request.keep_alive,
+                )
+                if not request.keep_alive:
+                    return
+                continue
+            events: List[object] = []
+            if op == "ingest":
+                try:
+                    body = request.json()
+                except ProtocolError as exc:
+                    await self._send_http(
+                        writer,
+                        400,
+                        {"ok": False, "error": "bad_request", "detail": str(exc)},
+                        keep_alive=request.keep_alive,
+                    )
+                    if not request.keep_alive:
+                        return
+                    continue
+                if isinstance(body, dict):
+                    raw = body.get("events", [])
+                elif isinstance(body, list):
+                    raw = body  # bare array bodies are accepted too
+                else:
+                    raw = None
+                if not isinstance(raw, list):
+                    await self._send_http(
+                        writer,
+                        400,
+                        {"ok": False, "error": "bad_request", "detail": "'events' must be an array"},
+                        keep_alive=request.keep_alive,
+                    )
+                    if not request.keep_alive:
+                        return
+                    continue
+                events = raw
+            wire_request = Request(
+                op=op,
+                client=client,
+                transport="http",
+                events=events,
+                auth=request.bearer_token(),
+                path=request.path,
+            )
+            status, payload = self._dispatch(wire_request)
+            extra: Dict[str, str] = {}
+            retry_after = payload.get("retry_after")
+            if status in (429, 503) and isinstance(retry_after, (int, float)):
+                extra["Retry-After"] = f"{retry_after:.3f}"
+            await self._send_http(
+                writer, status, payload, keep_alive=request.keep_alive, extra=extra
+            )
+            if not request.keep_alive:
+                return
+
+    async def _send_http(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool,
+        extra: Optional[Dict[str, str]] = None,
+    ) -> None:
+        data = http_surface.http_response(
+            status, payload, keep_alive=keep_alive, extra_headers=extra
+        )
+        self.bytes_out += len(data)
+        writer.write(data)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        """Wire-level counters + middleware + pipeline backpressure."""
+        return {
+            "state": self._state,
+            "wire": {
+                "connections_total": self.connections_total,
+                "connections_active": self.connections_active,
+                "frames_in": self.frames_in,
+                "frames_out": self.frames_out,
+                "http_requests": self.http_requests,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "protocol_errors": self.protocol_errors,
+            },
+            "ingest": {
+                "events_admitted": self.events_admitted,
+                "events_fed": self.events_fed,
+                "batches_admitted": self.batches_admitted,
+                "pending": self._pending,
+                "capacity": self.config.max_pending_events,
+                "utilization": round(
+                    self._pending / self.config.max_pending_events, 4
+                ),
+                "overloaded_responses": self.overloaded_responses,
+                "drain_rate_eps": (
+                    round(self._drain_rate, 1) if self._drain_rate is not None else None
+                ),
+            },
+            "detections": {
+                "total": self.detections,
+                "by_query": dict(self._detections_by_query),
+            },
+            "middleware": {mw.name: mw.metrics() for mw in self.middlewares},
+            "shedding": self._shedding_snapshot(),
+            "backpressure": self.pipeline.backpressure(),
+        }

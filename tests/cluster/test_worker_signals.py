@@ -1,0 +1,82 @@
+"""Regression: shard workers exit cleanly on SIGTERM / SIGINT.
+
+Process supervisors (and the serve shutdown path) deliver exactly these
+signals on shutdown; a worker must treat them as a graceful-drain
+request -- flush buffered results, exit 0 -- not as a crash with a
+traceback and a non-zero exit code.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.pipeline import Pipeline
+from repro.queries import build_q1
+
+SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def live():
+    stream = generate_soccer_stream(SoccerStreamConfig(duration_seconds=300))
+    _train, live = split_stream(stream, train_fraction=0.5)
+    return live
+
+
+def build_sharded():
+    return (
+        Pipeline.builder()
+        .query(build_q1(pattern_size=2, window_seconds=15.0))
+        .distributed(shards=SHARDS)
+        .build()
+    )
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_idle_workers_exit_zero_on_signal(signum):
+    sharded = build_sharded()
+    try:
+        sharded.start()
+        sharded.ping()  # barrier: workers are live, handlers installed
+        workers = list(sharded._workers)
+        for worker in workers:
+            os.kill(worker.pid, signum)
+        for worker in workers:
+            worker.join(timeout=10.0)
+        assert [worker.exitcode for worker in workers] == [0] * SHARDS
+    finally:
+        sharded.shutdown()
+
+
+def test_busy_workers_exit_zero_on_sigterm(live):
+    """A worker mid-stream still drains and exits 0 on SIGTERM."""
+    sharded = build_sharded()
+    try:
+        sharded.start()
+        sharded.run(live)  # workers have processed real windows
+        workers = list(sharded._workers)
+        for worker in workers:
+            os.kill(worker.pid, signal.SIGTERM)
+        for worker in workers:
+            worker.join(timeout=10.0)
+        assert [worker.exitcode for worker in workers] == [0] * SHARDS
+    finally:
+        sharded.shutdown()
+
+
+def test_signalled_worker_still_counts_as_dead(live):
+    """Graceful exit must not hide worker loss from the coordinator."""
+    sharded = build_sharded()
+    try:
+        sharded.start()
+        sharded.ping()
+        worker = sharded._workers[0]
+        os.kill(worker.pid, signal.SIGTERM)
+        worker.join(timeout=10.0)
+        assert worker.exitcode == 0
+        with pytest.raises(RuntimeError, match="died|failed"):
+            sharded.run(live)
+    finally:
+        sharded.shutdown()

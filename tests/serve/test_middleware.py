@@ -1,0 +1,273 @@
+"""Unit tests of the connection-level middleware chain.
+
+Everything here runs without a socket: middleware is plain objects with
+``on_request``/``on_response`` hooks, so rate limiting is tested with
+an injected fake clock and in-flight accounting with hand-built
+requests.
+"""
+
+import logging
+
+import pytest
+
+from repro.serve.middleware import (
+    MaxInFlight,
+    Rejection,
+    Request,
+    RequestLogMiddleware,
+    ServerMiddleware,
+    SharedSecretAuth,
+    TokenBucketLimiter,
+    setup_middleware,
+)
+
+
+def ingest(client="10.0.0.1", auth=None, events=()):
+    return Request(
+        op="ingest", client=client, transport="frame", events=list(events), auth=auth
+    )
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class FakeServer:
+    """The only contract ``setup_middleware`` needs: ``add_middleware``."""
+
+    def __init__(self):
+        self.middlewares = []
+
+    def add_middleware(self, middleware):
+        self.middlewares.append(middleware)
+        return self
+
+
+class TestRejection:
+    def test_payload_carries_error_and_detail(self):
+        rejection = Rejection(error="busy", status=503, detail={"limit": 4})
+        assert rejection.payload() == {"ok": False, "error": "busy", "limit": 4}
+
+
+class TestTokenBucketLimiter:
+    def test_burst_then_limited(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=1.0, burst=3, clock=clock)
+        assert [limiter.on_request(ingest()) for _ in range(3)] == [None] * 3
+        rejection = limiter.on_request(ingest())
+        assert rejection is not None
+        assert rejection.error == "rate_limited"
+        assert rejection.status == 429
+        assert rejection.detail["retry_after"] > 0
+
+    def test_tokens_refill_at_rate(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=2.0, burst=1, clock=clock)
+        assert limiter.on_request(ingest()) is None
+        assert limiter.on_request(ingest()) is not None
+        clock.advance(0.5)  # one token at 2/s
+        assert limiter.on_request(ingest()) is None
+
+    def test_retry_after_reflects_deficit(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=4.0, burst=1, clock=clock)
+        limiter.on_request(ingest())
+        rejection = limiter.on_request(ingest())
+        # empty bucket at 4 tokens/s -> one token in 0.25s
+        assert rejection.detail["retry_after"] == pytest.approx(0.25, abs=1e-3)
+
+    def test_buckets_are_per_client(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.on_request(ingest(client="a")) is None
+        assert limiter.on_request(ingest(client="a")) is not None
+        assert limiter.on_request(ingest(client="b")) is None  # fresh bucket
+        assert limiter.metrics()["clients"] == 2
+
+    def test_custom_key_func_shares_buckets(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(
+            rate=1.0, burst=1, key_func=lambda r: "global", clock=clock
+        )
+        assert limiter.on_request(ingest(client="a")) is None
+        assert limiter.on_request(ingest(client="b")) is not None
+
+    def test_only_configured_ops_consume_tokens(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=1.0, burst=1, clock=clock)
+        probe = Request(op="healthz", client="a", transport="http")
+        for _ in range(10):
+            assert limiter.on_request(probe) is None
+        assert limiter.on_request(ingest(client="a")) is None  # bucket untouched
+
+    def test_sustained_rate_admits_exactly_rate(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=10.0, burst=1, clock=clock)
+        admitted = 0
+        for _ in range(200):  # 200 requests over 2 seconds at 100/s offered
+            if limiter.on_request(ingest()) is None:
+                admitted += 1
+            clock.advance(0.01)
+        assert 19 <= admitted <= 22  # ~10/s over 2s, plus the initial burst
+
+    def test_metrics_count_passed_and_limited(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=1.0, burst=2, clock=clock)
+        for _ in range(5):
+            limiter.on_request(ingest())
+        metrics = limiter.metrics()
+        assert metrics["passed"] == 2
+        assert metrics["limited"] == 3
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(rate=1.0, burst=0.5)
+
+
+class TestSharedSecretAuth:
+    def test_accepts_matching_secret(self):
+        auth = SharedSecretAuth("s3cret")
+        assert auth.on_request(ingest(auth="s3cret")) is None
+        assert auth.metrics() == {"accepted": 1, "rejected": 0}
+
+    @pytest.mark.parametrize("supplied", [None, "", "wrong", "s3cret "])
+    def test_rejects_bad_secret(self, supplied):
+        auth = SharedSecretAuth("s3cret")
+        rejection = auth.on_request(ingest(auth=supplied))
+        assert rejection is not None
+        assert rejection.error == "auth_failed"
+        assert rejection.status == 401
+
+    def test_healthz_exempt_by_default(self):
+        auth = SharedSecretAuth("s3cret")
+        probe = Request(op="healthz", client="a", transport="http")
+        assert auth.on_request(probe) is None
+
+    def test_exemptions_configurable(self):
+        auth = SharedSecretAuth("s3cret", exempt=())
+        probe = Request(op="healthz", client="a", transport="http")
+        assert auth.on_request(probe) is not None
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SharedSecretAuth("")
+
+
+class TestRequestLog:
+    def test_counts_by_op_and_client(self):
+        log = RequestLogMiddleware()
+        log.on_request(ingest(client="a"))
+        log.on_request(ingest(client="b"))
+        log.on_request(Request(op="metrics", client="a", transport="frame"))
+        metrics = log.metrics()
+        assert metrics["requests"] == 3
+        assert metrics["by_op"] == {"ingest": 2, "metrics": 1}
+        assert metrics["clients"] == 2
+
+    def test_errors_counted_from_responses(self):
+        log = RequestLogMiddleware()
+        request = ingest()
+        log.on_request(request)
+        log.on_response(request, {"ok": True, "accepted": 3})
+        log.on_response(request, {"ok": False, "error": "overloaded"})
+        assert log.metrics()["errors"] == 1
+
+    def test_optional_logger_receives_lines(self, caplog):
+        logger = logging.getLogger("test.serve.requestlog")
+        log = RequestLogMiddleware(logger=logger, level=logging.INFO)
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            log.on_request(ingest(client="1.2.3.4"))
+        assert "1.2.3.4" in caplog.text
+
+
+class TestMaxInFlight:
+    def test_admits_up_to_limit_then_busy(self):
+        gate = MaxInFlight(2)
+        assert gate.on_request(ingest()) is None
+        assert gate.on_request(ingest()) is None
+        rejection = gate.on_request(ingest())
+        assert rejection is not None
+        assert rejection.error == "busy"
+        assert rejection.status == 503
+
+    def test_response_releases_slot(self):
+        gate = MaxInFlight(1)
+        request = ingest()
+        assert gate.on_request(request) is None
+        gate.on_response(request, {"ok": True, "accepted": 1})
+        assert gate.on_request(ingest()) is None
+
+    def test_own_rejection_does_not_release(self):
+        gate = MaxInFlight(1)
+        held = ingest()
+        gate.on_request(held)
+        rejected = ingest()
+        busy = gate.on_request(rejected)
+        gate.on_response(rejected, busy.payload())  # its own "busy" veto
+        assert gate.in_flight == 1  # the held slot is untouched
+
+    def test_slot_released_when_request_fails_downstream(self):
+        # a later middleware (or the ingest queue) rejecting must still
+        # release the slot taken in on_request
+        gate = MaxInFlight(1)
+        request = ingest()
+        assert gate.on_request(request) is None
+        gate.on_response(request, {"ok": False, "error": "overloaded"})
+        assert gate.in_flight == 0
+        assert gate.on_request(ingest()) is None
+
+    def test_non_ingest_ops_bypass(self):
+        gate = MaxInFlight(1)
+        gate.on_request(ingest())
+        probe = Request(op="metrics", client="a", transport="frame")
+        assert gate.on_request(probe) is None
+        gate.on_response(probe, {"ok": True})
+        assert gate.in_flight == 1
+
+    def test_metrics_track_peak(self):
+        gate = MaxInFlight(3)
+        requests = [ingest() for _ in range(3)]
+        for request in requests:
+            gate.on_request(request)
+        for request in requests:
+            gate.on_response(request, {"ok": True})
+        metrics = gate.metrics()
+        assert metrics["peak"] == 3
+        assert metrics["in_flight"] == 0
+        assert metrics["admitted"] == 3
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MaxInFlight(0)
+
+
+class TestSetupMiddleware:
+    def test_single_middleware_registers_itself(self):
+        server = FakeServer()
+        middleware = RequestLogMiddleware()
+        assert middleware.setup_middleware(server) is middleware
+        assert server.middlewares == [middleware]
+
+    def test_stack_registers_in_request_order(self):
+        server = FakeServer()
+        auth = SharedSecretAuth("s")
+        limiter = TokenBucketLimiter(rate=10.0)
+        log = RequestLogMiddleware()
+        setup_middleware(server, [auth, limiter, log])
+        assert server.middlewares == [auth, limiter, log]
+
+    def test_base_middleware_is_a_no_op(self):
+        middleware = ServerMiddleware()
+        request = ingest()
+        assert middleware.on_request(request) is None
+        middleware.on_response(request, {"ok": True})  # must not raise
+        assert middleware.metrics() == {}

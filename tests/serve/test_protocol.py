@@ -1,0 +1,153 @@
+"""Wire protocol unit tests: framing and the event codec.
+
+The codec is the foundation of the serve determinism guarantee: every
+event must round-trip losslessly (JSON doubles preserve Python floats
+exactly), and every malformed shape must fail loudly as a
+:class:`ProtocolError` instead of corrupting the stream.
+"""
+
+import asyncio
+import json
+import math
+
+import pytest
+
+from repro.cep.events import Event
+from repro.serve.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    encode_frame,
+    event_to_wire,
+    events_to_wire,
+    read_frame,
+    wire_to_event,
+    wire_to_events,
+)
+
+
+def read_all(data: bytes):
+    """Drive ``read_frame`` over an in-memory stream until EOF."""
+
+    async def impl():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = []
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(impl())
+
+
+def read_one(data: bytes):
+    async def impl():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(impl())
+
+
+class TestFraming:
+    def test_round_trip_one_frame(self):
+        payload = {"op": "ingest", "events": [1, 2, 3]}
+        assert read_all(encode_frame(payload)) == [payload]
+
+    def test_round_trip_many_frames_in_order(self):
+        payloads = [{"op": "ping", "n": i} for i in range(10)]
+        data = b"".join(encode_frame(p) for p in payloads)
+        assert read_all(data) == payloads
+
+    def test_clean_eof_returns_none(self):
+        assert read_all(b"") == []
+
+    def test_eof_mid_header_is_clean(self):
+        # fewer than 4 length bytes: treated as EOF between frames
+        assert read_one(b"\x00\x00") is None
+
+    def test_eof_mid_body_raises(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_one(frame[:-2])
+
+    def test_oversize_header_rejected_before_reading_body(self):
+        header = (MAX_FRAME + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_one(header)
+
+    def test_oversize_payload_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_non_object_body_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        data = len(body).to_bytes(4, "big") + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_one(data)
+
+    def test_invalid_json_rejected(self):
+        body = b"{nope"
+        data = len(body).to_bytes(4, "big") + body
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            read_one(data)
+
+
+class TestEventCodec:
+    def test_round_trip_preserves_identity(self):
+        event = Event("kick", 41, 12.625, {"player": "p7", "x": 1.5})
+        decoded = wire_to_event(json.loads(json.dumps(event_to_wire(event))))
+        assert decoded.event_type == event.event_type
+        assert decoded.seq == event.seq
+        assert decoded.timestamp == event.timestamp
+        assert decoded.attrs == event.attrs
+
+    def test_round_trip_preserves_awkward_floats(self):
+        # JSON doubles round-trip any Python float exactly -- including
+        # values with no short decimal form; this is what keeps served
+        # detections bit-identical to in-process replays
+        for ts in (0.1 + 0.2, 1e-17, 123456.789012345, math.pi):
+            event = Event("a", 0, ts)
+            assert wire_to_event(
+                json.loads(json.dumps(event_to_wire(event)))
+            ).timestamp == ts
+
+    def test_empty_attrs_omitted_on_wire(self):
+        assert "a" not in event_to_wire(Event("a", 1, 2.0))
+
+    def test_stream_slice_round_trip_in_order(self):
+        events = [Event("t", i, i * 0.5, {"i": i}) for i in range(64)]
+        decoded = wire_to_events(json.loads(json.dumps(events_to_wire(events))))
+        assert [e.seq for e in decoded] == [e.seq for e in events]
+        assert [e.timestamp for e in decoded] == [e.timestamp for e in events]
+
+    @pytest.mark.parametrize(
+        "wire, message",
+        [
+            ("not-an-object", "JSON object"),
+            ({"s": 1, "ts": 2.0}, "missing field 't'"),
+            ({"t": "a", "ts": 2.0}, "missing field 's'"),
+            ({"t": "a", "s": 1}, "missing field 'ts'"),
+            ({"t": 7, "s": 1, "ts": 2.0}, "type must be a string"),
+            ({"t": "a", "s": 1.5, "ts": 2.0}, "seq must be an integer"),
+            ({"t": "a", "s": True, "ts": 2.0}, "seq must be an integer"),
+            ({"t": "a", "s": 1, "ts": "x"}, "timestamp must be a number"),
+            ({"t": "a", "s": 1, "ts": True}, "timestamp must be a number"),
+            ({"t": "a", "s": 1, "ts": 2.0, "a": []}, "attrs must be"),
+        ],
+    )
+    def test_bad_event_shapes_rejected(self, wire, message):
+        with pytest.raises(ProtocolError, match=message):
+            wire_to_event(wire)
+
+    def test_events_must_be_an_array(self):
+        with pytest.raises(ProtocolError, match="array"):
+            wire_to_events({"t": "a"})
+
+    def test_integer_timestamp_becomes_float(self):
+        decoded = wire_to_event({"t": "a", "s": 1, "ts": 3})
+        assert decoded.timestamp == 3.0
+        assert isinstance(decoded.timestamp, float)
