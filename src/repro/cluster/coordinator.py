@@ -46,6 +46,8 @@ class ShardStatus:
     model_versions: Dict[str, int] = field(default_factory=dict)
     model_fingerprints: Dict[str, str] = field(default_factory=dict)
     shedding_active: Dict[str, bool] = field(default_factory=dict)
+    #: raw per-chain metrics dicts of the last sync (worker-side truth)
+    chains: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 @dataclass
@@ -217,12 +219,49 @@ class ClusterCoordinator:
             status.shedding_active[name] = chain_metrics["shedding_active"]
             if "model_fingerprint" in chain_metrics:
                 status.model_fingerprints[name] = chain_metrics["model_fingerprint"]
+            status.chains[name] = dict(chain_metrics)
         status.windows = windows
         status.memberships_kept = kept
         status.memberships_dropped = dropped
         total = kept + dropped
         status.drop_rate = dropped / total if total else 0.0
         status.complex_events = detected
+
+    def chain_totals(self) -> Dict[str, Dict[str, object]]:
+        """Worker-side metrics aggregated per chain across all shards.
+
+        Sums of the last sync's counters (windows, memberships,
+        detections, shed decisions/drops) keyed by chain name -- the
+        cluster analogue of the worker half of a sequential chain's
+        stage metrics.  As-of-last-sync, like every shard-side view.
+        """
+        totals: Dict[str, Dict[str, object]] = {}
+        for name in self.chain_names:
+            windows = kept = dropped = detected = decisions = drops = 0
+            active = False
+            for status in self.shard_status:
+                chain = status.chains.get(name)
+                if chain is None:
+                    continue
+                windows += chain["windows"]
+                kept += chain["memberships_kept"]
+                dropped += chain["memberships_dropped"]
+                detected += chain["complex_events"]
+                decisions += chain.get("shed_decisions", 0)
+                drops += chain.get("shed_drops", 0)
+                active = active or bool(chain.get("shedding_active"))
+            total = kept + dropped
+            totals[name] = {
+                "windows": windows,
+                "memberships_kept": kept,
+                "memberships_dropped": dropped,
+                "drop_rate": dropped / total if total else 0.0,
+                "complex_events": detected,
+                "shed_decisions": decisions,
+                "shed_drops": drops,
+                "shedding_active": active,
+            }
+        return totals
 
     # ------------------------------------------------------------------
     # drift

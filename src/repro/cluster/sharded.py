@@ -169,6 +169,8 @@ class ShardedPipeline:
         self._sync_token = 0
         self._last_check = 0.0
         self.coordinator: Optional[ClusterCoordinator] = None
+        self.observability = None
+        self._obs_collector = None
 
     # ------------------------------------------------------------------
     # pipeline lifecycle proxies (all before start())
@@ -259,7 +261,11 @@ class ShardedPipeline:
             # per-shard chain state is built pre-fork so each worker
             # owns a private matcher but inherits the shared shedder
             shard_chains = {
-                chain.query.name: ShardChain(chain.query, chain.shedder)
+                chain.query.name: ShardChain(
+                    chain.query,
+                    chain.shedder,
+                    observe=self.observability is not None,
+                )
                 for chain in chains
             }
             process = self._ctx.Process(
@@ -617,6 +623,155 @@ class ShardedPipeline:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def enable_observability(self, obs=None, **kwargs):
+        """Enable unified observability across router and shards.
+
+        Must precede :meth:`start`: workers inherit their per-window
+        timing histogram at fork.  The router-side ingress stages are
+        instrumented exactly like a sequential pipeline (worker-side
+        egress wrappers exist but never run -- shards execute
+        :class:`~repro.cluster.worker.ShardChain`, not the chain's
+        stage list); worker-side counters and the per-window
+        processing-time histogram travel back in every sync reply and
+        a cluster collector folds them into the same shared
+        :class:`~repro.obs.registry.Registry`, so one scrape sees the
+        whole deployment.
+        """
+        self._require_not_started("enable_observability")
+        obs = self.pipeline.enable_observability(obs, **kwargs)
+        self.observability = obs
+        if self._obs_collector is None:
+            self._obs_collector = self._register_cluster_collector(obs.registry)
+        return obs
+
+    def _register_cluster_collector(self, registry):
+        """Pull collector mapping coordinator state into registry families."""
+        ingested = registry.counter(
+            "repro_cluster_events_ingested_total",
+            "Events ingested by the cluster router",
+        )
+        dispatched = registry.counter(
+            "repro_cluster_windows_dispatched_total",
+            "Windows routed to shard workers",
+            labels=("query",),
+        )
+        detections = registry.counter(
+            "repro_cluster_complex_events_total",
+            "Detections merged back in sequential order",
+            labels=("query",),
+        )
+        shed_decisions = registry.counter(
+            "repro_cluster_shed_decisions_total",
+            "Worker-side shedding decisions (as of last sync)",
+            labels=("query",),
+        )
+        shed_drops = registry.counter(
+            "repro_cluster_shed_drops_total",
+            "Worker-side dropped memberships (as of last sync)",
+            labels=("query",),
+        )
+        drop_rate = registry.gauge(
+            "repro_cluster_drop_rate",
+            "Cluster-wide membership drop rate (as of last sync)",
+            labels=("query",),
+        )
+        shedding_active = registry.gauge(
+            "repro_cluster_shedding_active",
+            "1 while coordinated shedding is active on the shards",
+            labels=("query",),
+        )
+        pending = registry.gauge(
+            "repro_cluster_shard_pending_events",
+            "Events dispatched to a shard but not yet matched",
+            labels=("shard",),
+        )
+        utilization = registry.gauge(
+            "repro_cluster_shard_utilization",
+            "Busy fraction of a shard worker (as of last sync)",
+            labels=("shard",),
+        )
+        alive = registry.gauge(
+            "repro_cluster_shard_alive",
+            "1 while the shard worker process is alive",
+            labels=("shard",),
+        )
+        window_seconds = registry.histogram(
+            "repro_cluster_window_seconds",
+            "Per-window shed+match time on the shard workers",
+            labels=("query",),
+        )
+
+        def collect() -> None:
+            coordinator = self.coordinator
+            if coordinator is None:
+                return
+            ingested.labels().set_total(coordinator.events_ingested)
+            for name, count in coordinator.windows_dispatched.items():
+                dispatched.labels(query=name).set_total(count)
+            for name, count in coordinator.complex_event_counts.items():
+                detections.labels(query=name).set_total(count)
+            for name, totals in coordinator.chain_totals().items():
+                shed_decisions.labels(query=name).set_total(
+                    totals["shed_decisions"]
+                )
+                shed_drops.labels(query=name).set_total(totals["shed_drops"])
+                drop_rate.labels(query=name).set(totals["drop_rate"])
+                shedding_active.labels(query=name).set(
+                    1 if coordinator.shedding.get(name) else 0
+                )
+                # worker histograms ship cumulative state every sync, so
+                # the registry child is rebuilt per scrape (merging each
+                # sync again would double-count)
+                child = window_seconds.labels(query=name)
+                child.counts = [0] * len(child.counts)
+                child.sum = 0.0
+                child.count = 0
+                for status in coordinator.shard_status:
+                    state = status.chains.get(name, {}).get("window_seconds")
+                    if state is not None:
+                        child.merge(
+                            state["counts"], state["sum"], state["count"]
+                        )
+            workers = self._workers
+            for status in coordinator.shard_status:
+                shard = str(status.shard_id)
+                pending.labels(shard=shard).set(status.pending_events)
+                utilization.labels(shard=shard).set(status.utilization)
+                process = (
+                    workers[status.shard_id]
+                    if status.shard_id < len(workers)
+                    else None
+                )
+                alive.labels(shard=shard).set(
+                    1 if process is not None and process.is_alive() else 0
+                )
+
+        return registry.register_collector(collect)
+
+    def metrics(self) -> Dict[str, Dict[str, object]]:
+        """Unified per-query metrics: router stages + shard totals.
+
+        The ``router`` half reports live per-stage metrics for the
+        ingress stages that actually run in the parent (same shape as
+        the sequential ``Pipeline.metrics()``); the ``workers`` half is
+        the coordinator's as-of-last-sync aggregation of the shard-side
+        shed+match counters.  Egress stages are omitted: they do not
+        execute in sharded mode and their zeros would be misleading.
+        """
+        totals = (
+            self.coordinator.chain_totals() if self.coordinator is not None else {}
+        )
+        report: Dict[str, Dict[str, object]] = {}
+        for chain in self.pipeline.chains:
+            name = chain.query.name
+            report[name] = {
+                "router": {
+                    stage.name: stage.metrics() for stage in chain.ingress
+                },
+                "workers": totals.get(name, {}),
+            }
+        return report
+
     def snapshot(self) -> ClusterSnapshot:
         """Cluster-level snapshot: shards, routing, shedding, drift."""
         if self.coordinator is None:

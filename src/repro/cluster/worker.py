@@ -52,9 +52,21 @@ from repro.shedding.base import LoadShedder
 
 
 class ShardChain:
-    """Worker-side state of one query chain: matcher + shedder + counters."""
+    """Worker-side state of one query chain: matcher + shedder + counters.
 
-    def __init__(self, query: Query, shedder: Optional[LoadShedder]) -> None:
+    With ``observe=True`` (set at fork time by
+    :meth:`repro.cluster.sharded.ShardedPipeline.enable_observability`)
+    the chain also records a per-window processing-time histogram whose
+    raw bucket state ships to the coordinator in every sync reply,
+    where it merges into the deployment's shared registry.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        shedder: Optional[LoadShedder],
+        observe: bool = False,
+    ) -> None:
         self.query = query
         self.shedder = shedder
         self.matcher = query.new_matcher()
@@ -63,6 +75,11 @@ class ShardChain:
         self.memberships_kept = 0
         self.memberships_dropped = 0
         self.complex_events = 0
+        self.window_seconds = None
+        if observe:
+            from repro.obs.registry import Histogram
+
+            self.window_seconds = Histogram()
 
     def process_window(
         self, window: Window, predicted_ws: float
@@ -74,6 +91,21 @@ class ShardChain:
         -- the proven degree-invariant path -- except that the window
         size prediction comes from the router instead of local state.
         """
+        if self.window_seconds is not None:
+            return self._process_window_timed(window, predicted_ws)
+        return self._process_window(window, predicted_ws)
+
+    def _process_window_timed(
+        self, window: Window, predicted_ws: float
+    ) -> List[ComplexEvent]:
+        started = time.perf_counter()
+        complex_events = self._process_window(window, predicted_ws)
+        self.window_seconds.observe(time.perf_counter() - started)
+        return complex_events
+
+    def _process_window(
+        self, window: Window, predicted_ws: float
+    ) -> List[ComplexEvent]:
         self.windows += 1
         shedder = self.shedder
         events = window.events
@@ -139,6 +171,13 @@ class ShardChain:
                 self.shedder.active if self.shedder is not None else False
             ),
         }
+        if self.shedder is not None:
+            report["shed_decisions"] = self.shedder.decisions
+            report["shed_drops"] = self.shedder.drops
+        if self.window_seconds is not None:
+            # raw bucket state: the coordinator merges it into the
+            # registry's histogram family (bucket layouts match)
+            report["window_seconds"] = self.window_seconds.state()
         if self.shedder is not None and hasattr(self.shedder, "model"):
             model = self.shedder.model
             if hasattr(model, "fingerprint"):

@@ -213,3 +213,54 @@ class ESpiceShedder(LoadShedder):
     def threshold_for_partition(self, partition: int) -> int:
         """``uth(part)`` (diagnostics, tests)."""
         return self._thresholds[partition]
+
+    # ------------------------------------------------------------------
+    # shed-decision explainability (repro.obs)
+    # ------------------------------------------------------------------
+    def explain(self, event: Event, position: int, predicted_ws: float) -> dict:
+        """The exact inputs of :meth:`_decide` for this pair.
+
+        Re-derives utility, reference position, partition and the
+        threshold compared against -- the same arithmetic as the
+        decision, with no side effects -- plus the drop command in
+        force (``x``, ρ).  Attached to dropped windows' traces by the
+        observability layer.
+        """
+        explanation = {
+            "strategy": type(self).__name__,
+            "utility": None,
+            "threshold": None,
+            "partition": None,
+            "partition_count": (
+                self._command.partition_count if self._command else None
+            ),
+            "drop_amount": self._command.x if self._command else None,
+        }
+        thresholds = self._thresholds
+        if not thresholds:
+            return explanation
+        reference = self._reference
+        window_size = predicted_ws if predicted_ws > 0 else reference
+        if window_size >= reference - 1.0:
+            if window_size <= reference + 1.0:
+                ref_position = position if position < reference else reference - 1
+            else:
+                ref_position = int(position * reference / window_size)
+                if ref_position >= reference:
+                    ref_position = reference - 1
+            row = self._rows.get(event.event_type)
+            utility = row[ref_position // self._bin_size] if row is not None else 0
+        else:
+            utility = self.model.table.utility(
+                event.event_type, position, window_size
+            )
+            ref_position = int(
+                scaling.scale_position(position, window_size, reference)[0]
+            )
+        partition = int(ref_position / self._partition_size)
+        if partition >= len(thresholds):
+            partition = len(thresholds) - 1
+        explanation["utility"] = float(utility)
+        explanation["threshold"] = float(thresholds[partition])
+        explanation["partition"] = partition
+        return explanation

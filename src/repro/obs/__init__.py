@@ -1,0 +1,73 @@
+"""repro.obs: unified observability for pipeline, cluster and serve.
+
+One subsystem replaces the three bespoke metrics surfaces the repo
+grew: a label-aware metrics :class:`~repro.obs.registry.Registry`
+(counters, gauges, fixed-bucket histograms; JSON snapshot and
+Prometheus text exposition), a window-lifecycle
+:class:`~repro.obs.tracer.Tracer` with per-drop shed-decision
+explanations, and the zero-cost-when-disabled hot-path hooks of
+:mod:`repro.obs.instrument`.
+
+Typical use::
+
+    pipeline = build_soccer_pipeline(...)
+    obs = pipeline.enable_observability()     # before feeding events
+    ... run ...
+    obs.registry.snapshot()                   # unified metrics view
+    render_prometheus(obs.registry)           # text format 0.0.4
+    obs.tracer.recent(10)                     # latest window traces
+"""
+
+from repro.obs.instrument import (
+    Observability,
+    deinstrument_chain,
+    instrument_chain,
+    register_pipeline_collectors,
+)
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    parse_exposition,
+    render_prometheus,
+    wants_prometheus,
+)
+from repro.obs.registry import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    Registry,
+)
+from repro.obs.snapshot import (
+    chain_metrics,
+    chain_shedding_state,
+    pipeline_metrics,
+    shedding_snapshot,
+)
+from repro.obs.tracer import ShedExplanation, Tracer, WindowTrace
+
+__all__ = [
+    "Observability",
+    "Registry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Tracer",
+    "WindowTrace",
+    "ShedExplanation",
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "wants_prometheus",
+    "parse_exposition",
+    "instrument_chain",
+    "deinstrument_chain",
+    "register_pipeline_collectors",
+    "chain_metrics",
+    "pipeline_metrics",
+    "chain_shedding_state",
+    "shedding_snapshot",
+]

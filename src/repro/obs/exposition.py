@@ -1,0 +1,224 @@
+"""Prometheus text exposition of a :class:`~repro.obs.registry.Registry`.
+
+Renders the standard ``text/plain; version=0.0.4`` format::
+
+    # HELP repro_events_total Events offered to each query chain
+    # TYPE repro_events_total counter
+    repro_events_total{query="q1"} 1234
+
+Histograms expand into cumulative ``_bucket{le="..."}`` series plus
+``_sum`` and ``_count``, exactly as prometheus clients do.  The module
+also ships :func:`parse_exposition`, a minimal line-format checker used
+by the golden-file test and by integration tests scraping a live
+server -- it validates HELP/TYPE ordering, label syntax and float
+values, and returns the parsed samples.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import Registry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "wants_prometheus",
+    "parse_exposition",
+]
+
+#: The content type of the version 0.0.4 text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+_HELP_ESCAPES = {"\\": "\\\\", "\n": "\\n"}
+
+
+def _escape(value: str, table: Dict[str, str]) -> str:
+    for raw, escaped in table.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _format_labels(names: Tuple[str, ...], values: Tuple[str, ...],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [
+        f'{name}="{_escape(value, _LABEL_ESCAPES)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{extra[1]}"')
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(registry: Registry) -> str:
+    """Render every family of ``registry`` (collectors run first)."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(
+                f"# HELP {family.name} {_escape(family.help, _HELP_ESCAPES)}"
+            )
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        names = family.label_names
+        for values, child in family.children():
+            if family.kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(child.bounds, child.counts):
+                    cumulative += count
+                    labels = _format_labels(
+                        names, values, extra=("le", _format_value(float(bound)))
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{labels} {cumulative}"
+                    )
+                cumulative += child.counts[-1]
+                labels = _format_labels(names, values, extra=("le", "+Inf"))
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                plain = _format_labels(names, values)
+                lines.append(
+                    f"{family.name}_sum{plain} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{plain} {cumulative}")
+            else:
+                labels = _format_labels(names, values)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def wants_prometheus(accept: str) -> bool:
+    """Content negotiation: does this ``Accept`` header ask for text format?
+
+    JSON stays the default (back-compatible with existing clients);
+    Prometheus' scraper sends ``text/plain`` / OpenMetrics accepts.
+    """
+    accept = (accept or "").lower()
+    if "application/json" in accept:
+        return False
+    return (
+        "text/plain" in accept
+        or "application/openmetrics-text" in accept
+        or accept.strip() == "text/*"
+    )
+
+
+# ----------------------------------------------------------------------
+# minimal line-format checker (tests; not a full openmetrics parser)
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def parse_exposition(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Validate Prometheus text format; return (name, labels, value) samples.
+
+    Raises :class:`ValueError` on any malformed line, on a sample whose
+    base family has no preceding ``# TYPE``, or on an unparsable value
+    -- strict enough to catch a broken renderer, small enough to live
+    in the repo.
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _NAME_RE.fullmatch(parts[2]):
+                raise ValueError(f"line {lineno}: malformed HELP: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _split_labels(raw_labels, lineno):
+                label_match = _LABEL_RE.match(pair)
+                if label_match is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}"
+                    )
+                labels[label_match.group("name")] = label_match.group("value")
+        raw_value = match.group("value")
+        if raw_value == "+Inf":
+            value = math.inf
+        elif raw_value == "-Inf":
+            value = -math.inf
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {lineno}: bad sample value {raw_value!r}"
+                ) from exc
+        samples.append((name, labels, value))
+    return samples
+
+
+def _split_labels(raw: str, lineno: int) -> List[str]:
+    """Split ``a="x",b="y"`` at commas outside quoted values."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in raw:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if in_quotes:
+        raise ValueError(f"line {lineno}: unterminated label value")
+    if current:
+        parts.append("".join(current))
+    return parts

@@ -1,0 +1,337 @@
+"""The metrics registry of :mod:`repro.obs` (stdlib only).
+
+One :class:`Registry` per deployment holds every metric family the
+pipeline, cluster and serve layers publish: monotonically increasing
+counters, point-in-time gauges, and fixed-bucket histograms with
+Prometheus ``le`` (≤) bucket semantics.  Families carry label names
+(``query``, ``stage``, ``op``, ...); each distinct label-value tuple is
+one child metric.
+
+Two publication styles coexist, chosen per metric by cost:
+
+- **push instrumentation** for distributions (histograms observe on the
+  hot path, via the prebound wrappers of
+  :mod:`repro.obs.instrument` -- zero cost when observability is off);
+- **pull collectors** for counters and gauges that already exist as
+  plain attributes on stages, shedders and servers: a collector
+  callback copies them into the registry at scrape time, so the hot
+  path pays nothing at all for them.
+
+``Registry.snapshot()`` is the one JSON-ready view all three previous
+bespoke snapshot dicts converge on;
+:func:`repro.obs.exposition.render_prometheus` renders the same
+families as Prometheus text.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.runtime.latency import histogram_quantile
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "Registry",
+]
+
+#: Default buckets for second-valued latency histograms: 1µs .. 10s,
+#: roughly logarithmic (the stage hot path sits in the µs decades).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for count-valued histograms (batch sizes, window sizes).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+)
+
+
+class Counter:
+    """A monotonically increasing value.
+
+    ``set_total`` exists for pull collectors that mirror an external
+    cumulative counter (stage attributes) into the registry; it must
+    only ever be handed already-monotonic values.
+    """
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        self.value = value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, flags)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative ``le`` semantics.
+
+    ``counts`` has one slot per finite bound plus a trailing overflow
+    (+Inf) slot.  Two write paths with different cost profiles:
+
+    - :meth:`observe` buckets immediately (bisect plus two adds);
+    - the instrumented batch dispatch appends raw values to
+      :attr:`pending` instead -- a prebound ``list.append`` is several
+      times cheaper than bucketing -- and every reader folds the
+      buffer in via :meth:`flush_pending` before looking at the state.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count", "pending")
+
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BUCKETS) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+        self.pending: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def flush_pending(self) -> None:
+        """Fold buffered hot-path observations into the buckets.
+
+        ``pending`` is cleared in place, never rebound: the hot-path
+        closures prebind its ``append`` method and must keep writing
+        into the same list object.
+        """
+        pending = self.pending
+        if not pending:
+            return
+        bounds = self.bounds
+        counts = self.counts
+        total = 0.0
+        for value in pending:
+            counts[bisect_left(bounds, value)] += 1
+            total += value
+        self.sum += total
+        self.count += len(pending)
+        pending.clear()
+
+    def merge(self, counts: Sequence[int], total: float, count: int) -> None:
+        """Fold another histogram's state in (cluster IPC aggregation)."""
+        if len(counts) != len(self.counts):
+            raise ValueError("bucket layout mismatch")
+        self.flush_pending()
+        for index, c in enumerate(counts):
+            self.counts[index] += c
+        self.sum += total
+        self.count += count
+
+    def quantile(self, fraction: float) -> float:
+        """Estimated quantile (see :func:`~repro.runtime.latency.histogram_quantile`)."""
+        self.flush_pending()
+        return histogram_quantile(self.bounds, self.counts, fraction)
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/mean plus the standard p50/p95/p99 estimates."""
+        self.flush_pending()
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def state(self) -> Dict[str, object]:
+        """Wire-friendly raw state (shipped over cluster IPC)."""
+        self.flush_pending()
+        return {"counts": list(self.counts), "sum": self.sum, "count": self.count}
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and typed children."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labels: str):
+        """The child metric for this label-value combination (created lazily)."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "counter":
+                child = Counter()
+            elif self.kind == "gauge":
+                child = Gauge()
+            else:
+                child = Histogram(self.buckets or LATENCY_BUCKETS)
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        """(label values, child) pairs in insertion order."""
+        return self._children.items()
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view of the family and all its children."""
+        samples = []
+        for values, child in self._children.items():
+            labels = dict(zip(self.label_names, values))
+            if self.kind == "histogram":
+                sample: Dict[str, object] = {"labels": labels}
+                sample.update(child.summary())
+                sample["buckets"] = [
+                    [bound, count]
+                    for bound, count in zip(child.bounds, child.counts)
+                ]
+                sample["overflow"] = child.counts[-1]
+            else:
+                sample = {"labels": labels, "value": child.value}
+            samples.append(sample)
+        return {"type": self.kind, "help": self.help, "samples": samples}
+
+
+class Registry:
+    """Holds metric families and scrape-time pull collectors."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[[], None]] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # family constructors (idempotent: same name returns the family)
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, help_text, "counter", labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, help_text, "gauge", labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, help_text, "histogram", labels, buckets)
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind} with labels {family.label_names}"
+                    )
+                return family
+            family = MetricFamily(name, help_text, kind, labels, buckets)
+            self._families[name] = family
+            return family
+
+    # ------------------------------------------------------------------
+    # pull collectors
+    # ------------------------------------------------------------------
+    def register_collector(self, collect: Callable[[], None]) -> Callable[[], None]:
+        """Register a scrape-time callback that writes into the registry."""
+        self._collectors.append(collect)
+        return collect
+
+    def unregister_collector(self, collect: Callable[[], None]) -> None:
+        """Remove a previously registered collector (no-op if absent)."""
+        try:
+            self._collectors.remove(collect)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # scraping
+    # ------------------------------------------------------------------
+    def collect(self) -> List[MetricFamily]:
+        """Run every collector, then return families sorted by name.
+
+        Also folds every histogram's pending buffer so renderers that
+        read ``counts`` directly (Prometheus text) see current state.
+        """
+        for collect in list(self._collectors):
+            collect()
+        families = [self._families[name] for name in sorted(self._families)]
+        for family in families:
+            if family.kind == "histogram":
+                for _values, child in family.children():
+                    child.flush_pending()
+        return families
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The unified JSON-ready snapshot of every family."""
+        return {family.name: family.snapshot() for family in self.collect()}

@@ -1,0 +1,55 @@
+"""Shared snapshot helpers: one code path for every metrics surface.
+
+Before :mod:`repro.obs`, three bespoke dicts reported overlapping
+numbers -- ``Pipeline.metrics()``, the sharded per-shard snapshot and
+``PipelineServer._shedding_snapshot`` -- and could drift apart.  These
+helpers are now the single source for all of them (the pipeline, the
+sharded runtime and the server each delegate here), so the in-process
+view, the cluster view and the wire view report *identical* numbers by
+construction (regression-tested in ``tests/serve``).
+
+Everything is duck-typed over chain/stage attributes; this module
+imports nothing from :mod:`repro.pipeline`, so it is import-cycle-free
+from anywhere in the repo.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "chain_metrics",
+    "pipeline_metrics",
+    "shedding_snapshot",
+    "chain_shedding_state",
+]
+
+
+def chain_metrics(chain) -> Dict[str, Dict[str, object]]:
+    """Per-stage metrics of one query chain, keyed by stage name."""
+    return {stage.name: stage.metrics() for stage in chain.stages}
+
+
+def pipeline_metrics(pipeline) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Per-chain, per-stage metrics of a pipeline (or anything with
+    ``.chains`` of stage-bearing chains)."""
+    return {chain.query.name: chain_metrics(chain) for chain in pipeline.chains}
+
+
+def chain_shedding_state(chain) -> Dict[str, object]:
+    """One chain's shedding activity (the wire's overload payload shape)."""
+    shedder = chain.shedder
+    return {
+        "active": bool(shedder is not None and shedder.active),
+        "drop_rate": (
+            shedder.observed_drop_rate() if shedder is not None else 0.0
+        ),
+    }
+
+
+def shedding_snapshot(pipeline) -> Dict[str, Dict[str, object]]:
+    """Per-query shedding state (served to overloaded clients)."""
+    return {
+        chain.query.name: chain_shedding_state(chain)
+        for chain in pipeline.chains
+    }

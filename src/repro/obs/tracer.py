@@ -1,0 +1,252 @@
+"""Window lifecycle tracing and shed-decision explainability.
+
+The :class:`Tracer` keeps a bounded ring buffer of
+:class:`WindowTrace` records, one per (query, window).  Every trace
+carries the window's lifecycle spans -- created → assigned → shed/kept
+→ matched → emitted -- stamped with the pipeline's virtual clock, so
+two replays of the same stream produce byte-identical traces.
+
+The paper's load shedder makes per-(event, window) utility-threshold
+decisions (§3.5); when a membership is dropped, the tracer attaches a
+:class:`ShedExplanation` recording *why*: the utility estimate the
+shedder looked up, the threshold it compared against, the partition,
+and the overload state (ρ, drop amount ``x``, queue size) the detector
+held at decision time.  Explanations come from
+:meth:`repro.shedding.base.LoadShedder.explain`, which every strategy
+implements (eSPICE reports exact utilities and thresholds; baselines
+report what they have).
+
+Cost model: traces are only written at window *close* (one record per
+window, derived from state the pipeline already tracks) and at actual
+*drops* (overload-only by construction) -- never per kept event, which
+is what keeps full tracing inside the ≤2% overhead budget asserted by
+``benchmarks/bench_obs.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ShedExplanation", "WindowTrace", "Tracer"]
+
+
+@dataclass(frozen=True)
+class ShedExplanation:
+    """Why one (event, window) membership was dropped.
+
+    ``utility``/``threshold``/``partition`` mirror the shedder's actual
+    decision inputs (``drop ⇔ UT(T, P) ≤ uth(partition(P))`` for
+    eSPICE; ``None`` where a strategy has no such notion).  The
+    overload fields record the detector state in force at decision
+    time: ``overloaded`` (was the detector in shedding state),
+    ``partition_count`` (ρ), ``drop_amount`` (``x`` per partition) and
+    ``qsize`` from its most recent check.
+    """
+
+    time: float
+    event_type: str
+    position: int
+    predicted_window_size: float
+    strategy: str
+    utility: Optional[float] = None
+    threshold: Optional[float] = None
+    partition: Optional[int] = None
+    overloaded: bool = False
+    partition_count: Optional[int] = None
+    drop_amount: Optional[float] = None
+    qsize: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class WindowTrace:
+    """Lifecycle record of one window of one query."""
+
+    __slots__ = (
+        "query",
+        "window_id",
+        "created_at",
+        "closed_at",
+        "size",
+        "dropped",
+        "matches",
+        "emitted",
+        "emitted_at",
+        "truncated",
+        "explanations",
+        "seq",
+    )
+
+    def __init__(self, query: str, window_id: int) -> None:
+        self.query = query
+        self.window_id = window_id
+        self.created_at: Optional[float] = None  # window open (event time)
+        self.closed_at: Optional[float] = None  # processed at close
+        self.size: Optional[int] = None  # assigned memberships
+        self.dropped = 0  # shed memberships
+        self.matches: Optional[int] = None  # complex events matched
+        self.emitted = 0  # complex events emitted
+        self.emitted_at: Optional[float] = None
+        self.truncated = False  # closed by end-of-stream flush
+        self.explanations: List[ShedExplanation] = []
+        self.seq = 0  # tracer-assigned recency order
+
+    @property
+    def kept(self) -> Optional[int]:
+        """Memberships that survived shedding (None before close)."""
+        if self.size is None:
+            return None
+        return self.size - self.dropped
+
+    def spans(self) -> List[Dict[str, object]]:
+        """The lifecycle as ordered spans (virtual-clock timestamps)."""
+        spans: List[Dict[str, object]] = []
+        if self.created_at is not None:
+            spans.append({"span": "created", "time": self.created_at})
+        if self.size is not None:
+            spans.append(
+                {"span": "assigned", "time": self.closed_at, "events": self.size}
+            )
+        if self.dropped or self.explanations:
+            spans.append(
+                {
+                    "span": "shed",
+                    "time": self.closed_at,
+                    "dropped": self.dropped,
+                    "kept": self.kept,
+                }
+            )
+        elif self.size is not None:
+            spans.append({"span": "kept", "time": self.closed_at, "kept": self.kept})
+        if self.matches is not None:
+            spans.append(
+                {"span": "matched", "time": self.closed_at, "matches": self.matches}
+            )
+        if self.emitted_at is not None:
+            spans.append(
+                {"span": "emitted", "time": self.emitted_at, "emitted": self.emitted}
+            )
+        return spans
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query": self.query,
+            "window_id": self.window_id,
+            "created_at": self.created_at,
+            "closed_at": self.closed_at,
+            "size": self.size,
+            "kept": self.kept,
+            "dropped": self.dropped,
+            "matches": self.matches,
+            "emitted": self.emitted,
+            "truncated": self.truncated,
+            "spans": self.spans(),
+            "shed_explanations": [e.to_dict() for e in self.explanations],
+        }
+
+
+class Tracer:
+    """Bounded ring buffer of window traces, keyed by (query, window id).
+
+    ``capacity`` bounds live memory: inserting a new window beyond it
+    evicts the least recently *touched* trace (``evicted`` counts
+    them).  ``max_explanations`` caps the per-window explanation list;
+    drops beyond the cap still count in ``dropped``.
+    """
+
+    def __init__(self, capacity: int = 512, max_explanations: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        if max_explanations < 0:
+            raise ValueError("max explanations cannot be negative")
+        self.capacity = capacity
+        self.max_explanations = max_explanations
+        self.evicted = 0
+        self._seq = 0
+        self._windows: "OrderedDict[Tuple[str, int], WindowTrace]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    # ------------------------------------------------------------------
+    # recording (called by the instrumented pipeline)
+    # ------------------------------------------------------------------
+    def trace(self, query: str, window_id: int) -> WindowTrace:
+        """Get-or-create the trace of one window, marking it recent."""
+        key = (query, window_id)
+        trace = self._windows.get(key)
+        if trace is None:
+            trace = WindowTrace(query, window_id)
+            self._windows[key] = trace
+            while len(self._windows) > self.capacity:
+                self._windows.popitem(last=False)
+                self.evicted += 1
+        else:
+            self._windows.move_to_end(key)
+        self._seq += 1
+        trace.seq = self._seq
+        return trace
+
+    def on_shed(self, query: str, window_id: int, explanation: ShedExplanation) -> None:
+        """Record one dropped membership with its explanation."""
+        trace = self.trace(query, window_id)
+        trace.dropped += 1
+        if len(trace.explanations) < self.max_explanations:
+            trace.explanations.append(explanation)
+
+    def on_window_closed(
+        self,
+        query: str,
+        window,
+        now: float,
+        matches: int,
+    ) -> WindowTrace:
+        """Record a window's close: creation, size, match outcome.
+
+        ``window`` is a :class:`repro.cep.windows.Window`; its
+        ``open_time`` backfills the creation span, so no per-event work
+        happened while the window was filling.
+        """
+        trace = self.trace(query, window.window_id)
+        trace.created_at = window.open_time
+        trace.closed_at = now
+        trace.size = window.size
+        trace.matches = matches
+        trace.truncated = window.truncated
+        return trace
+
+    def on_emitted(self, query: str, window_id: int, now: float, count: int) -> None:
+        """Record complex events of one window leaving the emit stage."""
+        trace = self.trace(query, window_id)
+        trace.emitted += count
+        trace.emitted_at = now
+
+    # ------------------------------------------------------------------
+    # querying (the /trace HTTP surface)
+    # ------------------------------------------------------------------
+    def get(
+        self, window_id: int, query: Optional[str] = None
+    ) -> List[WindowTrace]:
+        """Traces of ``window_id`` (across queries unless one is named)."""
+        if query is not None:
+            trace = self._windows.get((query, window_id))
+            return [trace] if trace is not None else []
+        return [
+            trace
+            for (_query, wid), trace in self._windows.items()
+            if wid == window_id
+        ]
+
+    def recent(self, n: int = 20) -> List[Dict[str, object]]:
+        """The ``n`` most recently touched traces, newest first."""
+        traces = sorted(
+            self._windows.values(), key=lambda t: t.seq, reverse=True
+        )
+        return [trace.to_dict() for trace in traces[: max(0, n)]]
+
+    def clear(self) -> None:
+        """Drop every trace (the eviction counter survives)."""
+        self._windows.clear()

@@ -55,6 +55,7 @@ class PipelineBuilder:
         self._adaptive: Optional[Dict[str, Any]] = None
         self._model: Optional["UtilityModel"] = None
         self._distributed: Optional[Dict[str, Any]] = None
+        self._observability: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # queries
@@ -239,6 +240,27 @@ class PipelineBuilder:
         }
         return self
 
+    def observability(self, obs: Any = True, **options: Any) -> "PipelineBuilder":
+        """Enable unified observability on the built pipeline.
+
+        ``build()`` then calls ``enable_observability()`` on the result
+        -- sequential or sharded alike -- so the pipeline starts with
+        instrumented stage dispatch, the shared metrics
+        :class:`~repro.obs.registry.Registry` and window tracing with
+        shed explanations.  Pass a prebuilt
+        :class:`~repro.obs.instrument.Observability` to share one
+        registry across pipelines, or keyword options
+        (``trace_capacity``, ``max_explanations``) to configure a fresh
+        bundle; ``observability(False)`` cancels an earlier call.
+        """
+        if obs is False:
+            self._observability = None
+            if options:
+                raise ValueError("options make no sense with observability(False)")
+            return self
+        self._observability = {"obs": None if obs is True else obs, **options}
+        return self
+
     def adaptive(self, **options: Any) -> "PipelineBuilder":
         """Enable drift-driven automatic retraining (§3.6).
 
@@ -323,5 +345,16 @@ class PipelineBuilder:
         if self._distributed is not None:
             from repro.cluster import ShardedPipeline
 
-            return ShardedPipeline(pipeline, **self._distributed)
+            sharded = ShardedPipeline(pipeline, **self._distributed)
+            if self._observability is not None:
+                sharded.enable_observability(
+                    self._observability["obs"],
+                    **{k: v for k, v in self._observability.items() if k != "obs"},
+                )
+            return sharded
+        if self._observability is not None:
+            pipeline.enable_observability(
+                self._observability["obs"],
+                **{k: v for k, v in self._observability.items() if k != "obs"},
+            )
         return pipeline

@@ -205,9 +205,14 @@ class QueryChain:
         self.stages: List[Stage] = [*self.ingress, *self.egress]
         # hot-path dispatch: the per-event loops call prebound
         # ``on_event`` methods instead of re-resolving stage attributes
-        # per event (the stage chain is fixed after construction)
+        # per event (the stage chain is fixed after construction); the
+        # batched loops do the same with ``process_batch``.  Enabling
+        # observability swaps these tuples for instrumented wrappers --
+        # disabled, they are identical to an uninstrumented chain.
         self._ingress_dispatch = tuple(s.on_event for s in self.ingress)
         self._egress_dispatch = tuple(s.on_event for s in self.egress)
+        self._ingress_batch_dispatch = tuple(s.process_batch for s in self.ingress)
+        self._egress_batch_dispatch = tuple(s.process_batch for s in self.egress)
 
         # --- shedding machinery ---------------------------------------
         self.shedder: Optional[LoadShedder] = None
@@ -440,8 +445,8 @@ class QueryChain:
         a ``queue_capacity`` is configured.
         """
         stage_batch = StageBatch.from_events(batch)
-        for stage in self.ingress:
-            stage.process_batch(stage_batch)
+        for process_batch in self._ingress_batch_dispatch:
+            process_batch(stage_batch)
         return stage_batch
 
     def process_batch(self, stage_batch: StageBatch) -> None:
@@ -458,7 +463,7 @@ class QueryChain:
         shedding the whole batch is one segment.
         """
         self.queue.consume_all()  # the batch's items leave the queue as one drain
-        egress = self.egress
+        egress = self._egress_batch_dispatch
         shedding_live = (
             self.shedding.per_event
             and self.shedder is not None
@@ -466,12 +471,12 @@ class QueryChain:
             and self.operator is not None
         )
         if not shedding_live:
-            for stage in egress:
-                stage.process_batch(stage_batch)
+            for process_batch in egress:
+                process_batch(stage_batch)
             return
         for segment in self._segments(stage_batch):
-            for stage in egress:
-                stage.process_batch(segment)
+            for process_batch in egress:
+                process_batch(segment)
 
     def run_batch(self, batch: EventBatch) -> StageBatch:
         """Ingest and immediately drain one micro-batch (synchronous mode).
@@ -519,12 +524,23 @@ class QueryChain:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def enable_obs(self, obs) -> None:
+        """Swap in instrumented dispatch (see :mod:`repro.obs.instrument`)."""
+        from repro.obs.instrument import instrument_chain
+
+        instrument_chain(self, obs)
+
+    def disable_obs(self) -> None:
+        """Restore plain prebound dispatch (observability off)."""
+        from repro.obs.instrument import deinstrument_chain
+
+        deinstrument_chain(self)
+
     def metrics(self) -> Dict[str, Dict[str, object]]:
         """Per-stage metrics, keyed by stage name."""
-        report: Dict[str, Dict[str, object]] = {}
-        for stage in self.stages:
-            report[stage.name] = stage.metrics()
-        return report
+        from repro.obs.snapshot import chain_metrics
+
+        return chain_metrics(self)
 
     def backpressure(self) -> Dict[str, object]:
         """Queue depth and rejection counters of this chain."""
@@ -549,6 +565,9 @@ class Pipeline:
         self._events_fed = 0
         self._last_fed = 0.0
         self._next_tick: Optional[float] = None
+        # observability bundle (repro.obs.Observability) when enabled
+        self.observability = None
+        self._obs_collector = None
         # live-mode micro-batcher (size-or-linger); None = per-event
         # feeds.  Bounded queues need per-event admission, so batching
         # only engages on unbounded pipelines.
@@ -956,9 +975,48 @@ class Pipeline:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def enable_observability(self, obs=None, **kwargs):
+        """Turn on unified observability (metrics registry + tracer).
+
+        Instruments every chain's dispatch with stage-timing histograms
+        and window-lifecycle tracing, and registers a scrape-time
+        collector mirroring the stage counters into the registry.
+        Pass an existing :class:`repro.obs.Observability` to share one
+        registry across surfaces (the server does), or keyword options
+        (``trace_capacity``, ``max_explanations``) to build a fresh
+        bundle.  Idempotent per bundle; returns the active bundle.
+        """
+        from repro.obs.instrument import (
+            Observability,
+            instrument_chain,
+            register_pipeline_collectors,
+        )
+
+        if obs is None:
+            obs = self.observability or Observability(**kwargs)
+        if self.observability is not None and self.observability is not obs:
+            self.disable_observability()
+        for chain in self.chains:
+            instrument_chain(chain, obs)
+        if self._obs_collector is None or self.observability is not obs:
+            self._obs_collector = register_pipeline_collectors(self, obs.registry)
+        self.observability = obs
+        return obs
+
+    def disable_observability(self) -> None:
+        """Restore uninstrumented dispatch and drop the collector."""
+        for chain in self.chains:
+            chain.disable_obs()
+        if self.observability is not None and self._obs_collector is not None:
+            self.observability.registry.unregister_collector(self._obs_collector)
+        self._obs_collector = None
+        self.observability = None
+
     def metrics(self) -> Dict[str, Dict[str, Dict[str, object]]]:
         """Per-chain, per-stage metrics."""
-        return {chain.query.name: chain.metrics() for chain in self.chains}
+        from repro.obs.snapshot import pipeline_metrics
+
+        return pipeline_metrics(self)
 
     def backpressure(self) -> Dict[str, Dict[str, object]]:
         """Per-chain queue depth and rejection counters."""

@@ -41,7 +41,13 @@ class LatencyStats:
         )
 
 
-def _percentile(ordered: Sequence[float], fraction: float) -> float:
+def percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an *ascending-sorted* series.
+
+    The single percentile implementation of the repo: latency summaries
+    here and histogram summaries in :mod:`repro.obs.registry` both call
+    it (directly or via :func:`histogram_quantile`).
+    """
     if not ordered:
         return 0.0
     rank = fraction * (len(ordered) - 1)
@@ -51,6 +57,40 @@ def _percentile(ordered: Sequence[float], fraction: float) -> float:
         return ordered[low]
     weight = rank - low
     return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+#: Backwards-compatible alias (pre-obs internal name).
+_percentile = percentile
+
+
+def histogram_quantile(
+    bounds: Sequence[float], counts: Sequence[int], fraction: float
+) -> float:
+    """Estimate a quantile from fixed-bucket histogram counts.
+
+    ``counts`` has one entry per bucket in ``bounds`` order plus a
+    final overflow (+Inf) bucket: ``len(counts) == len(bounds) + 1``.
+    Interpolates linearly within the containing bucket (the
+    ``histogram_quantile`` estimator of Prometheus); values in the
+    overflow bucket clamp to the highest finite bound.
+    """
+    if len(counts) != len(bounds) + 1:
+        raise ValueError("counts must have one entry per bound plus overflow")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = fraction * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        cumulative += count
+        if count and cumulative >= rank:
+            if index >= len(bounds):
+                return float(bounds[-1]) if bounds else 0.0
+            lower = float(bounds[index - 1]) if index > 0 else 0.0
+            upper = float(bounds[index])
+            within = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * within
+    return float(bounds[-1]) if bounds else 0.0
 
 
 class LatencyTracker:
@@ -90,9 +130,9 @@ class LatencyTracker:
             count=len(values),
             mean=sum(values) / len(values),
             maximum=values[-1],
-            p50=_percentile(values, 0.50),
-            p95=_percentile(values, 0.95),
-            p99=_percentile(values, 0.99),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+            p99=percentile(values, 0.99),
             violations=violations,
             bound=self.bound,
         )

@@ -96,6 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="max concurrently processed ingest requests",
     )
     parser.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "enable unified observability: instrumented pipeline metrics, "
+            "window tracing with shed explanations, Prometheus /metrics "
+            "and the /trace endpoints"
+        ),
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=512,
+        help="window traces kept in the ring buffer (with --obs)",
+    )
+    parser.add_argument(
+        "--trace-explanations",
+        type=int,
+        default=8,
+        help="shed explanations kept per window trace (with --obs)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="skip the startup banner"
     )
     return parser
@@ -122,7 +143,21 @@ def build_pipeline(args: argparse.Namespace) -> Pipeline:
     return pipeline
 
 
-def build_middleware(args: argparse.Namespace) -> List[ServerMiddleware]:
+def build_observability(args: argparse.Namespace):
+    """The shared observability bundle, or ``None`` without ``--obs``."""
+    if not getattr(args, "obs", False):
+        return None
+    from repro.obs import Observability
+
+    return Observability(
+        trace_capacity=args.trace_capacity,
+        max_explanations=args.trace_explanations,
+    )
+
+
+def build_middleware(
+    args: argparse.Namespace, observability=None
+) -> List[ServerMiddleware]:
     """The standard stack, in request order: auth, limiter, gate, log."""
     stack: List[ServerMiddleware] = []
     if args.auth_secret:
@@ -131,25 +166,35 @@ def build_middleware(args: argparse.Namespace) -> List[ServerMiddleware]:
         stack.append(TokenBucketLimiter(args.rate_limit, burst=args.burst))
     if args.max_in_flight is not None:
         stack.append(MaxInFlight(args.max_in_flight))
-    stack.append(RequestLogMiddleware())
+    stack.append(
+        RequestLogMiddleware(
+            registry=observability.registry if observability is not None else None
+        )
+    )
     return stack
 
 
 async def _serve(args: argparse.Namespace) -> dict:
     pipeline = build_pipeline(args)
+    observability = build_observability(args)
     server = PipelineServer(
         pipeline,
         config=ServeConfig(
             host=args.host, port=args.port, max_pending_events=args.max_pending
         ),
-        middleware=build_middleware(args),
+        middleware=build_middleware(args, observability),
+        observability=observability,
     )
     await server.start()
     if not args.quiet:
+        routes = "POST /ingest, GET /metrics, GET /healthz"
+        if observability is not None:
+            routes += ", GET /trace"
         print(
             f"repro-serve listening on {args.host}:{server.port} "
-            f"(framed TCP + HTTP: POST /ingest, GET /metrics, GET /healthz); "
-            f"shedder={args.shedder} max_pending={args.max_pending}",
+            f"(framed TCP + HTTP: {routes}); "
+            f"shedder={args.shedder} max_pending={args.max_pending}"
+            f"{' obs=on' if observability is not None else ''}",
             flush=True,
         )
     stop_requested = asyncio.Event()

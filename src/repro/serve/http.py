@@ -1,8 +1,10 @@
 """Minimal HTTP/1.1 surface of the network front door (stdlib only).
 
-Just enough HTTP for the three routes the server exposes --
-``POST /ingest`` (JSON event batches), ``GET /metrics`` and
-``GET /healthz`` -- parsed straight off the asyncio stream reader.
+Just enough HTTP for the routes the server exposes --
+``POST /ingest`` (JSON event batches), ``GET /metrics`` (JSON or
+Prometheus text by content negotiation), ``GET /trace`` /
+``GET /trace/recent`` (window traces) and ``GET /healthz`` -- parsed
+straight off the asyncio stream reader.
 Supported: ``Content-Length`` bodies, keep-alive (default on 1.1),
 ``Connection: close``.  Not supported (and answered with a clean
 error): chunked transfer encoding, bodies beyond ``MAX_BODY``.
@@ -153,6 +155,27 @@ def http_response(
     return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
 
 
+def text_response(
+    status: int,
+    body: str,
+    content_type: str = "text/plain; charset=utf-8",
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialise one plain-text response (Prometheus exposition)."""
+    data = body.encode("utf-8")
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(data)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + data
+
+
 def route(request: HttpRequest) -> Tuple[Optional[str], Optional[Tuple[int, str]]]:
     """Map a request to a server op.
 
@@ -168,6 +191,10 @@ def route(request: HttpRequest) -> Tuple[Optional[str], Optional[Tuple[int, str]
         if request.method != "GET":
             return None, (405, "method_not_allowed")
         return "metrics", None
+    if path == "/trace" or path.startswith("/trace/"):
+        if request.method != "GET":
+            return None, (405, "method_not_allowed")
+        return "trace", None
     if path == "/healthz":
         if request.method not in ("GET", "HEAD"):
             return None, (405, "method_not_allowed")

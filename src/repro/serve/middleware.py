@@ -198,7 +198,16 @@ class SharedSecretAuth(ServerMiddleware):
 
 
 class RequestLogMiddleware(ServerMiddleware):
-    """Request accounting per op and client, with optional logging."""
+    """Request accounting per op and client, with optional logging.
+
+    With a metrics ``registry`` (see :class:`repro.obs.Registry`) the
+    middleware also publishes a ``repro_server_requests_total{op,
+    transport}`` counter and a ``repro_server_request_seconds{op}``
+    latency histogram -- the structured twin of its log lines, scraped
+    from ``GET /metrics`` with everything else.  Request/response hooks
+    run back to back inside one synchronous dispatch, so a single
+    start-time slot is race-free.
+    """
 
     name = "request_log"
 
@@ -206,6 +215,7 @@ class RequestLogMiddleware(ServerMiddleware):
         self,
         logger: Optional[logging.Logger] = None,
         level: int = logging.INFO,
+        registry=None,
     ) -> None:
         self.logger = logger
         self.level = level
@@ -213,11 +223,30 @@ class RequestLogMiddleware(ServerMiddleware):
         self.by_op: Dict[str, int] = {}
         self.by_client: Dict[str, int] = {}
         self.errors = 0
+        self._started: Optional[float] = None
+        self._requests_total = None
+        self._request_seconds = None
+        if registry is not None:
+            self._requests_total = registry.counter(
+                "repro_server_requests_total",
+                "Requests seen by the front door",
+                labels=("op", "transport"),
+            )
+            self._request_seconds = registry.histogram(
+                "repro_server_request_seconds",
+                "Middleware-to-response wall time of one request",
+                labels=("op",),
+            )
 
     def on_request(self, request: Request) -> Optional[Rejection]:
         self.requests += 1
         self.by_op[request.op] = self.by_op.get(request.op, 0) + 1
         self.by_client[request.client] = self.by_client.get(request.client, 0) + 1
+        if self._requests_total is not None:
+            self._requests_total.labels(
+                op=request.op, transport=request.transport
+            ).inc()
+            self._started = time.perf_counter()
         if self.logger is not None:
             self.logger.log(
                 self.level,
@@ -230,6 +259,11 @@ class RequestLogMiddleware(ServerMiddleware):
         return None
 
     def on_response(self, request: Request, response: Dict[str, object]) -> None:
+        if self._request_seconds is not None and self._started is not None:
+            self._request_seconds.labels(op=request.op).observe(
+                time.perf_counter() - self._started
+            )
+            self._started = None
         if not response.get("ok", False):
             self.errors += 1
             if self.logger is not None:

@@ -100,6 +100,7 @@ class PipelineServer:
         pipeline: Pipeline,
         config: Optional[ServeConfig] = None,
         middleware: Sequence[ServerMiddleware] = (),
+        observability=None,
     ) -> None:
         if not isinstance(pipeline, Pipeline):
             raise TypeError(
@@ -113,6 +114,16 @@ class PipelineServer:
         self.middlewares: List[ServerMiddleware] = []
         for mw in middleware:
             mw.setup_middleware(self)
+        # unified observability: one repro.obs.Observability bundle
+        # shared with the pipeline (instrumented dispatch + registry)
+        # and scraped by this server's own wire-counter collector
+        self.observability = observability
+        self._obs_collector = None
+        if observability is not None:
+            pipeline.enable_observability(observability)
+            self._obs_collector = self._register_obs_collector(
+                observability.registry
+            )
 
         self._state = "new"  # new -> serving -> draining -> stopped
         self._server: Optional[asyncio.base_events.Server] = None
@@ -220,6 +231,11 @@ class PipelineServer:
             if sink in chain.emit.sinks:
                 chain.emit.sinks.remove(sink)
         self._sinks = []
+        if self.observability is not None and self._obs_collector is not None:
+            # freeze (not erase) this server's registry families: the
+            # collector dies with the server, the last values survive
+            self.observability.registry.unregister_collector(self._obs_collector)
+            self._obs_collector = None
         self._state = "stopped"
         return final
 
@@ -305,9 +321,43 @@ class PipelineServer:
             }
         if request.op == "metrics":
             return 200, {"ok": True, "metrics": self.metrics()}
+        if request.op == "trace":
+            return self._trace(request)
         if request.op == "ping":
             return 200, {"ok": True, "op": "ping"}
         return 400, {"ok": False, "error": "unknown_op", "op": request.op}
+
+    def _trace(self, request: Request) -> Tuple[int, Dict[str, object]]:
+        """Window traces: ``/trace?window=ID[&query=Q]``, ``/trace/recent``.
+
+        Framed "trace" requests (no path) return the recent listing.
+        """
+        if self.observability is None:
+            return 404, {"ok": False, "error": "tracing_disabled"}
+        tracer = self.observability.tracer
+        from urllib.parse import parse_qs, urlsplit
+
+        params = parse_qs(urlsplit(request.path).query)
+        window_raw = params.get("window", [None])[0]
+        if window_raw is not None:
+            try:
+                window_id = int(window_raw)
+            except ValueError:
+                return 400, {"ok": False, "error": "bad_request",
+                             "detail": f"window must be an integer, got {window_raw!r}"}
+            query = params.get("query", [None])[0]
+            traces = tracer.get(window_id, query=query)
+            if not traces:
+                return 404, {"ok": False, "error": "trace_not_found",
+                             "window": window_id}
+            return 200, {"ok": True, "traces": [t.to_dict() for t in traces]}
+        limit_raw = params.get("n", ["20"])[0]
+        try:
+            limit = int(limit_raw)
+        except ValueError:
+            return 400, {"ok": False, "error": "bad_request",
+                         "detail": f"n must be an integer, got {limit_raw!r}"}
+        return 200, {"ok": True, "traces": tracer.recent(limit)}
 
     def _admit(self, wire_events: List[object]) -> Tuple[int, Dict[str, object]]:
         """Admission: decode, check the bound, enqueue -- or push back."""
@@ -350,16 +400,9 @@ class PipelineServer:
 
     def _shedding_snapshot(self) -> Dict[str, Dict[str, object]]:
         """Per-query shedding state, as sent to overloaded clients."""
-        snapshot: Dict[str, Dict[str, object]] = {}
-        for chain in self.pipeline.chains:
-            shedder = chain.shedder
-            snapshot[chain.query.name] = {
-                "active": bool(shedder is not None and shedder.active),
-                "drop_rate": (
-                    shedder.observed_drop_rate() if shedder is not None else 0.0
-                ),
-            }
-        return snapshot
+        from repro.obs.snapshot import shedding_snapshot
+
+        return shedding_snapshot(self.pipeline)
 
     # ------------------------------------------------------------------
     # connection handling
@@ -530,6 +573,28 @@ class PipelineServer:
                 path=request.path,
             )
             status, payload = self._dispatch(wire_request)
+            if (
+                op == "metrics"
+                and status == 200
+                and self.observability is not None
+                and self._wants_prometheus_text(request)
+            ):
+                # content negotiation: Prometheus scrapers get the text
+                # format rendered from the shared registry; JSON stays
+                # the default for existing clients
+                from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+
+                text = render_prometheus(self.observability.registry)
+                data = http_surface.text_response(
+                    200, text, content_type=CONTENT_TYPE,
+                    keep_alive=request.keep_alive,
+                )
+                self.bytes_out += len(data)
+                writer.write(data)
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+                continue
             extra: Dict[str, str] = {}
             retry_after = payload.get("retry_after")
             if status in (429, 503) and isinstance(retry_after, (int, float)):
@@ -539,6 +604,14 @@ class PipelineServer:
             )
             if not request.keep_alive:
                 return
+
+    @staticmethod
+    def _wants_prometheus_text(request) -> bool:
+        from repro.obs.exposition import wants_prometheus
+
+        if "format=prometheus" in request.path:
+            return True
+        return wants_prometheus(request.header("accept"))
 
     async def _send_http(
         self,
@@ -558,6 +631,75 @@ class PipelineServer:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def _register_obs_collector(self, registry):
+        """Mirror the server's wire counters into the shared registry."""
+        connections = registry.counter(
+            "repro_server_connections_total", "TCP connections accepted"
+        )
+        active = registry.gauge(
+            "repro_server_connections_active", "Currently open connections"
+        )
+        frames = registry.counter(
+            "repro_server_frames_total", "RPV1 frames", labels=("direction",)
+        )
+        http_requests = registry.counter(
+            "repro_server_http_requests_total", "HTTP requests parsed"
+        )
+        transferred = registry.counter(
+            "repro_server_bytes_total", "Payload bytes", labels=("direction",)
+        )
+        admitted = registry.counter(
+            "repro_server_events_admitted_total", "Events admitted to the ingest queue"
+        )
+        fed = registry.counter(
+            "repro_server_events_fed_total", "Events fed into the pipeline"
+        )
+        batches = registry.counter(
+            "repro_server_batches_total", "Batches admitted to the ingest queue"
+        )
+        overloaded = registry.counter(
+            "repro_server_overloaded_total", "Batches refused with 'overloaded'"
+        )
+        errors = registry.counter(
+            "repro_server_protocol_errors_total", "Protocol-level request errors"
+        )
+        pending = registry.gauge(
+            "repro_server_pending_events", "Admitted-but-unfed events"
+        )
+        detections = registry.counter(
+            "repro_server_detections_total",
+            "Complex events emitted while serving",
+            labels=("query",),
+        )
+        rejected = registry.counter(
+            "repro_server_rejected_total",
+            "Requests vetoed by a middleware",
+            labels=("middleware",),
+        )
+
+        def collect() -> None:
+            connections.labels().set_total(self.connections_total)
+            active.labels().set(self.connections_active)
+            frames.labels(direction="in").set_total(self.frames_in)
+            frames.labels(direction="out").set_total(self.frames_out)
+            http_requests.labels().set_total(self.http_requests)
+            transferred.labels(direction="in").set_total(self.bytes_in)
+            transferred.labels(direction="out").set_total(self.bytes_out)
+            admitted.labels().set_total(self.events_admitted)
+            fed.labels().set_total(self.events_fed)
+            batches.labels().set_total(self.batches_admitted)
+            overloaded.labels().set_total(self.overloaded_responses)
+            errors.labels().set_total(self.protocol_errors)
+            pending.labels().set(self._pending)
+            for name, count in self._detections_by_query.items():
+                detections.labels(query=name).set_total(count)
+            for mw in self.middlewares:
+                mw_metrics = mw.metrics()
+                vetoed = mw_metrics.get("rejected", 0) + mw_metrics.get("limited", 0)
+                rejected.labels(middleware=mw.name).set_total(vetoed)
+
+        return registry.register_collector(collect)
+
     def metrics(self) -> Dict[str, object]:
         """Wire-level counters + middleware + pipeline backpressure."""
         return {
@@ -593,4 +735,12 @@ class PipelineServer:
             "middleware": {mw.name: mw.metrics() for mw in self.middlewares},
             "shedding": self._shedding_snapshot(),
             "backpressure": self.pipeline.backpressure(),
+            # the same per-stage numbers Pipeline.metrics() reports
+            # in-process (one snapshot code path, regression-tested)
+            "pipeline": self.pipeline.metrics(),
+            "observability": (
+                self.observability.summary()
+                if self.observability is not None
+                else {"enabled": False}
+            ),
         }

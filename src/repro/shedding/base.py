@@ -105,6 +105,29 @@ class LoadShedder(abc.ABC):
             for event, position in zip(events, positions)
         ]
 
+    def explain(self, event: Event, position: int, predicted_ws: float) -> dict:
+        """Why the last decision for this (event, window) pair went the
+        way it did -- the shed-decision explainability hook of
+        :mod:`repro.obs`.
+
+        Returns the decision inputs as a dict whose keys mirror
+        :class:`repro.obs.tracer.ShedExplanation`: ``strategy`` plus
+        ``utility``/``threshold``/``partition``/``partition_count``/
+        ``drop_amount`` where the strategy has such notions (``None``
+        otherwise).  Must be side-effect free -- it re-derives, never
+        re-decides, so counters and RNG state stay untouched.  The base
+        implementation names the strategy only; utility-table shedders
+        override it with their exact lookup.
+        """
+        return {
+            "strategy": type(self).__name__,
+            "utility": None,
+            "threshold": None,
+            "partition": None,
+            "partition_count": None,
+            "drop_amount": None,
+        }
+
     def observed_drop_rate(self) -> float:
         """Fraction of decisions that dropped (diagnostics)."""
         return self.drops / self.decisions if self.decisions else 0.0

@@ -1,0 +1,167 @@
+"""Observability must never change what the pipeline computes.
+
+The property: with full observability enabled -- instrumented stage
+dispatch, metrics registry, window tracing with shed explanations --
+detections are bit-identical to, and identically ordered with, the
+uninstrumented run.  Checked per-event and micro-batched (sequential)
+and across a real 2-shard cluster, under overload so the shedding path
+(the one the tracer instruments hardest) actually executes.
+"""
+
+import pytest
+
+from repro.cluster.sharded import ShardedPipeline
+from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.obs import Observability
+from repro.pipeline import Pipeline
+from repro.queries import build_q1
+from repro.runtime.simulation import SimulationConfig, simulate_pipeline
+
+
+@pytest.fixture(scope="module")
+def soccer():
+    stream = generate_soccer_stream(SoccerStreamConfig(duration_seconds=400, seed=7))
+    train, live = split_stream(stream, train_fraction=0.5)
+    return train, list(live)
+
+
+def build_deployed(train, batch_size=1):
+    return (
+        Pipeline.builder()
+        .query(build_q1(pattern_size=3, window_seconds=10.0))
+        .shedder("espice", f=0.8)
+        .batch(batch_size)
+        .build()
+        .train(train)
+        .deploy(expected_throughput=100.0, expected_input_rate=200.0)
+    )
+
+
+def overloaded_keys(pipeline, live):
+    results = simulate_pipeline(
+        pipeline, live, SimulationConfig(input_rate=200.0, throughput=100.0)
+    )
+    result = next(iter(results.values()))
+    return [c.key for c in result.complex_events]
+
+
+class TestSequential:
+    @pytest.mark.parametrize("batch_size", [1, 64])
+    def test_detections_identical_with_obs_enabled(self, soccer, batch_size):
+        train, live = soccer
+        baseline = overloaded_keys(build_deployed(train, batch_size), live)
+
+        pipeline = build_deployed(train, batch_size)
+        obs = pipeline.enable_observability()
+        observed = overloaded_keys(pipeline, live)
+
+        assert observed == baseline
+        # and the run was actually instrumented, not silently bypassed
+        snapshot = obs.registry.snapshot()
+        assert snapshot["repro_events_total"]["samples"][0]["value"] == len(live)
+        assert len(obs.tracer) > 0
+
+    def test_every_dropped_window_carries_explanations(self, soccer):
+        train, live = soccer
+        pipeline = build_deployed(train, batch_size=64)
+        obs = pipeline.enable_observability(trace_capacity=4096)
+        overloaded_keys(pipeline, live)
+
+        shed_windows = [
+            trace
+            for trace in (t for t in obs.tracer.recent(4096))
+            if trace["dropped"] > 0
+        ]
+        assert shed_windows  # overload actually shed
+        for trace in shed_windows:
+            explanations = trace["shed_explanations"]
+            assert explanations  # the acceptance criterion
+            for explanation in explanations:
+                assert explanation["strategy"] == "ESpiceShedder"
+                assert explanation["utility"] is not None
+                assert explanation["threshold"] is not None
+                assert explanation["utility"] <= explanation["threshold"]
+                assert explanation["partition_count"] is not None
+
+    def test_disable_restores_plain_dispatch(self, soccer):
+        train, _live = soccer
+        pipeline = build_deployed(train)
+        chain = pipeline.chains[0]
+        plain = chain._ingress_dispatch
+        pipeline.enable_observability()
+        assert chain._ingress_dispatch != plain
+        pipeline.disable_observability()
+        assert chain._ingress_dispatch == plain
+        assert pipeline.observability is None
+
+
+class TestSharded:
+    def test_two_shard_detections_identical_with_obs(self, soccer):
+        train, live = soccer
+
+        def run(obs_on):
+            sharded = ShardedPipeline(
+                build_deployed(train), shards=2, batch_size=32
+            )
+            if obs_on:
+                sharded.enable_observability()
+            with sharded:
+                result = sharded.run(live)
+                metrics = sharded.metrics() if obs_on else None
+                snapshot = (
+                    sharded.observability.registry.snapshot() if obs_on else None
+                )
+            return [c.key for c in result.complex_events], metrics, snapshot
+
+        baseline, _m, _s = run(False)
+        observed, metrics, snapshot = run(True)
+        assert observed == baseline
+
+        # cluster collector folded the shard sync metrics in
+        ingested = snapshot["repro_cluster_events_ingested_total"]["samples"]
+        assert ingested[0]["value"] == len(live)
+        name = "q1_man_marking_n3"
+        workers = metrics[name]["workers"]
+        assert workers["windows"] > 0
+        window_hist = snapshot["repro_cluster_window_seconds"]["samples"][0]
+        assert window_hist["count"] == workers["windows"]
+
+    def test_enable_after_start_rejected(self, soccer):
+        train, _live = soccer
+        sharded = ShardedPipeline(build_deployed(train), shards=1)
+        with sharded:
+            with pytest.raises(RuntimeError, match="before start"):
+                sharded.enable_observability()
+
+
+class TestBuilderKnob:
+    def test_builder_enables_observability(self, soccer):
+        train, _live = soccer
+        pipeline = (
+            Pipeline.builder()
+            .query(build_q1(pattern_size=3, window_seconds=10.0))
+            .observability(trace_capacity=32)
+            .build()
+        )
+        assert pipeline.observability is not None
+        assert pipeline.observability.tracer.capacity == 32
+
+    def test_builder_shares_a_prebuilt_bundle(self):
+        obs = Observability()
+        pipeline = (
+            Pipeline.builder()
+            .query(build_q1(pattern_size=2, window_seconds=10.0))
+            .observability(obs)
+            .build()
+        )
+        assert pipeline.observability is obs
+
+    def test_builder_knob_can_be_cancelled(self):
+        pipeline = (
+            Pipeline.builder()
+            .query(build_q1(pattern_size=2, window_seconds=10.0))
+            .observability()
+            .observability(False)
+            .build()
+        )
+        assert pipeline.observability is None

@@ -1,0 +1,115 @@
+"""Prometheus text exposition: golden file, checker, negotiation."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    Registry,
+    parse_exposition,
+    render_prometheus,
+    wants_prometheus,
+)
+
+GOLDEN = Path(__file__).with_name("golden_exposition.txt")
+
+
+def golden_registry() -> Registry:
+    """A small fixed registry covering every rendered shape."""
+    registry = Registry()
+    events = registry.counter(
+        "repro_events_total", "Events offered to each query chain", labels=("query",)
+    )
+    events.labels(query="q1").inc(1234)
+    events.labels(query="q2").inc(7)
+    depth = registry.gauge("repro_queue_depth", "Input queue depth", labels=("query",))
+    depth.labels(query="q1").set(42)
+    seconds = registry.histogram(
+        "repro_stage_seconds",
+        "Per-event stage time",
+        labels=("query", "stage"),
+        buckets=(0.001, 0.01, 0.1),
+    )
+    child = seconds.labels(query="q1", stage="shed")
+    for value in (0.0005, 0.0005, 0.05, 2.0):
+        child.observe(value)
+    unlabelled = registry.gauge("repro_up", "Serving flag")
+    unlabelled.labels().set(1)
+    return registry
+
+
+class TestGoldenFile:
+    def test_render_matches_golden_file(self):
+        rendered = render_prometheus(golden_registry())
+        assert rendered == GOLDEN.read_text()
+
+    def test_golden_file_passes_the_checker(self):
+        samples = parse_exposition(GOLDEN.read_text())
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        assert ({"query": "q1"}, 1234.0) in by_name["repro_events_total"]
+        assert by_name["repro_up"] == [({}, 1.0)]
+        # cumulative buckets: each le includes everything below it
+        buckets = {
+            labels["le"]: value
+            for labels, value in by_name["repro_stage_seconds_bucket"]
+        }
+        assert buckets["0.001"] == 2.0
+        assert buckets["0.01"] == 2.0
+        assert buckets["0.1"] == 3.0
+        assert buckets["+Inf"] == 4.0
+        assert by_name["repro_stage_seconds_count"][0][1] == 4.0
+
+
+class TestChecker:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no preceding # TYPE"):
+            parse_exposition('orphan_total{query="q"} 1\n')
+
+    def test_malformed_type_rejected(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_exposition("# TYPE repro_x banana\nrepro_x 1\n")
+
+    def test_malformed_label_rejected(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_exposition("# TYPE repro_x gauge\nrepro_x{query=unquoted} 1\n")
+
+    def test_unterminated_label_value_rejected(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_exposition('# TYPE repro_x gauge\nrepro_x{query="open} 1\n')
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_exposition("# TYPE repro_x gauge\nrepro_x notanumber\n")
+
+    def test_infinities_parse(self):
+        samples = parse_exposition(
+            "# TYPE repro_x gauge\nrepro_x +Inf\nrepro_x -Inf\n"
+        )
+        assert [value for _n, _l, value in samples] == [math.inf, -math.inf]
+
+    def test_commas_inside_quoted_values_survive(self):
+        samples = parse_exposition(
+            '# TYPE repro_x gauge\nrepro_x{a="x,y",b="z"} 3\n'
+        )
+        assert samples == [("repro_x", {"a": "x,y", "b": "z"}, 3.0)]
+
+
+class TestNegotiation:
+    @pytest.mark.parametrize(
+        "accept,expected",
+        [
+            ("", False),
+            ("application/json", False),
+            ("text/plain", True),
+            ("text/plain; version=0.0.4", True),
+            ("application/openmetrics-text; version=1.0.0", True),
+            ("text/*", True),
+            # a scraper that accepts both still gets JSON: explicit JSON wins
+            ("application/json, text/plain", False),
+        ],
+    )
+    def test_wants_prometheus(self, accept, expected):
+        assert wants_prometheus(accept) is expected

@@ -1,0 +1,129 @@
+"""Registry semantics: families, labels, histograms, collectors."""
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Histogram,
+    Registry,
+)
+
+
+class TestFamilies:
+    def test_counter_inc_and_set_total(self):
+        registry = Registry()
+        family = registry.counter("repro_test_total", "help", labels=("query",))
+        family.labels(query="q1").inc()
+        family.labels(query="q1").inc(4)
+        family.labels(query="q2").set_total(9)
+        snap = registry.snapshot()["repro_test_total"]
+        values = {s["labels"]["query"]: s["value"] for s in snap["samples"]}
+        assert values == {"q1": 5, "q2": 9}
+        assert snap["type"] == "counter"
+
+    def test_gauge_moves_both_ways(self):
+        registry = Registry()
+        gauge = registry.gauge("repro_depth").labels()
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 9
+
+    def test_same_name_is_idempotent(self):
+        registry = Registry()
+        first = registry.counter("repro_x_total", labels=("query",))
+        again = registry.counter("repro_x_total", labels=("query",))
+        assert first is again
+
+    def test_kind_mismatch_rejected(self):
+        registry = Registry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x_total")
+
+    def test_label_schema_mismatch_rejected(self):
+        registry = Registry()
+        registry.counter("repro_x_total", labels=("query",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_x_total", labels=("stage",))
+
+    def test_wrong_labels_at_use_rejected(self):
+        registry = Registry()
+        family = registry.counter("repro_x_total", labels=("query",))
+        with pytest.raises(ValueError):
+            family.labels(stage="shed")
+
+    def test_children_keyed_by_value_tuple(self):
+        registry = Registry()
+        family = registry.counter("repro_x_total", labels=("query", "stage"))
+        a = family.labels(query="q1", stage="shed")
+        b = family.labels(stage="shed", query="q1")  # order-insensitive
+        assert a is b
+
+
+class TestHistogram:
+    def test_observe_buckets_and_summary(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1, 1]  # le-1, le-2, le-4, +Inf
+        summary = hist.summary()
+        assert summary["count"] == 5
+        assert summary["sum"] == pytest.approx(106.5)
+        assert 0.0 < summary["p50"] <= 2.0
+        # overflow clamps to the max finite bound, never invents values
+        assert summary["p99"] == pytest.approx(4.0)
+
+    def test_merge_requires_matching_layout(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 2.0))
+        b.observe(0.5)
+        b.observe(10.0)
+        a.merge(b.counts, b.sum, b.count)
+        assert a.counts == b.counts
+        assert a.count == 2
+        with pytest.raises(ValueError):
+            a.merge([1, 2], 1.0, 3)  # wrong bucket count
+
+    def test_state_round_trips_over_ipc_shape(self):
+        hist = Histogram(bounds=SIZE_BUCKETS)
+        hist.observe(17)
+        state = hist.state()
+        other = Histogram(bounds=SIZE_BUCKETS)
+        other.merge(state["counts"], state["sum"], state["count"])
+        assert other.state() == state
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_default_buckets_are_sane(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+
+
+class TestCollectors:
+    def test_collectors_run_at_scrape_time(self):
+        registry = Registry()
+        counter = registry.counter("repro_pull_total").labels()
+        source = {"value": 0}
+        handle = registry.register_collector(
+            lambda: counter.set_total(source["value"])
+        )
+        source["value"] = 42
+        assert registry.snapshot()["repro_pull_total"]["samples"][0]["value"] == 42
+        source["value"] = 43
+        registry.unregister_collector(handle)
+        assert registry.snapshot()["repro_pull_total"]["samples"][0]["value"] == 42
+
+    def test_unregister_absent_is_noop(self):
+        Registry().unregister_collector(lambda: None)
+
+    def test_snapshot_families_sorted_by_name(self):
+        registry = Registry()
+        registry.counter("repro_b_total")
+        registry.counter("repro_a_total")
+        assert list(registry.snapshot()) == ["repro_a_total", "repro_b_total"]

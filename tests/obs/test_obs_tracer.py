@@ -1,0 +1,117 @@
+"""Tracer semantics: ring-buffer eviction, explanation caps, spans."""
+
+import pytest
+
+from repro.obs import ShedExplanation, Tracer
+
+
+class FakeWindow:
+    def __init__(self, window_id, open_time=0.0, size=4, truncated=False):
+        self.window_id = window_id
+        self.open_time = open_time
+        self.size = size
+        self.truncated = truncated
+
+
+def explanation(**overrides):
+    base = dict(
+        time=1.0,
+        event_type="A",
+        position=0,
+        predicted_window_size=8.0,
+        strategy="ESpiceShedder",
+        utility=0.2,
+        threshold=0.4,
+        partition=3,
+        overloaded=True,
+        partition_count=16,
+        drop_amount=2.0,
+        qsize=55,
+    )
+    base.update(overrides)
+    return ShedExplanation(**base)
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_least_recently_touched(self):
+        tracer = Tracer(capacity=2)
+        tracer.trace("q", 1)
+        tracer.trace("q", 2)
+        tracer.trace("q", 1)  # touch 1, making 2 the eviction victim
+        tracer.trace("q", 3)
+        assert tracer.evicted == 1
+        assert len(tracer) == 2
+        assert tracer.get(1, query="q")
+        assert not tracer.get(2, query="q")
+        assert tracer.get(3, query="q")
+
+    def test_eviction_counter_is_cumulative(self):
+        tracer = Tracer(capacity=1)
+        for window_id in range(5):
+            tracer.trace("q", window_id)
+        assert tracer.evicted == 4
+        tracer.clear()
+        assert tracer.evicted == 4  # survives clear()
+        assert len(tracer) == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(max_explanations=-1)
+
+
+class TestExplanations:
+    def test_cap_limits_list_but_not_drop_count(self):
+        tracer = Tracer(max_explanations=2)
+        for position in range(5):
+            tracer.on_shed("q", 7, explanation(position=position))
+        trace = tracer.get(7, query="q")[0]
+        assert trace.dropped == 5
+        assert len(trace.explanations) == 2
+        assert [e.position for e in trace.explanations] == [0, 1]
+
+    def test_explanation_round_trips_to_dict(self):
+        exp = explanation()
+        as_dict = exp.to_dict()
+        assert as_dict["utility"] == 0.2
+        assert as_dict["threshold"] == 0.4
+        assert as_dict["partition_count"] == 16
+        assert as_dict["overloaded"] is True
+
+
+class TestLifecycle:
+    def test_spans_cover_the_full_lifecycle(self):
+        tracer = Tracer()
+        tracer.on_shed("q", 9, explanation())
+        tracer.on_window_closed("q", FakeWindow(9, open_time=5.0, size=6), 8.0, 2)
+        tracer.on_emitted("q", 9, 8.0, 2)
+        trace = tracer.get(9, query="q")[0]
+        assert trace.kept == 5
+        names = [span["span"] for span in trace.spans()]
+        assert names == ["created", "assigned", "shed", "matched", "emitted"]
+        as_dict = trace.to_dict()
+        assert as_dict["created_at"] == 5.0
+        assert as_dict["shed_explanations"][0]["strategy"] == "ESpiceShedder"
+
+    def test_clean_window_reports_kept_span(self):
+        tracer = Tracer()
+        tracer.on_window_closed("q", FakeWindow(3, size=4), 2.0, 0)
+        names = [span["span"] for span in tracer.get(3, query="q")[0].spans()]
+        assert "shed" not in names
+        assert "kept" in names
+
+    def test_recent_orders_newest_first(self):
+        tracer = Tracer()
+        for window_id in (1, 2, 3):
+            tracer.on_window_closed("q", FakeWindow(window_id), 1.0, 0)
+        tracer.on_emitted("q", 1, 2.0, 0)  # touch 1 again
+        recent = tracer.recent(2)
+        assert [t["window_id"] for t in recent] == [1, 3]
+
+    def test_get_without_query_spans_queries(self):
+        tracer = Tracer()
+        tracer.on_window_closed("a", FakeWindow(5), 1.0, 0)
+        tracer.on_window_closed("b", FakeWindow(5), 1.0, 0)
+        assert len(tracer.get(5)) == 2
+        assert len(tracer.get(5, query="a")) == 1

@@ -1,0 +1,285 @@
+"""The observability surface of the server: /metrics and /trace.
+
+Covers the three serve-side obs contracts: the JSON ``/metrics`` view
+is byte-identical to the in-process ``Pipeline.metrics()`` after an
+identical replay (one snapshot code path, no drift); content
+negotiation serves valid Prometheus text; and the ``/trace`` endpoints
+expose the tracer's ring buffer over HTTP.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.obs import CONTENT_TYPE, Observability, parse_exposition
+from repro.pipeline import Pipeline
+from repro.queries import build_q1
+from repro.runtime import serve_replay
+from repro.serve import (
+    MaxInFlight,
+    PipelineServer,
+    RequestLogMiddleware,
+    ServeConfig,
+    events_to_wire,
+)
+
+
+@pytest.fixture(scope="module")
+def live():
+    stream = generate_soccer_stream(SoccerStreamConfig(duration_seconds=300))
+    _train, live = split_stream(stream, train_fraction=0.5)
+    return live
+
+
+def build_pipeline(batch_size=16):
+    return (
+        Pipeline.builder()
+        .query(build_q1(pattern_size=2, window_seconds=15.0))
+        .batch(batch_size)
+        .build()
+    )
+
+
+def run_server(coro_factory, middleware=(), observability=None):
+    async def impl():
+        server = PipelineServer(
+            build_pipeline(),
+            config=ServeConfig(host="127.0.0.1", port=0),
+            middleware=middleware,
+            observability=observability,
+        )
+        await server.start()
+        try:
+            return await coro_factory(server)
+        finally:
+            if server.state != "stopped":
+                await server.stop()
+
+    return asyncio.run(impl())
+
+
+async def http_exchange(port, raw: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    writer.write_eof()
+    data = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+    return data
+
+
+def http_parts(response: bytes, parse_json=True):
+    head, _, body = response.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if parse_json:
+        return status, headers, json.loads(body) if body else None
+    return status, headers, body.decode()
+
+
+async def settle(server):
+    """Wait for the ingest queue, then flush the live micro-batcher."""
+    await server._queue.join()
+    server.pipeline.flush_pending()
+
+
+def get(path, accept=None):
+    headers = f"Accept: {accept}\r\n" if accept else ""
+    return (
+        f"GET {path} HTTP/1.1\r\nHost: t\r\n{headers}"
+        "Connection: close\r\n\r\n"
+    ).encode()
+
+
+def post_ingest(events):
+    body = json.dumps({"events": events_to_wire(events)})
+    return (
+        "POST /ingest HTTP/1.1\r\nHost: t\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n{body}"
+    ).encode()
+
+
+class TestMetricsDedupe:
+    def test_served_metrics_equal_in_process_after_identical_replay(self, live):
+        reference = build_pipeline()
+        # the server subscribes one sink (detection delivery); mirror it
+        # so the emit stage reports the same shape
+        reference.chains[0].emit.sinks.append(lambda event: None)
+        reference.run(live)
+
+        result = serve_replay(build_pipeline(), live, batch_events=64, connections=1)
+        served = result.metrics["pipeline"]
+
+        # same events, same stages, one snapshot helper: byte-identical
+        assert served == json.loads(json.dumps(reference.metrics()))
+
+
+class TestPrometheusExposition:
+    def test_accept_header_negotiates_text_format(self, live):
+        async def scenario(server):
+            raw = await http_exchange(
+                server.port, post_ingest(live[:200])
+            )
+            assert http_parts(raw)[0] == 200
+            await settle(server)  # flush the micro-batcher before scraping
+            return await http_exchange(
+                server.port, get("/metrics", accept="text/plain")
+            )
+
+        response = run_server(scenario, observability=Observability())
+        status, headers, body = http_parts(response, parse_json=False)
+        assert status == 200
+        assert headers["content-type"] == CONTENT_TYPE
+        samples = parse_exposition(body)  # raises on malformed output
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        assert by_name["repro_events_total"][0][1] == 200
+        assert "repro_server_connections_total" in by_name
+        assert "repro_server_http_requests_total" in by_name
+
+    def test_query_param_override_without_accept(self, live):
+        async def scenario(server):
+            return await http_exchange(
+                server.port, get("/metrics?format=prometheus")
+            )
+
+        response = run_server(scenario, observability=Observability())
+        status, headers, body = http_parts(response, parse_json=False)
+        assert status == 200
+        assert headers["content-type"] == CONTENT_TYPE
+        parse_exposition(body)
+
+    def test_json_stays_the_default(self):
+        async def scenario(server):
+            return await http_exchange(server.port, get("/metrics"))
+
+        response = run_server(scenario, observability=Observability())
+        status, headers, payload = http_parts(response)
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        assert payload["metrics"]["observability"]["enabled"] is True
+
+    def test_without_obs_accept_header_is_ignored(self):
+        async def scenario(server):
+            return await http_exchange(
+                server.port, get("/metrics", accept="text/plain")
+            )
+
+        response = run_server(scenario)
+        status, headers, payload = http_parts(response)
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        assert payload["metrics"]["observability"] == {"enabled": False}
+
+
+class TestTraceEndpoints:
+    def test_recent_and_window_lookup(self, live):
+        async def scenario(server):
+            # man-marking windows are sparse: feed the whole slice so a
+            # meaningful number of them actually close
+            raw = await http_exchange(server.port, post_ingest(live))
+            assert http_parts(raw)[0] == 200
+            await settle(server)
+            recent_raw = await http_exchange(
+                server.port, get("/trace/recent?n=5")
+            )
+            status, _headers, recent = http_parts(recent_raw)
+            assert status == 200
+            assert recent["traces"]
+            assert len(recent["traces"]) <= 5
+            window_id = recent["traces"][0]["window_id"]
+            one_raw = await http_exchange(
+                server.port, get(f"/trace?window={window_id}")
+            )
+            status, _headers, one = http_parts(one_raw)
+            assert status == 200
+            assert one["traces"][0]["window_id"] == window_id
+            spans = [s["span"] for s in one["traces"][0]["spans"]]
+            assert "created" in spans and "assigned" in spans
+            missing_raw = await http_exchange(
+                server.port, get("/trace?window=999999999")
+            )
+            assert http_parts(missing_raw)[0] == 404
+            bad_raw = await http_exchange(
+                server.port, get("/trace?window=banana")
+            )
+            assert http_parts(bad_raw)[0] == 400
+
+        run_server(scenario, observability=Observability())
+
+    def test_trace_404s_without_observability(self):
+        async def scenario(server):
+            return await http_exchange(server.port, get("/trace/recent"))
+
+        response = run_server(scenario)
+        status, _headers, payload = http_parts(response)
+        assert status == 404
+        assert payload["error"] == "tracing_disabled"
+
+
+class TestMiddlewareCounters:
+    def test_request_log_publishes_through_the_registry(self, live):
+        obs = Observability()
+
+        async def scenario(server):
+            await http_exchange(server.port, post_ingest(live[:50]))
+            await http_exchange(server.port, get("/healthz"))
+            return await http_exchange(
+                server.port, get("/metrics", accept="text/plain")
+            )
+
+        response = run_server(
+            scenario,
+            middleware=[RequestLogMiddleware(registry=obs.registry)],
+            observability=obs,
+        )
+        _status, _headers, body = http_parts(response, parse_json=False)
+        by_name = {}
+        for name, labels, value in parse_exposition(body):
+            by_name.setdefault(name, []).append((labels, value))
+        requests = {
+            (labels["op"], labels["transport"]): value
+            for labels, value in by_name["repro_server_requests_total"]
+        }
+        assert requests[("ingest", "http")] == 1
+        assert requests[("healthz", "http")] == 1
+        latency_counts = [
+            value
+            for labels, value in by_name["repro_server_request_seconds_count"]
+            if labels["op"] == "ingest"
+        ]
+        assert latency_counts == [1]
+
+    def test_max_in_flight_rejections_visible_as_rejected_total(self, live):
+        obs = Observability()
+        gate = MaxInFlight(1)
+
+        async def scenario(server):
+            gate.in_flight = gate.limit  # occupy the only slot
+            raw = await http_exchange(server.port, post_ingest(live[:10]))
+            assert http_parts(raw)[0] == 503
+            gate.in_flight = 0
+            return await http_exchange(
+                server.port, get("/metrics", accept="text/plain")
+            )
+
+        response = run_server(scenario, middleware=[gate], observability=obs)
+        _status, _headers, body = http_parts(response, parse_json=False)
+        rejected = {
+            labels["middleware"]: value
+            for name, labels, value in parse_exposition(body)
+            if name == "repro_server_rejected_total"
+        }
+        assert rejected["max_in_flight"] == 1
