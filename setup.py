@@ -21,11 +21,13 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=[],
     entry_points={
         "console_scripts": [
             "repro-serve=repro.serve.cli:main",
+            "repro-lint=repro.analysis.cli:main",
         ],
     },
     extras_require={

@@ -54,6 +54,8 @@ class EventTypeRegistry:
     between type names and the row indices of that matrix.
     """
 
+    __slots__ = ("_by_name", "_by_id")
+
     def __init__(self) -> None:
         self._by_name: Dict[str, EventType] = {}
         self._by_id: List[EventType] = []
@@ -89,7 +91,7 @@ class EventTypeRegistry:
         return iter(self._by_id)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A primitive event.
 
@@ -123,7 +125,7 @@ class Event:
         return f"{self.event_type}@{self.seq}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComplexEvent:
     """A detected situation: an ordered tuple of contributing events.
 
@@ -163,6 +165,8 @@ class EventStream:
     runs can replay exactly the same input.  Events must be appended in
     global order (non-decreasing sequence number).
     """
+
+    __slots__ = ("_events", "_types")
 
     def __init__(self, events: Optional[Iterable[Event]] = None) -> None:
         self._events: List[Event] = []
@@ -231,6 +235,8 @@ class StreamBuilder:
         sb.emit("B")
         stream = sb.stream
     """
+
+    __slots__ = ("_interval", "_time", "_seq", "stream")
 
     def __init__(self, rate: float = 1.0, start_time: float = 0.0) -> None:
         if rate <= 0.0:

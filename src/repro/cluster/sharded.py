@@ -57,6 +57,13 @@ from repro.pipeline.batching import iter_batches
 from repro.pipeline.pipeline import Pipeline
 from repro.shedding.base import DropCommand
 
+#: Capacity (in batches) of the shared worker->coordinator result
+#: queue.  Generous -- the merge loop drains it inside every feed and
+#: sync wait -- but finite, so a stalled coordinator exerts
+#: backpressure on the shards instead of buffering their results in
+#: unbounded parent-process memory.
+RESULT_QUEUE_BATCHES = 4096
+
 
 @dataclass
 class ShardedResult:
@@ -250,13 +257,22 @@ class ShardedPipeline:
         self._detector_shedding = {
             chain.query.name: False for chain in chains
         }
-        self._out_queue = self._ctx.Queue()
+        # result path: workers block (finite flow control) once the
+        # merge loop falls this many *batches* behind -- the parent
+        # drains the out-queue inside every feed/sync wait, so the
+        # bound is backpressure on runaway shards, not a deadlock risk
+        self._out_queue = self._ctx.Queue(maxsize=RESULT_QUEUE_BATCHES)
         self._workers = []
         self._senders = []
         self._in_queues = []
         self._in_flight = {}
         for shard_id in range(self.shards):
-            in_queue = self._ctx.Queue()
+            # the per-shard feed stays unbounded by design: the router
+            # must never block on a slow or *dead* shard (worker death
+            # is property-tested), so bounded-ness is enforced upstream
+            # by BatchingSender flow control plus the coordinator's
+            # queue-depth checks, not by a blocking put
+            in_queue = self._ctx.Queue()  # repro-lint: disable=R004 router must not block on a dead shard; see comment
             self._in_queues.append(in_queue)
             # per-shard chain state is built pre-fork so each worker
             # owns a private matcher but inherits the shared shedder

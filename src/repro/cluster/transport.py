@@ -24,6 +24,18 @@ from typing import Callable, Iterator, List
 class BatchingSender:
     """Size-or-linger batching wrapper around a ``put()``-style queue."""
 
+    __slots__ = (
+        "queue",
+        "batch_size",
+        "linger",
+        "_clock",
+        "_buffer",
+        "_oldest",
+        "messages_sent",
+        "batches_sent",
+        "max_batch",
+    )
+
     def __init__(
         self,
         queue,

@@ -17,7 +17,7 @@ line::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.cep.patterns.matcher import Match
 from repro.cep.windows import Window
@@ -61,7 +61,7 @@ class AdaptiveController:
         shedder: Optional[ESpiceShedder] = None,
         check_every: int = 25,
         min_training_windows: int = 40,
-        **detector_kwargs,
+        **detector_kwargs: Any,
     ) -> None:
         if check_every <= 0:
             raise ValueError("check_every must be positive")

@@ -22,7 +22,7 @@ driver's compatibility path).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cep.patterns.query import Query
 from repro.core.model import UtilityModel
@@ -31,6 +31,9 @@ from repro.pipeline.pipeline import Pipeline, PipelineConfig, QueryChain
 from repro.pipeline.stages import EventSink, Stage
 from repro.shedding.base import LoadShedder
 from repro.shedding.registry import available_shedders
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
+    from repro.cluster import ShardedPipeline
 
 #: A stage instance (single-query pipelines) or a zero-argument factory
 #: producing one fresh stage per chain (required for fan-out pipelines,
@@ -289,7 +292,7 @@ class PipelineBuilder:
                 built.append(stage())
         return built
 
-    def build(self):
+    def build(self) -> Union[Pipeline, "ShardedPipeline"]:
         """Validate and assemble the pipeline.
 
         Returns a :class:`Pipeline`, or a

@@ -34,7 +34,7 @@ same chains under a configured arrival rate and operator throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.cep.events import ComplexEvent, Event, EventStream
 from repro.cep.operator.operator import CEPOperator, ProcessResult
@@ -61,10 +61,11 @@ from repro.shedding.base import LoadShedder
 from repro.shedding.registry import create_shedder, shedder_requirements
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (builder imports us)
+    from repro.obs.instrument import Observability
     from repro.runtime.simulation import SimulationResult
 
 
-def _materialise(stream: Iterable[Event]):
+def _materialise(stream: Iterable[Event]) -> Iterable[Event]:
     """A re-iterable view of ``stream``.
 
     Training passes iterate the stream more than once (model fitting,
@@ -375,7 +376,7 @@ class QueryChain:
         self.deployed = True
         return self
 
-    def _adaptive_shedder(self):
+    def _adaptive_shedder(self) -> Optional[LoadShedder]:
         # the controller hot-swaps utility models; only the eSPICE
         # shedder carries one
         return self.shedder if hasattr(self.shedder, "rebind_model") else None
@@ -524,7 +525,7 @@ class QueryChain:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
-    def enable_obs(self, obs) -> None:
+    def enable_obs(self, obs: "Observability") -> None:
         """Swap in instrumented dispatch (see :mod:`repro.obs.instrument`)."""
         from repro.obs.instrument import instrument_chain
 
@@ -975,7 +976,9 @@ class Pipeline:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
-    def enable_observability(self, obs=None, **kwargs):
+    def enable_observability(
+        self, obs: Optional["Observability"] = None, **kwargs: Any
+    ) -> "Observability":
         """Turn on unified observability (metrics registry + tracer).
 
         Instruments every chain's dispatch with stage-timing histograms

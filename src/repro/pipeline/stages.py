@@ -86,6 +86,8 @@ class Stage:
     backpressure and drop behaviour are observable per stage.
     """
 
+    __slots__ = ()
+
     #: Stable name used as the metrics key; subclasses override.
     name: str = "stage"
 
@@ -125,6 +127,8 @@ class AdmissionStage(Stage):
     """
 
     name = "admission"
+
+    __slots__ = ("queue", "capacity", "detector", "arrivals", "rejected")
 
     def __init__(
         self, queue: InputQueue, capacity: Optional[int] = None
@@ -177,6 +181,15 @@ class WindowAssignStage(Stage):
     """
 
     name = "window_assign"
+
+    __slots__ = (
+        "assigner",
+        "queue",
+        "assigned_memberships",
+        "windows_closed",
+        "rejected",
+        "max_queue_depth",
+    )
 
     def __init__(self, assigner: WindowAssigner, queue: InputQueue) -> None:
         self.assigner = assigner
@@ -257,6 +270,8 @@ class SheddingStage(Stage):
 
     name = "shedding"
 
+    __slots__ = ("shedder", "detector", "per_event", "operator", "queue")
+
     def __init__(
         self,
         shedder: Optional[LoadShedder] = None,
@@ -322,6 +337,8 @@ class MatchStage(Stage):
 
     name = "match"
 
+    __slots__ = ("operator",)
+
     def __init__(self, operator: CEPOperator) -> None:
         self.operator = operator
 
@@ -363,6 +380,8 @@ class ParallelMatchStage(Stage):
 
     name = "match"
 
+    __slots__ = ("parallel",)
+
     def __init__(self, parallel: WindowParallelOperator) -> None:
         self.parallel = parallel
 
@@ -403,6 +422,8 @@ class EmitStage(Stage):
     """
 
     name = "emit"
+
+    __slots__ = ("sinks", "collected", "retain", "emitted")
 
     def __init__(self, sinks: Optional[List[EventSink]] = None) -> None:
         self.sinks: List[EventSink] = list(sinks or [])
@@ -452,7 +473,9 @@ class EmitStage(Stage):
 class LoggingStage(Stage):
     """Observability middleware: per-type counts plus optional logging."""
 
-    name = "logging"
+    # ``name`` is an instance slot here (configurable per stage); the
+    # base class attribute still provides the "stage" fallback.
+    __slots__ = ("name", "logger", "level", "seen", "by_type")
 
     def __init__(
         self,
@@ -485,6 +508,8 @@ class SamplingStage(Stage):
 
     name = "sampling"
 
+    __slots__ = ("keep_probability", "_rng", "kept", "dropped")
+
     def __init__(self, keep_probability: float, seed: int = 0) -> None:
         if not 0.0 <= keep_probability <= 1.0:
             raise ValueError("keep probability must lie in [0, 1]")
@@ -513,6 +538,8 @@ class RateLimitStage(Stage):
     """
 
     name = "rate_limit"
+
+    __slots__ = ("rate", "burst", "_tokens", "_last_refill", "passed", "limited")
 
     def __init__(self, events_per_second: float, burst: Optional[float] = None) -> None:
         if events_per_second <= 0.0:

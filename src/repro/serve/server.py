@@ -169,7 +169,12 @@ class PipelineServer:
         """Bind the listener and start the consumer (idempotent)."""
         if self._state in ("serving", "draining"):
             return self
-        self._queue = asyncio.Queue()
+        # bounded in *batches* by the same knob that bounds pending
+        # *events*: every queued entry carries >= 1 event and _admit
+        # refuses batches beyond max_pending_events, so this capacity
+        # can never be hit before the event bound -- it exists so the
+        # memory ceiling survives any future bypass of _admit
+        self._queue = asyncio.Queue(maxsize=self.config.max_pending_events)
         self._pending = 0
         self._consumer = asyncio.create_task(self._consume(), name="repro-serve-feed")
         self._server = await asyncio.start_server(

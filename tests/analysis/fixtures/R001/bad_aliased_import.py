@@ -1,0 +1,8 @@
+# repro-lint-fixture: src/repro/pipeline/fixture_clock.py
+"""BAD: the wall clock hides behind a from-import alias."""
+
+from time import perf_counter as tick
+
+
+def measure() -> float:
+    return tick()

@@ -1,0 +1,10 @@
+# repro-lint-fixture: src/repro/cep/fixture_clock.py
+"""BAD: reads the wall clock inside a virtual-time module."""
+
+import time
+from datetime import datetime
+
+
+def stamp_window(window_id: int) -> tuple:
+    started = time.perf_counter()
+    return (window_id, started, datetime.now())

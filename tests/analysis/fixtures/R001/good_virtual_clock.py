@@ -1,0 +1,10 @@
+# repro-lint-fixture: src/repro/cep/fixture_clock.py
+"""GOOD: virtual time flows in as a parameter; no wall clock."""
+
+
+def stamp_window(window_id: int, now: float) -> tuple:
+    return (window_id, now)
+
+
+def advance(now: float, delta: float) -> float:
+    return now + delta

@@ -1,0 +1,10 @@
+# repro-lint-fixture: src/repro/shedding/fixture_rng.py
+"""BAD: draws from the shared module-level RNG in a core path."""
+
+import random
+from random import choice
+
+
+def shed(weights: list) -> bool:
+    pick = choice(weights)
+    return random.random() < pick

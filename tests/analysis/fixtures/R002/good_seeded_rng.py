@@ -1,0 +1,12 @@
+# repro-lint-fixture: src/repro/shedding/fixture_rng.py
+"""GOOD: every draw flows through an instance-held Random(seed)."""
+
+import random
+
+
+class Sampler:
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def shed(self, probability: float) -> bool:
+        return self._rng.random() < probability

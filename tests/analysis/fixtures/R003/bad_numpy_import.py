@@ -1,0 +1,9 @@
+# repro-lint-fixture: src/repro/obs/fixture_kernel.py
+"""BAD: imports numpy outside repro.core.kernel."""
+
+import numpy as np
+from numpy import asarray
+
+
+def summarise(values: list) -> float:
+    return float(np.mean(asarray(values)))

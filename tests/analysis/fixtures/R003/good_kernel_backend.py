@@ -1,0 +1,9 @@
+# repro-lint-fixture: src/repro/obs/fixture_kernel.py
+"""GOOD: array work goes through the kernel's backend API."""
+
+from repro.core import kernel
+
+
+def summarise(values: list) -> float:
+    total = kernel.reduce_sum(values)
+    return total / len(values) if values else 0.0

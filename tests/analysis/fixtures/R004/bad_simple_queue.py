@@ -1,0 +1,8 @@
+# repro-lint-fixture: src/repro/cluster/fixture_queue.py
+"""BAD: SimpleQueue cannot be bounded at all."""
+
+import multiprocessing as mp
+
+
+def build_channel(ctx: "mp.context.BaseContext"):
+    return ctx.SimpleQueue()

@@ -1,0 +1,11 @@
+# repro-lint-fixture: src/repro/serve/fixture_queue.py
+"""BAD: capacity-less queues are invisible infinite buffers."""
+
+import asyncio
+import queue
+
+
+def build_buffers() -> tuple:
+    pending = asyncio.Queue()
+    spill = queue.Queue(maxsize=0)
+    return pending, spill

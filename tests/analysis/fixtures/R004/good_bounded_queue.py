@@ -1,0 +1,13 @@
+# repro-lint-fixture: src/repro/serve/fixture_queue.py
+"""GOOD: every queue capacity is tied to a backpressure knob."""
+
+import asyncio
+import queue
+
+MAX_PENDING = 1024
+
+
+def build_buffers(max_pending: int) -> tuple:
+    pending = asyncio.Queue(maxsize=max_pending)
+    spill = queue.Queue(MAX_PENDING)
+    return pending, spill

@@ -1,0 +1,11 @@
+# repro-lint-fixture: src/repro/serve/fixture_async.py
+"""BAD: blocking calls lexically inside async def stall the loop."""
+
+import time
+
+
+async def handler(payload: bytes) -> bytes:
+    time.sleep(0.05)
+    with open("/tmp/spool", "wb") as fh:
+        fh.write(payload)
+    return payload

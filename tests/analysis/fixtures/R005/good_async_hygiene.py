@@ -1,0 +1,15 @@
+# repro-lint-fixture: src/repro/serve/fixture_async.py
+"""GOOD: async waits use asyncio; blocking work stays sync-side."""
+
+import asyncio
+import time
+
+
+async def handler(payload: bytes) -> bytes:
+    await asyncio.sleep(0.05)
+    return payload
+
+
+def warm_up() -> None:
+    # blocking is fine outside async def -- this runs before the loop
+    time.sleep(0.01)

@@ -1,0 +1,8 @@
+# repro-lint-fixture: src/repro/pipeline/batching.py
+"""BAD: a hot-path class without __slots__ pays a dict per instance."""
+
+
+class BatchCursor:
+    def __init__(self, start: int, stop: int) -> None:
+        self.start = start
+        self.stop = stop

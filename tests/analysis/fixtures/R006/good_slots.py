@@ -1,0 +1,18 @@
+# repro-lint-fixture: src/repro/pipeline/batching.py
+"""GOOD: hot-path classes declare __slots__ (or dataclass slots)."""
+
+from dataclasses import dataclass
+
+
+class BatchCursor:
+    __slots__ = ("start", "stop")
+
+    def __init__(self, start: int, stop: int) -> None:
+        self.start = start
+        self.stop = stop
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSpan:
+    start: int
+    stop: int

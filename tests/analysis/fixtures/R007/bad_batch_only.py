@@ -1,0 +1,9 @@
+# repro-lint-fixture: src/repro/pipeline/fixture_stage.py
+"""BAD: process_batch without on_event has no parity reference."""
+
+from repro.pipeline.stages import Stage
+
+
+class VectorOnlyStage(Stage):
+    def process_batch(self, batch: list) -> list:
+        return [item for item in batch if item is not None]

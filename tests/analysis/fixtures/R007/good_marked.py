@@ -1,0 +1,10 @@
+# repro-lint-fixture: src/repro/pipeline/fixture_stage.py
+"""GOOD: batch-only, but explicitly marked as parity-tested."""
+
+from repro.pipeline.stages import Stage
+
+
+class MarkedBatchStage(Stage):
+    # repro-lint: parity-tested
+    def process_batch(self, batch: list) -> list:
+        return list(batch)

@@ -1,0 +1,12 @@
+# repro-lint-fixture: src/repro/pipeline/fixture_stage.py
+"""GOOD: both paths exist, so parity is checkable."""
+
+from repro.pipeline.stages import Stage
+
+
+class PairedStage(Stage):
+    def on_event(self, event: object) -> object:
+        return event
+
+    def process_batch(self, batch: list) -> list:
+        return [self.on_event(item) for item in batch]

@@ -1,0 +1,10 @@
+# repro-lint-fixture: src/repro/obs/fixture_metrics.py
+"""BAD: the same family registered at two source sites drifts apart."""
+
+
+def register_ingest(registry) -> None:
+    registry.counter("repro_events_total", "events admitted")
+
+
+def register_egress(registry) -> None:
+    registry.counter("repro_events_total", "events emitted")

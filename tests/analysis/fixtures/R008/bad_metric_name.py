@@ -1,0 +1,7 @@
+# repro-lint-fixture: src/repro/obs/fixture_metrics.py
+"""BAD: family name breaks the repro_[a-z0-9_]+ exposition contract."""
+
+
+def register(registry) -> None:
+    registry.counter("ServeRequests-Total", "requests seen")
+    registry.gauge("repro_Bad_Case", "mixed case is not allowed")

@@ -1,0 +1,8 @@
+# repro-lint-fixture: src/repro/obs/fixture_metrics.py
+"""GOOD: one well-formed family per source site."""
+
+
+def register(registry) -> None:
+    registry.counter("repro_fixture_events_total", "events seen")
+    registry.gauge("repro_fixture_depth", "queue depth")
+    registry.histogram("repro_fixture_latency_seconds", "stage latency")

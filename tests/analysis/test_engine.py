@@ -1,0 +1,185 @@
+"""Engine mechanics: suppression, baselines, discovery, result shape."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    discover_root,
+    iter_python_files,
+    lint_source,
+    lint_tree,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import build_rules, rules_by_code
+
+BAD_QUEUE = (
+    "import queue\n"
+    "\n"
+    "def build():\n"
+    "    return queue.Queue(){suffix}\n"
+)
+VPATH = "src/repro/serve/fixture_suppress.py"
+
+
+def _lint(source: str):
+    return lint_source(source, VPATH)
+
+
+# ----------------------------------------------------------------------
+# inline suppression directives
+# ----------------------------------------------------------------------
+def test_finding_without_directive_fires():
+    result = _lint(BAD_QUEUE.format(suffix=""))
+    assert [f.rule for f in result.findings] == ["R004"]
+    assert not result.suppressed
+
+
+def test_same_line_disable_suppresses():
+    result = _lint(
+        BAD_QUEUE.format(suffix="  # repro-lint: disable=R004 drained upstream")
+    )
+    assert not result.findings
+    assert [f.rule for f in result.suppressed] == ["R004"]
+
+
+def test_line_above_disable_suppresses():
+    source = (
+        "import queue\n"
+        "\n"
+        "def build():\n"
+        "    # repro-lint: disable=R004 drained upstream\n"
+        "    return queue.Queue()\n"
+    )
+    result = _lint(source)
+    assert not result.findings
+    assert [f.rule for f in result.suppressed] == ["R004"]
+
+
+def test_disable_only_matches_named_rule():
+    result = _lint(BAD_QUEUE.format(suffix="  # repro-lint: disable=R001 wrong code"))
+    assert [f.rule for f in result.findings] == ["R004"]
+
+
+def test_file_scope_disable_suppresses_everywhere():
+    source = (
+        "# repro-lint: disable-file=R004 fixture exercises raw queues\n"
+        "import queue\n"
+        "\n"
+        "def build():\n"
+        "    return queue.Queue()\n"
+        "\n"
+        "def build_more():\n"
+        "    return queue.Queue()\n"
+    )
+    result = _lint(source)
+    assert not result.findings
+    assert len(result.suppressed) == 2
+
+
+def test_multiple_codes_in_one_directive():
+    source = (
+        "import queue, time\n"
+        "\n"
+        "async def pump():\n"
+        "    time.sleep(1)  # repro-lint: disable=R004, R005 fixture\n"
+        "    return queue.Queue()  # repro-lint: disable=R004 fixture\n"
+    )
+    result = _lint(source)
+    assert not result.findings
+    assert {f.rule for f in result.suppressed} == {"R004", "R005"}
+
+
+def test_syntax_error_becomes_error_not_crash():
+    result = _lint("def broken(:\n")
+    assert result.errors
+    assert not result.ok
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_and_matching(tmp_path):
+    result = _lint(BAD_QUEUE.format(suffix=""))
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, result.findings)
+    baseline = load_baseline(baseline_path)
+    assert baseline == {f.baseline_key for f in result.findings}
+    payload = json.loads(baseline_path.read_text())
+    assert payload["findings"][0]["rule"] == "R004"
+    # keys are (rule, path, symbol) -- no line numbers, so edits
+    # elsewhere in the file cannot churn the baseline
+    assert "line" not in payload["findings"][0]
+
+
+def test_missing_baseline_is_empty():
+    assert load_baseline(Path("/nonexistent/baseline.json")) == set()
+
+
+def test_baselined_findings_do_not_fail(tmp_path):
+    target = tmp_path / "src" / "repro" / "serve"
+    target.mkdir(parents=True)
+    (tmp_path / "setup.py").write_text("# marker\n")
+    bad = target / "buffers.py"
+    bad.write_text(BAD_QUEUE.format(suffix=""))
+    first = lint_tree(tmp_path)
+    assert [f.rule for f in first.findings] == ["R004"]
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.findings)
+    second = lint_tree(tmp_path, baseline=load_baseline(baseline_path))
+    assert not second.findings
+    assert [f.rule for f in second.baselined] == ["R004"]
+    assert second.ok
+
+
+# ----------------------------------------------------------------------
+# discovery and result shape
+# ----------------------------------------------------------------------
+def test_discover_root_finds_this_repo():
+    root = discover_root(Path(__file__).resolve().parent)
+    assert (root / "setup.py").is_file()
+    assert (root / "src" / "repro").is_dir()
+
+
+def test_iter_python_files_skips_pycache(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    (pkg / "__pycache__").mkdir(parents=True)
+    (pkg / "mod.py").write_text("x = 1\n")
+    (pkg / "__pycache__" / "mod.cpython-311.py").write_text("x = 1\n")
+    files = iter_python_files(tmp_path, ("src/repro",))
+    assert [p.name for p in files] == ["mod.py"]
+
+
+def test_result_to_dict_shape():
+    result = _lint(BAD_QUEUE.format(suffix=""))
+    payload = result.to_dict()
+    assert payload["files_scanned"] == 1
+    assert payload["ok"] is False
+    finding = payload["findings"][0]
+    assert {"rule", "path", "line", "col", "message", "symbol"} <= set(finding)
+
+
+def test_every_rule_documents_itself():
+    for rule in build_rules():
+        assert rule.code and rule.name and rule.summary
+        assert len(rule.explanation) > 80, rule.code
+
+
+def test_rules_by_code_returns_fresh_instances():
+    assert rules_by_code()["R008"] is not rules_by_code()["R008"]
+
+
+def test_file_context_records_directive_lines():
+    ctx = FileContext(
+        VPATH,
+        "x = 1  # repro-lint: disable=R001 reason\n"
+        "# repro-lint: disable-file=R002\n",
+    )
+    assert ctx.line_disables[1] == {"R001"}
+    assert ctx.file_disables == {"R002"}
+    fake = Finding(rule="R002", path=VPATH, line=1, col=0, message="m", symbol="s")
+    assert ctx.suppressed(fake)

@@ -1,0 +1,56 @@
+"""R007's marker cross-check: `# repro-lint: parity-tested` must be real.
+
+The marker waives the pair-both-paths requirement only when some file
+under tests/ actually mentions the class; otherwise the waiver has
+rotted (the class was renamed, or the test never existed) and R007
+fires anyway.
+"""
+
+from repro.analysis.engine import lint_source
+
+MARKED_STAGE = (
+    "from repro.pipeline.stages import Stage\n"
+    "\n"
+    "\n"
+    "class FusedKernelStage(Stage):\n"
+    "    # repro-lint: parity-tested\n"
+    "    def process_batch(self, batch):\n"
+    "        return list(batch)\n"
+)
+VPATH = "src/repro/pipeline/fixture_stage.py"
+
+
+def test_marker_backed_by_corpus_is_clean():
+    corpus = "def test_parity():\n    assert FusedKernelStage is not None\n"
+    result = lint_source(MARKED_STAGE, VPATH, test_corpus=corpus)
+    assert not result.findings
+
+
+def test_marker_without_corpus_mention_fires():
+    corpus = "def test_other():\n    pass\n"
+    result = lint_source(MARKED_STAGE, VPATH, test_corpus=corpus)
+    assert [f.rule for f in result.findings] == ["R007"]
+    assert "parity-tested" in result.findings[0].message
+
+
+def test_no_corpus_available_skips_cross_check():
+    # lint_source without a corpus (fixture mode): the marker is
+    # taken at face value rather than failing spuriously
+    result = lint_source(MARKED_STAGE, VPATH)
+    assert not result.findings
+
+
+def test_live_tree_markers_are_backed():
+    """On the real repo every parity-tested marker names a tested class.
+
+    This is the anti-rot guarantee: run the real corpus cross-check
+    (lint_tree wires tests/**/*.py in lazily) and demand silence.
+    """
+    from pathlib import Path
+
+    from repro.analysis.engine import lint_tree
+    from repro.analysis.rules import BatchParityRule
+
+    root = Path(__file__).resolve().parents[2]
+    result = lint_tree(root, rules=[BatchParityRule()])
+    assert not result.findings, [f.render() for f in result.findings]
