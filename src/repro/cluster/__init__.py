@@ -14,7 +14,15 @@ The scale-out subsystem: a :class:`ShardedPipeline` runs a built
   shards, and aggregates per-shard metrics, drift signals and
   backpressure into one :class:`ClusterSnapshot`,
 - merge-and-order of emitted complex events, so a sharded run's output
-  is provably equal to a sequential run's (contents and order).
+  is provably equal to a sequential run's (contents and order),
+- opt-in fault tolerance (``fault_tolerant=True``): heartbeat failure
+  detection, dead-worker respawn from periodic
+  :mod:`checkpoints <repro.cluster.worker>`, coordinator-side replay
+  of unacked windows with exactly-once merge dedup,
+- opt-in elasticity: ``scale_up()``/``scale_down()``/``scale_to()``
+  membership changes (pair with the ``consistent-hash`` router for
+  minimal rebalancing) and an :class:`Autoscaler` policy driving them
+  from live utilization and queue-depth snapshots.
 
 Construct one via ``Pipeline.builder()...distributed(shards=N)`` or
 wrap an existing pipeline with :class:`ShardedPipeline` directly; the
@@ -28,7 +36,9 @@ from repro.cluster.coordinator import (
     DriftSignal,
     ShardStatus,
 )
+from repro.cluster.elastic import Autoscaler
 from repro.cluster.routing import (
+    ConsistentHashRouter,
     HashKeyRouter,
     LeastLoadedRouter,
     RoundRobinRouter,
@@ -37,13 +47,16 @@ from repro.cluster.routing import (
     create_router,
 )
 from repro.cluster.sharded import ShardedPipeline, ShardedResult
-from repro.cluster.transport import BatchingSender
+from repro.cluster.transport import BatchingSender, FailureDetector
 
 __all__ = [
+    "Autoscaler",
     "BatchingSender",
     "ClusterCoordinator",
     "ClusterSnapshot",
+    "ConsistentHashRouter",
     "DriftSignal",
+    "FailureDetector",
     "HashKeyRouter",
     "LeastLoadedRouter",
     "RoundRobinRouter",

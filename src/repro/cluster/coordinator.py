@@ -48,6 +48,21 @@ class ShardStatus:
     shedding_active: Dict[str, bool] = field(default_factory=dict)
     #: raw per-chain metrics dicts of the last sync (worker-side truth)
     chains: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: fault tolerance: times this shard's worker was respawned
+    restarts: int = 0
+    #: checkpoint counters from the worker's last sync (0 when
+    #: checkpointing is off): files written, cumulative bytes, the
+    #: virtual-clock stamp of the last file vs the latest window seen
+    checkpoints: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_stamp: float = 0.0
+    stamp: float = 0.0
+    restored: bool = False
+
+    @property
+    def checkpoint_age(self) -> float:
+        """Virtual seconds of processed stream not yet checkpointed."""
+        return max(0.0, self.stamp - self.checkpoint_stamp)
 
 
 @dataclass
@@ -82,6 +97,12 @@ class ClusterSnapshot:
     router: Dict[str, object]
     transport: Dict[str, object]
     model_versions: Dict[str, int]
+    #: fault tolerance / elasticity counters (defaulted so older
+    #: constructors keep working)
+    restarts: int = 0
+    rebalances: int = 0
+    duplicates_ignored: int = 0
+    windows_replayed: int = 0
 
     @property
     def total_pending_events(self) -> int:
@@ -119,12 +140,21 @@ class _MergeBuffer:
         self._next_dispatch += 1
         return index
 
-    def offer(self, index: int, events: List[ComplexEvent]) -> None:
-        """Accept one shard result and release any now-contiguous run."""
+    def offer(self, index: int, events: List[ComplexEvent]) -> bool:
+        """Accept one shard result and release any now-contiguous run.
+
+        Returns ``False`` (and changes nothing) when ``index`` was
+        already offered -- the exactly-once guard: a duplicated IPC
+        batch or a replayed-then-also-delivered window merges once, in
+        order, no matter how many copies of its result arrive.
+        """
+        if index < self._next_release or index in self._pending:
+            return False
         self._pending[index] = events
         while self._next_release in self._pending:
             self._released.extend(self._pending.pop(self._next_release))
             self._next_release += 1
+        return True
 
     @property
     def outstanding(self) -> int:
@@ -164,6 +194,14 @@ class ClusterCoordinator:
         self._recent_matches: Dict[str, deque] = {
             name: deque(maxlen=drift_history) for name in chain_names
         }
+        self._drift_history = drift_history
+        # fault tolerance / elasticity counters
+        self.rebalances = 0
+        self.duplicates_ignored = 0
+        self.windows_replayed = 0
+        # chain totals of shards retired by scale-down, so cluster-wide
+        # counters stay monotonic across membership changes
+        self._retired_chains: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # dispatch / result bookkeeping
@@ -179,14 +217,24 @@ class ClusterCoordinator:
     def on_result(
         self, chain: str, shard: int, index: int, cost: int,
         events: List[ComplexEvent],
-    ) -> None:
-        """Fold one shard result into the merge buffer and counters."""
-        status = self.shard_status[shard]
-        status.pending_windows = max(0, status.pending_windows - 1)
-        status.pending_events = max(0, status.pending_events - cost)
+    ) -> bool:
+        """Fold one shard result into the merge buffer and counters.
+
+        Returns ``False`` for a duplicate (already-merged) result --
+        every counter is left untouched, so a duplicated IPC batch or
+        a replayed window's second delivery is invisible in both the
+        detections and the statistics.
+        """
+        if not self._merge[chain].offer(index, events):
+            self.duplicates_ignored += 1
+            return False
+        if shard < len(self.shard_status):
+            status = self.shard_status[shard]
+            status.pending_windows = max(0, status.pending_windows - 1)
+            status.pending_events = max(0, status.pending_events - cost)
         self.complex_event_counts[chain] += len(events)
         self._recent_matches[chain].append(len(events))
-        self._merge[chain].offer(index, events)
+        return True
 
     def take_ordered(self, chain: str) -> List[ComplexEvent]:
         """In-order detections released since the last take."""
@@ -197,6 +245,72 @@ class ClusterCoordinator:
         if chain is not None:
             return self._merge[chain].outstanding
         return sum(buffer.outstanding for buffer in self._merge.values())
+
+    def replay_cursor(self, chain: str) -> int:
+        """First dispatch index not yet merged for ``chain``.
+
+        Everything below the cursor has been released in order and must
+        never be re-emitted; everything at or above it is fair game for
+        replay after a worker death.  Together with the merge buffer's
+        duplicate guard this is the exactly-once contract.
+        """
+        return self._merge[chain]._next_release  # noqa: SLF001 - own class
+
+    # ------------------------------------------------------------------
+    # fault tolerance / elastic membership
+    # ------------------------------------------------------------------
+    def record_restart(self, shard: int, replayed: int) -> None:
+        """A dead worker was respawned with ``replayed`` windows re-sent."""
+        self.shard_status[shard].restarts += 1
+        self.windows_replayed += replayed
+
+    def record_rebalance(self) -> None:
+        """The membership changed and the key ranges were rerouted."""
+        self.rebalances += 1
+
+    def add_shard(self) -> int:
+        """Track one more shard; returns its (dense) id."""
+        shard_id = len(self.shard_status)
+        self.shard_status.append(ShardStatus(shard_id=shard_id))
+        return shard_id
+
+    def remove_shard(self) -> int:
+        """Stop tracking the highest shard id; returns the retired id.
+
+        The retired shard's last-synced per-chain counters move into a
+        retirement accumulator so :meth:`chain_totals` stays monotonic
+        across scale-downs (a shrunk cluster must not appear to have
+        un-processed windows).
+        """
+        if len(self.shard_status) <= 1:
+            raise ValueError("cannot remove the last shard")
+        status = self.shard_status.pop()
+        for name, chain in status.chains.items():
+            bucket = self._retired_chains.setdefault(
+                name,
+                {
+                    "windows": 0,
+                    "memberships_kept": 0,
+                    "memberships_dropped": 0,
+                    "complex_events": 0,
+                    "shed_decisions": 0,
+                    "shed_drops": 0,
+                },
+            )
+            bucket["windows"] += int(chain.get("windows", 0))
+            bucket["memberships_kept"] += int(chain.get("memberships_kept", 0))
+            bucket["memberships_dropped"] += int(
+                chain.get("memberships_dropped", 0)
+            )
+            bucket["complex_events"] += int(chain.get("complex_events", 0))
+            bucket["shed_decisions"] += int(chain.get("shed_decisions", 0))
+            bucket["shed_drops"] += int(chain.get("shed_drops", 0))
+        return status.shard_id
+
+    @property
+    def restarts(self) -> int:
+        """Total worker respawns across all live shards."""
+        return sum(status.restarts for status in self.shard_status)
 
     # ------------------------------------------------------------------
     # shard metrics (sync replies)
@@ -209,6 +323,12 @@ class ClusterCoordinator:
         status.utilization = metrics["utilization"]
         status.batches_received = metrics["batches_received"]
         status.messages_received = metrics["messages_received"]
+        if "checkpoints" in metrics:
+            status.checkpoints = metrics["checkpoints"]
+            status.checkpoint_bytes = metrics["checkpoint_bytes"]
+            status.checkpoint_stamp = metrics["checkpoint_stamp"]
+            status.stamp = metrics["stamp"]
+            status.restored = metrics["restored"]
         windows = kept = dropped = detected = 0
         for name, chain_metrics in metrics["chains"].items():
             windows += chain_metrics["windows"]
@@ -237,7 +357,13 @@ class ClusterCoordinator:
         """
         totals: Dict[str, Dict[str, object]] = {}
         for name in self.chain_names:
-            windows = kept = dropped = detected = decisions = drops = 0
+            retired = self._retired_chains.get(name, {})
+            windows = retired.get("windows", 0)
+            kept = retired.get("memberships_kept", 0)
+            dropped = retired.get("memberships_dropped", 0)
+            detected = retired.get("complex_events", 0)
+            decisions = retired.get("shed_decisions", 0)
+            drops = retired.get("shed_drops", 0)
             active = False
             for status in self.shard_status:
                 chain = status.chains.get(name)
@@ -318,4 +444,8 @@ class ClusterCoordinator:
             router=dict(router_metrics),
             transport=dict(transport_metrics),
             model_versions=dict(self.model_versions),
+            restarts=self.restarts,
+            rebalances=self.rebalances,
+            duplicates_ignored=self.duplicates_ignored,
+            windows_replayed=self.windows_replayed,
         )

@@ -1,0 +1,114 @@
+"""Autoscaling policy: when should the cluster change its shard count?
+
+The coordinator already collects everything a scaling decision needs --
+per-shard busy fractions and outstanding window counts arrive with
+every sync -- so the :class:`Autoscaler` is a pure policy object: feed
+it :class:`~repro.cluster.coordinator.ClusterSnapshot` objects, get
+back a target shard count (or ``None`` for "stay put").  The
+:class:`~repro.cluster.sharded.ShardedPipeline` owns the mechanism
+(spawning and draining workers, rebalancing the ring); this module
+owns only the decision, which keeps the policy unit-testable with
+synthetic snapshots and a fake clock.
+
+The policy is deliberately boring -- mean-utilization thresholds with
+a queue-depth override and a cooldown:
+
+- scale **up** by one when mean utilization exceeds
+  ``high_utilization`` *or* any shard's queue exceeds ``queue_high``
+  (a routing hot spot saturates one shard long before the mean moves),
+- scale **down** by one when mean utilization falls below
+  ``low_utilization`` *and* every queue is empty (never retire a shard
+  that still owes results),
+- never outside ``[min_shards, max_shards]``, never again within
+  ``cooldown_seconds`` of the last decision (membership changes are
+  expensive: fork + ring rebuild + rebalance).
+
+Deterministic by construction: decisions depend only on the snapshot
+and the injected clock, so tests drive it with hand-built snapshots.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.cluster.coordinator import ClusterSnapshot
+
+
+class Autoscaler:
+    """Threshold autoscaling policy over cluster snapshots."""
+
+    __slots__ = (
+        "min_shards",
+        "max_shards",
+        "high_utilization",
+        "low_utilization",
+        "queue_high",
+        "cooldown_seconds",
+        "_clock",
+        "_last_decision",
+        "decisions",
+    )
+
+    def __init__(
+        self,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        high_utilization: float = 0.8,
+        low_utilization: float = 0.3,
+        queue_high: int = 64,
+        cooldown_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if min_shards <= 0:
+            raise ValueError("min_shards must be positive")
+        if max_shards < min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if not 0.0 <= low_utilization < high_utilization <= 1.0:
+            raise ValueError(
+                "need 0 <= low_utilization < high_utilization <= 1"
+            )
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.high_utilization = high_utilization
+        self.low_utilization = low_utilization
+        self.queue_high = queue_high
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._last_decision: Optional[float] = None
+        self.decisions = 0
+
+    def decide(self, snapshot: ClusterSnapshot) -> Optional[int]:
+        """Target shard count for ``snapshot``, or ``None`` to hold.
+
+        A non-``None`` return starts the cooldown; the caller is
+        expected to act on it (the pipeline does so synchronously).
+        """
+        now = self._clock()
+        if (
+            self._last_decision is not None
+            and now - self._last_decision < self.cooldown_seconds
+        ):
+            return None
+        shards = len(snapshot.shards)
+        utilizations = snapshot.utilization()
+        mean_utilization = (
+            sum(utilizations) / len(utilizations) if utilizations else 0.0
+        )
+        depths = snapshot.queue_depths()
+        target: Optional[int] = None
+        if shards < self.max_shards and (
+            mean_utilization > self.high_utilization
+            or any(depth > self.queue_high for depth in depths)
+        ):
+            target = shards + 1
+        elif (
+            shards > self.min_shards
+            and mean_utilization < self.low_utilization
+            and all(depth == 0 for depth in depths)
+        ):
+            target = shards - 1
+        if target is not None:
+            self._last_decision = now
+            self.decisions += 1
+        return target

@@ -16,18 +16,29 @@ Three ready-made policies:
   such as downstream caches stays shard-local,
 - ``least-loaded`` -- windows go to the shard with the least
   outstanding work (event count in flight), absorbing skew from
-  variable window sizes.
+  variable window sizes,
+- ``consistent-hash`` -- windows map to shards through a virtual-node
+  hash ring, so when the membership changes only the key ranges owned
+  by the joining/leaving shard move (≈ K/N of K keys for one of N
+  shards) -- the policy the elastic cluster rebalances under.
 
 Custom policies subclass :class:`Router`.  Routing never affects
 *which* complex events are detected -- only where the matching work
 runs -- because shedding decisions are window-local and coordinated by
 the :class:`~repro.cluster.sharded.ShardedPipeline`'s coordinator.
+
+Elastic membership: :meth:`Router.add_shard` / :meth:`Router.remove_shard`
+grow and shrink the bound shard count *in place*.  Shard ids stay dense
+(``0..shards-1``): a join adds id ``shards``, a leave retires the
+highest id -- the sharded pipeline maps these dense ids onto worker
+processes, so policies never see holes in the id space.
 """
 
 from __future__ import annotations
 
+import bisect
 import zlib
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cep.windows import Window
 
@@ -65,6 +76,26 @@ class Router:
 
     def on_complete(self, shard: int, cost: int) -> None:
         """A previously dispatched window came back from ``shard``."""
+
+    def add_shard(self) -> int:
+        """Grow the membership by one shard; returns the new shard id.
+
+        The new shard always takes the next dense id (``shards`` before
+        the call).  Policies with per-shard state override and extend.
+        """
+        self.shards += 1
+        return self.shards - 1
+
+    def remove_shard(self) -> int:
+        """Shrink the membership by one shard; returns the retired id.
+
+        Always retires the *highest* id so the remaining ids stay dense.
+        The caller drains the retired shard before calling this.
+        """
+        if self.shards <= 1:
+            raise ValueError("cannot remove the last shard")
+        self.shards -= 1
+        return self.shards
 
     def metrics(self) -> Dict[str, object]:
         """Router counters for the cluster snapshot."""
@@ -149,9 +180,114 @@ class LeastLoadedRouter(Router):
     def on_complete(self, shard: int, cost: int) -> None:
         self.loads[shard] = max(0, self.loads[shard] - cost)
 
+    def add_shard(self) -> int:
+        shard = super().add_shard()
+        self.loads.append(0)
+        return shard
+
+    def remove_shard(self) -> int:
+        shard = super().remove_shard()
+        self.loads.pop()
+        return shard
+
     def metrics(self) -> Dict[str, object]:
         report = super().metrics()
         report["loads"] = list(self.loads)
+        return report
+
+
+class ConsistentHashRouter(Router):
+    """Windows map to shards through a virtual-node hash ring.
+
+    Each shard owns ``vnodes`` points on a ``crc32`` ring; a window's
+    key hashes to a ring position and routes to the owner of the first
+    point clockwise.  The property that matters for elasticity: when a
+    shard joins it takes over only the ring arcs its own points land
+    in, and when it leaves only its arcs fall to the survivors --
+    expected movement is K/N of K distinct keys for one of N shards,
+    versus nearly all keys under modulo policies.
+
+    ``key``/``attribute`` mirror :class:`HashKeyRouter`; the default
+    key is the window id.  The ring is rebuilt deterministically from
+    (shard id, vnode index) alone, so every process derives the same
+    ring for the same membership -- no coordination needed.
+    """
+
+    name = "consistent-hash"
+
+    #: Points per shard.  64 keeps ownership within a few percent of
+    #: uniform while the ring rebuild stays trivially cheap.
+    DEFAULT_VNODES = 64
+
+    def __init__(
+        self,
+        key: Optional[Callable[[Window], object]] = None,
+        attribute: Optional[str] = None,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        super().__init__()
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        if key is not None and attribute is not None:
+            raise ValueError("pass either a key function or an attribute name")
+        if attribute is not None:
+            key = lambda window: (  # noqa: E731 - tiny adapter
+                window.events[0].attr(attribute) if window.events else None
+            )
+        self.key = key if key is not None else (lambda window: window.window_id)
+        self.vnodes = vnodes
+        self._ring: List[Tuple[int, int]] = []  # (point, shard) sorted
+        self._points: List[int] = []  # ring points only, for bisect
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _point(shard: int, vnode: int) -> int:
+        return zlib.crc32(f"shard:{shard}:vnode:{vnode}".encode("ascii"))
+
+    def _rebuild(self) -> None:
+        ring = [
+            (self._point(shard, vnode), shard)
+            for shard in range(self.shards)
+            for vnode in range(self.vnodes)
+        ]
+        # tie-break by shard id so the ring order is total and identical
+        # everywhere even on the (vanishingly rare) point collision
+        ring.sort()
+        self._ring = ring
+        self._points = [point for point, _shard in ring]
+
+    def bind(self, shards: int) -> "Router":
+        super().bind(shards)
+        self._rebuild()
+        return self
+
+    def add_shard(self) -> int:
+        shard = super().add_shard()
+        self._rebuild()
+        return shard
+
+    def remove_shard(self) -> int:
+        shard = super().remove_shard()
+        self._rebuild()
+        return shard
+
+    # ------------------------------------------------------------------
+    def shard_for_key(self, key: object) -> int:
+        """Ring lookup for an explicit key (exposed for tests/tools)."""
+        digest = zlib.crc32(str(key).encode("utf-8"))
+        index = bisect.bisect_right(self._points, digest)
+        if index == len(self._ring):
+            index = 0  # wrap: first point clockwise from the top
+        return self._ring[index][1]
+
+    def route(self, window: Window, chain: str) -> int:
+        self.routed += 1
+        return self.shard_for_key(self.key(window))
+
+    def metrics(self) -> Dict[str, object]:
+        report = super().metrics()
+        report["vnodes"] = self.vnodes
+        report["ring_size"] = len(self._ring)
         return report
 
 
@@ -159,6 +295,7 @@ _ROUTERS = {
     RoundRobinRouter.name: RoundRobinRouter,
     HashKeyRouter.name: HashKeyRouter,
     LeastLoadedRouter.name: LeastLoadedRouter,
+    ConsistentHashRouter.name: ConsistentHashRouter,
 }
 
 

@@ -43,25 +43,41 @@ Typical use::
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.cep.events import ComplexEvent, Event
 from repro.cluster.coordinator import ClusterCoordinator, ClusterSnapshot
+from repro.cluster.elastic import Autoscaler
 from repro.cluster.routing import Router, create_router
-from repro.cluster.transport import BatchingSender, drain, drain_for
+from repro.cluster.transport import (
+    BatchingSender,
+    FailureDetector,
+    drain,
+    drain_for,
+)
 from repro.cluster.worker import ShardChain, shard_main
-from repro.core.persistence import model_to_dict
+from repro.core.persistence import (
+    STATE_FORMAT_VERSION,
+    model_to_dict,
+    window_to_dict,
+    write_json_atomic,
+)
 from repro.pipeline.batching import iter_batches
 from repro.pipeline.pipeline import Pipeline
 from repro.shedding.base import DropCommand
 
-#: Capacity (in batches) of the shared worker->coordinator result
-#: queue.  Generous -- the merge loop drains it inside every feed and
-#: sync wait -- but finite, so a stalled coordinator exerts
+#: Capacity (in batches) of each worker's worker->coordinator result
+#: queue.  Generous -- the merge loop drains every queue inside every
+#: feed and sync wait -- but finite, so a stalled coordinator exerts
 #: backpressure on the shards instead of buffering their results in
-#: unbounded parent-process memory.
+#: unbounded parent-process memory.  Per-worker (not shared): a worker
+#: killed mid-``put`` can leave a shared queue's write lock held and
+#: its stream corrupt, which would poison every surviving shard;
+#: per-worker queues confine that damage to the dead shard, whose
+#: queue the recovery path discards wholesale.
 RESULT_QUEUE_BATCHES = 4096
 
 
@@ -129,11 +145,18 @@ class ShardedPipeline:
         batch_size: int = 32,
         linger: float = 0.0,
         sync_timeout: float = 120.0,
+        fault_tolerant: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: int = 200,
+        heartbeat_timeout: float = 30.0,
+        autoscaler: Optional[Autoscaler] = None,
     ) -> None:
         if shards <= 0:
             raise ValueError("shard count must be positive")
         if batch_size <= 0:
             raise ValueError("batch size must be positive")
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
         for chain in pipeline.chains:
             if chain.operator is None:
                 raise ValueError(
@@ -163,18 +186,36 @@ class ShardedPipeline:
         self.batch_size = batch_size
         self.linger = linger
         self.sync_timeout = sync_timeout
+        # fault tolerance: with fault_tolerant=True a dead worker is
+        # respawned (resuming from its checkpoint when checkpoint_dir
+        # is set) and its unacked windows are replayed; without it a
+        # worker death fails the run, exactly as before
+        self.fault_tolerant = fault_tolerant
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.autoscaler = autoscaler
         self.started = False
         self._ctx = multiprocessing.get_context("fork")
         self._workers: List[multiprocessing.Process] = []
         self._senders: List[BatchingSender] = []
         self._in_queues: list = []
-        self._out_queue = None
+        self._out_queues: list = []
         self._chain_states: List[_ChainState] = []
-        self._in_flight: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        #: (chain, dispatch index) -> (shard, cost, replay entry); the
+        #: entry -- the (index, window, predicted_ws) wire tuple -- is
+        #: retained only in fault-tolerant mode, where it is the replay
+        #: buffer for windows a dead worker never acked
+        self._in_flight: Dict[Tuple[str, int], Tuple[int, int, Optional[tuple]]] = {}
         self._sync_seen: set = set()
         self._detector_shedding: Dict[str, bool] = {}
+        #: last coordinated-shedding broadcast per chain, re-sent to
+        #: respawned and scaled-up workers (detector-driven commands
+        #: exist only as broadcasts, so a fresh fork would miss them)
+        self._last_command: Dict[str, Tuple[Optional[DropCommand], bool]] = {}
         self._sync_token = 0
         self._last_check = 0.0
+        self._failure_detector = FailureDetector(timeout=heartbeat_timeout)
+        self._windows_since_checkpoint = 0
         self.coordinator: Optional[ClusterCoordinator] = None
         self.observability = None
         self._obs_collector = None
@@ -257,56 +298,101 @@ class ShardedPipeline:
         self._detector_shedding = {
             chain.query.name: False for chain in chains
         }
-        # result path: workers block (finite flow control) once the
-        # merge loop falls this many *batches* behind -- the parent
-        # drains the out-queue inside every feed/sync wait, so the
-        # bound is backpressure on runaway shards, not a deadlock risk
-        self._out_queue = self._ctx.Queue(maxsize=RESULT_QUEUE_BATCHES)
         self._workers = []
         self._senders = []
         self._in_queues = []
+        self._out_queues = []
         self._in_flight = {}
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
         for shard_id in range(self.shards):
-            # the per-shard feed stays unbounded by design: the router
-            # must never block on a slow or *dead* shard (worker death
-            # is property-tested), so bounded-ness is enforced upstream
-            # by BatchingSender flow control plus the coordinator's
-            # queue-depth checks, not by a blocking put
-            in_queue = self._ctx.Queue()  # repro-lint: disable=R004 router must not block on a dead shard; see comment
-            self._in_queues.append(in_queue)
-            # per-shard chain state is built pre-fork so each worker
-            # owns a private matcher but inherits the shared shedder
-            shard_chains = {
-                chain.query.name: ShardChain(
-                    chain.query,
-                    chain.shedder,
-                    observe=self.observability is not None,
-                )
-                for chain in chains
-            }
-            process = self._ctx.Process(
-                target=shard_main,
-                args=(
-                    shard_id,
-                    shard_chains,
-                    in_queue,
-                    self._out_queue,
-                    self.batch_size,
-                    self.linger,
-                ),
-                daemon=True,
-                name=f"repro-shard-{shard_id}",
-            )
-            process.start()
-            self._workers.append(process)
-            self._senders.append(
-                BatchingSender(
-                    in_queue, batch_size=self.batch_size, linger=self.linger
-                )
-            )
+            self._spawn_shard(shard_id)
         self._last_check = time.monotonic()
         self.started = True
         return self
+
+    def _checkpoint_path(self, shard_id: int) -> Optional[str]:
+        """Stable per-shard checkpoint file (survives respawns)."""
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir, f"shard-{shard_id}.json")
+
+    def _spawn_shard(self, shard_id: int) -> None:
+        """Fork one worker and wire its queues/sender at ``shard_id``.
+
+        Used by :meth:`start` for the initial membership and by the
+        recovery and scale-up paths for later joins: the worker forks
+        from the *current* parent, so it inherits the latest trained
+        model and parent-side shedder state; broadcast-only state (the
+        detector's drop commands) is re-sent by the caller.
+        """
+        chains = self.pipeline.chains
+        coordinator = self.coordinator
+        # the per-shard feed stays unbounded by design: the router
+        # must never block on a slow or *dead* shard (worker death
+        # is property-tested), so bounded-ness is enforced upstream
+        # by BatchingSender flow control plus the coordinator's
+        # queue-depth checks, not by a blocking put
+        in_queue = self._ctx.Queue()  # repro-lint: disable=R004 router must not block on a dead shard; see comment
+        # result path: this worker blocks (finite flow control) once
+        # the merge loop falls RESULT_QUEUE_BATCHES batches behind --
+        # the parent drains every out-queue inside feed/sync waits, so
+        # the bound is backpressure, not a deadlock risk
+        out_queue = self._ctx.Queue(maxsize=RESULT_QUEUE_BATCHES)
+        # per-shard chain state is built pre-fork so each worker
+        # owns a private matcher but inherits the shared shedder
+        shard_chains = {
+            chain.query.name: ShardChain(
+                chain.query,
+                chain.shedder,
+                observe=self.observability is not None,
+                model_version=(
+                    coordinator.model_versions[chain.query.name]
+                    if coordinator is not None
+                    else 1
+                ),
+            )
+            for chain in chains
+        }
+        process = self._ctx.Process(
+            target=shard_main,
+            args=(
+                shard_id,
+                shard_chains,
+                in_queue,
+                out_queue,
+                self.batch_size,
+                self.linger,
+            ),
+            kwargs={
+                "checkpoint_path": self._checkpoint_path(shard_id),
+                "checkpoint_interval": self.checkpoint_interval,
+            },
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        process.start()
+        sender = BatchingSender(
+            in_queue, batch_size=self.batch_size, linger=self.linger
+        )
+        if shard_id == len(self._workers):
+            self._workers.append(process)
+            self._in_queues.append(in_queue)
+            self._out_queues.append(out_queue)
+            self._senders.append(sender)
+        else:
+            self._workers[shard_id] = process
+            self._in_queues[shard_id] = in_queue
+            self._out_queues[shard_id] = out_queue
+            self._senders[shard_id] = sender
+        self._failure_detector.register(shard_id)
+
+    def _resend_broadcast_state(self, shard_id: int) -> None:
+        """Replay broadcast-only chain state to a freshly forked worker."""
+        sender = self._senders[shard_id]
+        for name, (command, active) in self._last_command.items():
+            sender.send(("cmd", name, command, active))
+        sender.flush()
 
     def shutdown(self, timeout: float = 10.0) -> None:
         """Stop every worker (idempotent; terminates stragglers)."""
@@ -327,7 +413,7 @@ class ShardedPipeline:
         # a worker death the in-queue may hold undeliverable pickled
         # windows, and waiting for them to flush would hang interpreter
         # exit (multiprocessing joins feeder threads atexit)
-        for q in [*self._in_queues, self._out_queue]:
+        for q in [*self._in_queues, *self._out_queues]:
             if q is None:
                 continue
             q.cancel_join_thread()
@@ -335,7 +421,7 @@ class ShardedPipeline:
         self._workers = []
         self._senders = []
         self._in_queues = []
-        self._out_queue = None
+        self._out_queues = []
         self.started = False
 
     def __enter__(self) -> "ShardedPipeline":
@@ -403,6 +489,8 @@ class ShardedPipeline:
             events_fed += len(batch.events)
             coordinator.events_ingested += len(batch.events)
             self._drain_results()
+            if self.fault_tolerant:
+                self._check_health()
             self._check_overload()
         # end of stream: still-open windows flush as truncated windows
         for state in self._chain_states:
@@ -438,9 +526,20 @@ class ShardedPipeline:
         cost = window.size
         self.router.on_dispatch(shard, cost)
         index = self.coordinator.stamp_dispatch(state.name, shard, cost)
-        self._in_flight[(state.name, index)] = (shard, cost)
+        entry = (index, window, predicted)
+        # fault tolerance keeps the wire entry until the result merges:
+        # it is the replay buffer for a dead worker's unacked windows
+        self._in_flight[(state.name, index)] = (
+            shard,
+            cost,
+            entry if self.fault_tolerant else None,
+        )
         state.pending_events += cost
-        return shard, (index, window, predicted)
+        if self.checkpoint_dir is not None:
+            self._windows_since_checkpoint += 1
+            if self._windows_since_checkpoint >= self.checkpoint_interval:
+                self.checkpoint_coordinator()
+        return shard, entry
 
     def _ship(self, state: _ChainState, per_shard: Dict[int, List[tuple]]) -> None:
         """Send each shard its share of a batch as one ``winbatch``."""
@@ -455,8 +554,13 @@ class ShardedPipeline:
 
     def _drain_results(self, block_timeout: Optional[float] = None) -> None:
         if block_timeout is not None:
-            self._consume(drain_for(self._out_queue, block_timeout))
-        self._consume(drain(self._out_queue))
+            # split the blocking budget across the per-worker queues so
+            # the wait loop's cadence is independent of the shard count
+            per_queue = max(0.005, block_timeout / max(1, len(self._out_queues)))
+            for out_queue in list(self._out_queues):
+                self._consume(drain_for(out_queue, per_queue))
+        for out_queue in list(self._out_queues):
+            self._consume(drain(out_queue))
 
     def _consume(self, messages) -> None:
         coordinator = self.coordinator
@@ -464,22 +568,39 @@ class ShardedPipeline:
             tag = message[0]
             if tag == "resbatch":
                 _tag, shard, chain_name, results = message
+                self._failure_detector.observe(shard)
                 state = self._chain_state(chain_name)
                 for index, events in results:
-                    _shard, cost = self._in_flight.pop((chain_name, index))
+                    info = self._in_flight.pop((chain_name, index), None)
+                    if info is None:
+                        # already merged: a duplicated IPC batch, or a
+                        # replayed window whose original result also
+                        # survived.  Exactly-once: ignore, count.
+                        coordinator.duplicates_ignored += 1
+                        continue
+                    _shard, cost, _entry = info
                     self.router.on_complete(shard, cost)
                     state.pending_events -= cost
                     coordinator.on_result(chain_name, shard, index, cost, events)
             elif tag == "res":
                 _tag, shard, chain_name, index, events = message
-                _shard, cost = self._in_flight.pop((chain_name, index))
+                self._failure_detector.observe(shard)
+                info = self._in_flight.pop((chain_name, index), None)
+                if info is None:
+                    coordinator.duplicates_ignored += 1
+                    continue
+                _shard, cost, _entry = info
                 self.router.on_complete(shard, cost)
                 self._chain_state(chain_name).pending_events -= cost
                 coordinator.on_result(chain_name, shard, index, cost, events)
             elif tag == "sync":
                 _tag, shard, token, metrics = message
+                self._failure_detector.observe(shard)
                 coordinator.on_shard_metrics(shard, metrics)
                 self._sync_seen.add((shard, token))
+            elif tag == "hb":
+                # idle heartbeat: pure liveness evidence
+                self._failure_detector.observe(message[1])
             elif tag == "err":
                 _tag, shard, trace = message
                 raise RuntimeError(
@@ -513,7 +634,13 @@ class ShardedPipeline:
                     f"(missing shards: "
                     f"{sorted(s for s, t in expected - self._sync_seen)})"
                 )
-            self._raise_on_dead_workers()
+            if self.fault_tolerant:
+                # a shard that died holding this token's sync message
+                # must get the token again after recovery, or the
+                # barrier would wait out the full timeout for nothing
+                self._check_health(resync_token=token)
+            else:
+                self._raise_on_dead_workers()
 
     def _raise_on_dead_workers(self) -> None:
         dead = [
@@ -528,11 +655,232 @@ class ShardedPipeline:
                 "restart the ShardedPipeline"
             )
 
+    # ------------------------------------------------------------------
+    # fault detection and recovery
+    # ------------------------------------------------------------------
+    def _check_health(self, resync_token: Optional[int] = None) -> None:
+        """Detect dead or wedged workers and recover them in place.
+
+        ``Process.is_alive()`` is the authoritative death signal; the
+        heartbeat failure detector additionally catches a worker that
+        is alive but silent while owing results (wedged in a syscall,
+        stopped by an operator) -- such a worker is killed and then
+        recovered through the same path, bounding the stall at the
+        heartbeat timeout instead of the sync timeout.
+        """
+        suspects = set(self._failure_detector.suspects())
+        for shard_id in range(self.shards):
+            process = self._workers[shard_id]
+            if process.is_alive():
+                if shard_id in suspects and self._shard_pending(shard_id) > 0:
+                    # silent while owing results: treat as failed.  The
+                    # kill is safe because recovery discards both of
+                    # the worker's queues wholesale.
+                    process.kill()
+                    process.join(timeout=5.0)
+                else:
+                    continue
+            self._recover_shard(shard_id, resync_token)
+
+    def _shard_pending(self, shard_id: int) -> int:
+        """Windows dispatched to ``shard_id`` whose results are owed."""
+        return sum(
+            1
+            for (_chain, _index), (shard, _cost, _entry) in self._in_flight.items()
+            if shard == shard_id
+        )
+
+    def _recover_shard(self, shard_id: int, resync_token: Optional[int]) -> None:
+        """Respawn a dead worker and replay its unacked windows.
+
+        Recovery protocol (exactly-once):
+
+        1. salvage -- drain whatever results the dead worker got out
+           before dying (each one retires its window from the replay
+           set);
+        2. discard both of its queues (a kill -9 mid-``put`` can leave
+           them corrupt; they are private to this shard, so nothing
+           else is lost);
+        3. respawn at the same shard id -- the fresh fork restores the
+           shard checkpoint at boot (when checkpointing is on) and the
+           parent re-sends broadcast-only state (drop commands);
+        4. replay the windows still in flight to this shard, in
+           dispatch order, from the coordinator's replay buffer; the
+           merge buffer's duplicate guard makes a salvaged-and-replayed
+           result merge exactly once;
+        5. re-send the in-progress sync token, if the death happened
+           inside a barrier.
+        """
+        old_out = self._out_queues[shard_id]
+        try:
+            # salvage: anything the worker shipped completely is real
+            self._consume(drain(old_out, max_batches=RESULT_QUEUE_BATCHES))
+        except RuntimeError:
+            # the worker reported an application error before dying --
+            # respawning would only crash-loop on the same windows
+            raise
+        except Exception:  # pragma: no cover - queue corrupted mid-put
+            pass
+        for old_queue in (self._in_queues[shard_id], old_out):
+            try:
+                old_queue.cancel_join_thread()
+                old_queue.close()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+        self._spawn_shard(shard_id)
+        self._resend_broadcast_state(shard_id)
+        replay: Dict[str, List[tuple]] = {}
+        for (chain_name, index), (shard, _cost, entry) in sorted(
+            self._in_flight.items(), key=lambda item: item[0][1]
+        ):
+            if shard == shard_id and entry is not None:
+                replay.setdefault(chain_name, []).append(entry)
+        sender = self._senders[shard_id]
+        replayed = 0
+        for chain_name, entries in replay.items():
+            sender.send_now(("winbatch", chain_name, entries))
+            replayed += len(entries)
+        if resync_token is not None:
+            sender.send(("sync", resync_token))
+            sender.flush()
+        self.coordinator.record_restart(shard_id, replayed)
+
     def ping(self) -> ClusterSnapshot:
         """Round-trip a sync barrier and return a fresh snapshot."""
         self.start()
         self._sync()
         return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # elasticity
+    # ------------------------------------------------------------------
+    def scale_up(self) -> int:
+        """Add one shard worker; returns its id.
+
+        The new worker forks from the current parent (so it carries the
+        latest model and shedder state), joins the routing membership,
+        and -- under the consistent-hash policy -- takes over only its
+        own key ranges: windows already dispatched elsewhere are
+        unaffected, and the merge buffer keeps releasing detections in
+        dispatch order, so the output stream is oblivious to the join.
+        """
+        if not self.started:
+            raise RuntimeError("scale_up() needs start() first")
+        shard_id = self.router.add_shard()
+        self.coordinator.add_shard()
+        self.shards += 1
+        self._spawn_shard(shard_id)
+        self._resend_broadcast_state(shard_id)
+        self.coordinator.record_rebalance()
+        return shard_id
+
+    def scale_down(self) -> int:
+        """Retire the highest-id shard worker; returns the retired id.
+
+        Leave protocol: the shard exits the routing membership first
+        (no new windows can reach it), then the coordinator waits for
+        every window it still owes -- so nothing is lost -- takes a
+        final metrics sync (its counters retire into the cluster
+        totals), and only then stops the worker and discards its
+        queues.
+        """
+        if not self.started:
+            raise RuntimeError("scale_down() needs start() first")
+        if self.shards <= 1:
+            raise ValueError("cannot scale below one shard")
+        retiring = self.router.remove_shard()
+        # drain: the retiring shard still owes results for windows
+        # routed before the membership change
+        deadline = time.monotonic() + self.sync_timeout
+        while self._shard_pending(retiring) > 0:
+            self._drain_results(block_timeout=0.05)
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"scale_down timed out draining shard {retiring}"
+                )
+            if self.fault_tolerant:
+                self._check_health()
+            else:
+                self._raise_on_dead_workers()
+        # final metrics sync so the retiring shard's counters fold into
+        # the coordinator's retirement accumulator, keeping cluster
+        # totals monotonic across the membership change
+        self._sync()
+        sender = self._senders[retiring]
+        try:
+            sender.send(("stop",))
+            sender.flush()
+        except (OSError, ValueError):  # pragma: no cover - queue gone
+            pass
+        process = self._workers[retiring]
+        process.join(timeout=10.0)
+        if process.is_alive():  # pragma: no cover - stop message lost
+            process.terminate()
+            process.join(timeout=1.0)
+        for q in (self._in_queues[retiring], self._out_queues[retiring]):
+            q.cancel_join_thread()
+            q.close()
+        self._workers.pop()
+        self._senders.pop()
+        self._in_queues.pop()
+        self._out_queues.pop()
+        self._failure_detector.forget(retiring)
+        self.coordinator.remove_shard()
+        self.shards -= 1
+        self.coordinator.record_rebalance()
+        return retiring
+
+    def scale_to(self, target: int) -> None:
+        """Grow or shrink the membership to ``target`` shards."""
+        if target <= 0:
+            raise ValueError("target shard count must be positive")
+        while self.shards < target:
+            self.scale_up()
+        while self.shards > target:
+            self.scale_down()
+
+    # ------------------------------------------------------------------
+    # coordinator checkpoint (replay cursor + in-flight window buffers)
+    # ------------------------------------------------------------------
+    def checkpoint_coordinator(self) -> Optional[str]:
+        """Write the coordinator's recovery state to ``checkpoint_dir``.
+
+        The file carries, per chain, the replay cursor (first dispatch
+        index not yet merged) and the serialized in-flight window
+        buffers per shard -- together with the per-shard worker
+        checkpoints this is the cluster's full crash-recovery state.
+        Written automatically every ``checkpoint_interval`` dispatched
+        windows; callable directly for an on-demand snapshot.  Returns
+        the path (``None`` when no ``checkpoint_dir`` is configured).
+        """
+        if self.checkpoint_dir is None:
+            return None
+        coordinator = self.coordinator
+        in_flight: Dict[str, List[dict]] = {}
+        for (chain_name, index), (shard, _cost, entry) in sorted(
+            self._in_flight.items(), key=lambda item: item[0][1]
+        ):
+            record: Dict[str, object] = {"index": index, "shard": shard}
+            if entry is not None:
+                _index, window, predicted = entry
+                record["window"] = window_to_dict(window)
+                record["predicted_ws"] = predicted
+            in_flight.setdefault(chain_name, []).append(record)
+        payload = {
+            "format_version": STATE_FORMAT_VERSION,
+            "kind": "coordinator",
+            "shards": self.shards,
+            "replay_cursors": {
+                state.name: coordinator.replay_cursor(state.name)
+                for state in self._chain_states
+            },
+            "windows_dispatched": dict(coordinator.windows_dispatched),
+            "in_flight": in_flight,
+        }
+        path = os.path.join(self.checkpoint_dir, "coordinator.json")
+        write_json_atomic(payload, path)
+        self._windows_since_checkpoint = 0
+        return path
 
     # ------------------------------------------------------------------
     # coordinated shedding
@@ -577,6 +925,11 @@ class ShardedPipeline:
         return [self._chain_state(chain)]
 
     def _broadcast(self, message) -> None:
+        if message[0] == "cmd":
+            # remember the latest coordinated-shedding state per chain:
+            # broadcasts reach only the workers alive at send time, so
+            # respawned and scaled-up workers need a replay of this
+            self._last_command[message[1]] = (message[2], message[3])
         for sender in self._senders:
             sender.send(message)
             sender.flush()
@@ -595,6 +948,10 @@ class ShardedPipeline:
         if now - self._last_check < interval:
             return
         self._last_check = now
+        if self.autoscaler is not None:
+            target = self.autoscaler.decide(self.snapshot())
+            if target is not None:
+                self.scale_to(target)
         for state in self._chain_states:
             detector = state.chain.detector
             if detector is None:
@@ -716,6 +1073,42 @@ class ShardedPipeline:
             "Per-window shed+match time on the shard workers",
             labels=("query",),
         )
+        shard_count = registry.gauge(
+            "repro_cluster_shards",
+            "Current shard worker membership size",
+        )
+        restarts = registry.counter(
+            "repro_cluster_restarts_total",
+            "Worker respawns after a detected failure",
+            labels=("shard",),
+        )
+        rebalances = registry.counter(
+            "repro_cluster_rebalances_total",
+            "Membership changes (scale-up/scale-down) rebalancing routing",
+        )
+        duplicates = registry.counter(
+            "repro_cluster_duplicates_ignored_total",
+            "Result deliveries dropped by the exactly-once merge guard",
+        )
+        replayed = registry.counter(
+            "repro_cluster_windows_replayed_total",
+            "Windows re-sent to respawned workers from the replay buffer",
+        )
+        checkpoints = registry.counter(
+            "repro_cluster_checkpoints_total",
+            "Shard checkpoints written (as of last sync)",
+            labels=("shard",),
+        )
+        checkpoint_bytes = registry.counter(
+            "repro_cluster_checkpoint_bytes",
+            "Cumulative shard checkpoint bytes (as of last sync)",
+            labels=("shard",),
+        )
+        checkpoint_age = registry.gauge(
+            "repro_cluster_checkpoint_age_seconds",
+            "Virtual (stream-time) seconds of work past the last checkpoint",
+            labels=("shard",),
+        )
 
         def collect() -> None:
             coordinator = self.coordinator
@@ -748,11 +1141,21 @@ class ShardedPipeline:
                         child.merge(
                             state["counts"], state["sum"], state["count"]
                         )
+            shard_count.labels().set(len(coordinator.shard_status))
+            rebalances.labels().set_total(coordinator.rebalances)
+            duplicates.labels().set_total(coordinator.duplicates_ignored)
+            replayed.labels().set_total(coordinator.windows_replayed)
             workers = self._workers
             for status in coordinator.shard_status:
                 shard = str(status.shard_id)
                 pending.labels(shard=shard).set(status.pending_events)
                 utilization.labels(shard=shard).set(status.utilization)
+                restarts.labels(shard=shard).set_total(status.restarts)
+                checkpoints.labels(shard=shard).set_total(status.checkpoints)
+                checkpoint_bytes.labels(shard=shard).set_total(
+                    status.checkpoint_bytes
+                )
+                checkpoint_age.labels(shard=shard).set(status.checkpoint_age)
                 process = (
                     workers[status.shard_id]
                     if status.shard_id < len(workers)

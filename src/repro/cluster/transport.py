@@ -120,6 +120,63 @@ class BatchingSender:
         }
 
 
+class FailureDetector:
+    """Heartbeat/timeout failure suspicion for the worker IPC channel.
+
+    The parent records an arrival time for every message a shard sends
+    (results, syncs, explicit ``hb`` heartbeats all count -- any
+    traffic proves liveness).  A shard becomes *suspect* when it has
+    been silent for longer than ``timeout`` seconds of wall clock.
+
+    Suspicion is advisory: the sharded pipeline combines it with the
+    authoritative ``Process.is_alive()`` check, using the heartbeat
+    only to bound how long a wedged-but-alive worker can stall a run.
+    A shard with no pending work is never suspected by callers (idle
+    workers still heartbeat, but slowly) -- that policy lives in the
+    pipeline, this class only keeps the clocks.
+    """
+
+    __slots__ = ("timeout", "_clock", "_last_seen")
+
+    def __init__(
+        self,
+        timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout <= 0.0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self._clock = clock
+        self._last_seen: dict = {}
+
+    def register(self, shard: int) -> None:
+        """Start tracking ``shard``, counting from now."""
+        self._last_seen[shard] = self._clock()
+
+    def forget(self, shard: int) -> None:
+        """Stop tracking ``shard`` (scale-down or permanent removal)."""
+        self._last_seen.pop(shard, None)
+
+    def observe(self, shard: int) -> None:
+        """Any message from ``shard`` arrived; reset its clock."""
+        if shard in self._last_seen:
+            self._last_seen[shard] = self._clock()
+
+    def silence(self, shard: int) -> float:
+        """Seconds since ``shard`` was last heard from (0.0 if unknown)."""
+        last = self._last_seen.get(shard)
+        return 0.0 if last is None else max(0.0, self._clock() - last)
+
+    def suspects(self) -> List[int]:
+        """Tracked shards silent for longer than ``timeout``."""
+        now = self._clock()
+        return sorted(
+            shard
+            for shard, last in self._last_seen.items()
+            if now - last > self.timeout
+        )
+
+
 def drain(mp_queue, max_batches: int = 1000) -> Iterator[object]:
     """Yield every message currently available on ``mp_queue``.
 

@@ -34,6 +34,18 @@ Workers are forked from the parent after ``train()``/``deploy()``, so
 they inherit the trained model, the shedder's drop command and its
 activation state -- a worker never makes a decision the parent has not
 configured.
+
+Fault tolerance (opt-in via ``checkpoint_path``): the worker
+periodically checkpoints each chain's replayable state -- counters,
+shedder state, matcher partial-match state where the deployment uses
+the incremental matcher -- to a virtual-clock-stamped JSON file via
+atomic rename.  A respawned worker restores that file at boot; the
+coordinator replays the windows the dead worker never acked (its
+replay cursor) and deduplicates by dispatch index, so the pair gives
+exactly-once *detections* even though individual shed decisions on
+replayed windows are re-made (they are deterministic, so re-making
+them yields bit-identical results).  The worker also heartbeats on
+idle, bounding how long a wedged worker can stall failure detection.
 """
 
 from __future__ import annotations
@@ -42,13 +54,27 @@ import queue
 import signal
 import time
 import traceback
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cep.events import ComplexEvent
+from repro.cep.patterns.incremental import IncrementalWindowMatcher
 from repro.cep.patterns.query import Query
 from repro.cep.windows import Window
-from repro.core.persistence import model_from_dict
+from repro.core.persistence import (
+    STATE_FORMAT_VERSION,
+    apply_matcher_state,
+    apply_shedder_state,
+    matcher_state_to_dict,
+    model_from_dict,
+    read_json_checkpoint,
+    shedder_state_to_dict,
+    write_json_atomic,
+)
 from repro.shedding.base import LoadShedder
+
+#: Seconds of idle-loop silence before a worker volunteers a heartbeat.
+#: Must be well under the coordinator's suspicion timeout.
+HEARTBEAT_IDLE_SECONDS = 2.0
 
 
 class ShardChain:
@@ -66,11 +92,12 @@ class ShardChain:
         query: Query,
         shedder: Optional[LoadShedder],
         observe: bool = False,
+        model_version: int = 1,
     ) -> None:
         self.query = query
         self.shedder = shedder
         self.matcher = query.new_matcher()
-        self.model_version = 1
+        self.model_version = model_version
         self.windows = 0
         self.memberships_kept = 0
         self.memberships_dropped = 0
@@ -184,6 +211,135 @@ class ShardChain:
                 report["model_fingerprint"] = model.fingerprint()
         return report
 
+    # -- checkpointing -------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The chain's replayable state for a shard checkpoint.
+
+        Captures everything a respawned worker cannot reconstruct from
+        the fork image plus coordinator broadcasts: cumulative
+        counters, the shedder's counters/command/activation, and --
+        for incremental deployments -- the matcher's partial-match
+        progress.  The model is deliberately absent (coordinator-owned,
+        re-broadcast on recovery), keeping checkpoints small.
+        """
+        state: Dict[str, object] = {
+            "model_version": self.model_version,
+            "windows": self.windows,
+            "memberships_kept": self.memberships_kept,
+            "memberships_dropped": self.memberships_dropped,
+            "complex_events": self.complex_events,
+        }
+        if self.shedder is not None:
+            state["shedder"] = shedder_state_to_dict(self.shedder)
+        if isinstance(self.matcher, IncrementalWindowMatcher):
+            state["matcher"] = matcher_state_to_dict(self.matcher)
+        return state
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Resume from :meth:`state_dict` output (respawn-from-checkpoint)."""
+        self.model_version = int(state["model_version"])
+        self.windows = int(state["windows"])
+        self.memberships_kept = int(state["memberships_kept"])
+        self.memberships_dropped = int(state["memberships_dropped"])
+        self.complex_events = int(state["complex_events"])
+        shedder_state = state.get("shedder")
+        if shedder_state is not None and self.shedder is not None:
+            apply_shedder_state(self.shedder, shedder_state)
+        matcher_state = state.get("matcher")
+        if matcher_state is not None and isinstance(
+            self.matcher, IncrementalWindowMatcher
+        ):
+            apply_matcher_state(self.matcher, matcher_state)
+
+
+class CheckpointWriter:
+    """Periodic, atomic, virtual-clock-stamped shard checkpoints.
+
+    ``interval`` counts *windows processed*: after every ``interval``
+    windows the full chain state is written via temp-file +
+    ``os.replace`` (see :func:`repro.core.persistence.write_json_atomic`),
+    so a crash at any instant leaves either the previous or the new
+    complete checkpoint on disk, never a torn one.  The stamp is the
+    latest window close time seen -- *stream* (virtual) time, the only
+    clock that means the same thing across processes and replays.
+    """
+
+    __slots__ = (
+        "path",
+        "interval",
+        "chains",
+        "stamp",
+        "_since_last",
+        "checkpoints_written",
+        "bytes_written",
+        "last_stamp",
+        "restored",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        chains: Dict[str, ShardChain],
+        interval: int = 200,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.path = path
+        self.interval = interval
+        self.chains = chains
+        self.stamp = 0.0
+        self._since_last = 0
+        self.checkpoints_written = 0
+        self.bytes_written = 0
+        self.last_stamp = 0.0
+        self.restored = False
+
+    def restore(self) -> bool:
+        """Resume chain state from the last checkpoint, if one exists."""
+        payload = read_json_checkpoint(self.path, "shard")
+        if payload is None:
+            return False
+        for name, state in payload["chains"].items():
+            if name in self.chains:
+                self.chains[name].restore_state(state)
+        self.stamp = float(payload["stamp"])
+        self.last_stamp = self.stamp
+        self.restored = True
+        return True
+
+    def observe_window(self, close_time: float) -> None:
+        """One window was processed; checkpoint if the interval elapsed."""
+        if close_time > self.stamp:
+            self.stamp = close_time
+        self._since_last += 1
+        if self._since_last >= self.interval:
+            self.write()
+
+    def write(self) -> None:
+        """Write a checkpoint now (atomic rename)."""
+        payload = {
+            "format_version": STATE_FORMAT_VERSION,
+            "kind": "shard",
+            "stamp": self.stamp,
+            "chains": {
+                name: chain.state_dict() for name, chain in self.chains.items()
+            },
+        }
+        self.bytes_written += write_json_atomic(payload, self.path)
+        self.checkpoints_written += 1
+        self.last_stamp = self.stamp
+        self._since_last = 0
+
+    def metrics(self) -> Dict[str, object]:
+        """Checkpoint counters for the shard's sync report."""
+        return {
+            "checkpoints": self.checkpoints_written,
+            "checkpoint_bytes": self.bytes_written,
+            "checkpoint_stamp": self.last_stamp,
+            "stamp": self.stamp,
+            "restored": self.restored,
+        }
+
 
 class _GracefulShutdown(BaseException):
     """Raised by the SIGTERM handler to unwind the worker loop.
@@ -204,6 +360,8 @@ def shard_main(
     out_queue,
     batch_size: int,
     linger: float,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_interval: int = 200,
 ) -> None:
     """Worker process entry point (runs until a ``stop`` message).
 
@@ -224,7 +382,17 @@ def shard_main(
     sender = None
     try:
         sender = BatchingSender(out_queue, batch_size=batch_size, linger=linger)
+        writer = None
+        if checkpoint_path is not None:
+            writer = CheckpointWriter(
+                checkpoint_path, chains, interval=checkpoint_interval
+            )
+            # a respawned worker finds its predecessor's checkpoint here
+            # and resumes counters/shedder/matcher state from it; a
+            # first boot finds nothing and starts fresh
+            writer.restore()
         started = time.perf_counter()
+        last_heard = started
         busy = 0.0
         batches_in = 0
         messages_in = 0
@@ -239,7 +407,20 @@ def shard_main(
             try:
                 batch = in_queue.get(timeout=0.5)
             except queue.Empty:
+                # idle heartbeat: any traffic resets the parent's
+                # failure-detector clock, so an idle-but-healthy worker
+                # is never suspected.  Best-effort -- a full result
+                # queue means the parent has plenty of fresher evidence
+                # of liveness, so dropping the beat is safe.
+                now = time.perf_counter()
+                if now - last_heard >= HEARTBEAT_IDLE_SECONDS:
+                    try:
+                        out_queue.put_nowait([("hb", shard_id)])
+                        last_heard = now
+                    except queue.Full:  # pragma: no cover - parent lagging
+                        pass
                 continue
+            last_heard = time.perf_counter()
             batches_in += 1
             for message in batch:
                 messages_in += 1
@@ -256,6 +437,13 @@ def shard_main(
                     ]
                     busy += time.perf_counter() - work_start
                     sender.send_now(("resbatch", shard_id, chain_name, results))
+                    if writer is not None:
+                        # checkpoint cadence ticks *after* the results
+                        # ship: the checkpointed state never claims
+                        # windows whose results could still be lost
+                        # with this process
+                        for _dispatch_idx, window, _predicted in entries:
+                            writer.observe_window(window.close_time)
                 elif tag == "win":
                     _tag, chain_name, dispatch_idx, window, predicted = message
                     work_start = time.perf_counter()
@@ -266,6 +454,8 @@ def shard_main(
                     sender.send(
                         ("res", shard_id, chain_name, dispatch_idx, complex_events)
                     )
+                    if writer is not None:
+                        writer.observe_window(window.close_time)
                 elif tag == "model":
                     _tag, chain_name, payload, version = message
                     chains[chain_name].swap_model(payload, version)
@@ -285,8 +475,15 @@ def shard_main(
                             name: chain.metrics() for name, chain in chains.items()
                         },
                     }
+                    if writer is not None:
+                        metrics.update(writer.metrics())
                     out_queue.put([("sync", shard_id, message[1], metrics)])
                 elif tag == "stop":
+                    if writer is not None:
+                        # make the final counters durable: a later run
+                        # resuming from this directory starts from the
+                        # end state, not the last periodic interval
+                        writer.write()
                     running = False
                     break
             sender.flush()

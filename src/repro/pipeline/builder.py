@@ -218,6 +218,11 @@ class PipelineBuilder:
         router: Any = "round-robin",
         batch_size: int = 32,
         linger: float = 0.0,
+        fault_tolerant: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: int = 200,
+        heartbeat_timeout: float = 30.0,
+        autoscaler: Any = None,
     ) -> "PipelineBuilder":
         """Execute across ``shards`` real worker processes.
 
@@ -230,6 +235,18 @@ class PipelineBuilder:
         the coordinator merges detections back into sequential order.
         Train and deploy before iterating -- workers inherit the
         deployed state at fork.
+
+        ``fault_tolerant=True`` makes the cluster crash-safe: dead
+        workers are respawned and their unacked windows replayed
+        (exactly-once detections).  ``checkpoint_dir`` additionally
+        persists per-shard state every ``checkpoint_interval`` windows
+        so a respawned worker resumes its counters and shedder state.
+        ``heartbeat_timeout`` bounds how long a silent worker that owes
+        results survives before it is declared failed.  ``autoscaler``
+        takes a :class:`repro.cluster.Autoscaler` to drive
+        scale-up/scale-down from live utilization and queue depth --
+        pair it with ``router="consistent-hash"`` so membership changes
+        rebalance only the moved key ranges.
         """
         if shards <= 0:
             raise ValueError("shard count must be positive")
@@ -240,6 +257,11 @@ class PipelineBuilder:
             "router": router,
             "batch_size": batch_size,
             "linger": linger,
+            "fault_tolerant": fault_tolerant,
+            "checkpoint_dir": checkpoint_dir,
+            "checkpoint_interval": checkpoint_interval,
+            "heartbeat_timeout": heartbeat_timeout,
+            "autoscaler": autoscaler,
         }
         return self
 

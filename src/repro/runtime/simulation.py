@@ -362,6 +362,7 @@ def simulate_sharded(
     batch_size: int = 32,
     linger: float = 0.0,
     drop_command=None,
+    **cluster_options,
 ):
     """Replay ``stream`` through a sharded multi-process execution of
     ``pipeline`` and return the merged, ordered results.
@@ -395,7 +396,10 @@ def simulate_sharded(
         backpressure and is therefore not replayable).
 
     Returns a :class:`repro.cluster.ShardedResult` (per-query ordered
-    detections, throughput, and the cluster snapshot).
+    detections, throughput, and the cluster snapshot).  Extra keyword
+    arguments (``fault_tolerant``, ``checkpoint_dir``, ``autoscaler``,
+    ...) forward to the :class:`~repro.cluster.ShardedPipeline`
+    constructor.
     """
     from repro.cluster import ShardedPipeline
 
@@ -422,6 +426,7 @@ def simulate_sharded(
         router=router,
         batch_size=batch_size,
         linger=linger,
+        **cluster_options,
     )
     with sharded:
         return sharded.run(stream)

@@ -1,0 +1,8 @@
+"""Chaos-testing harness for the elastic fault-tolerant cluster.
+
+``controller.ChaosController`` schedules fault injections -- kill -9,
+SIGSTOP, membership changes, duplicated/delayed IPC batches -- at exact
+event indices of a replay; the test modules assert that detections stay
+bit-identical and identically ordered vs a sequential run under every
+injected fault.
+"""

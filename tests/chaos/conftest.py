@@ -1,0 +1,109 @@
+"""Shared workload and reference fixtures for the chaos suite.
+
+Same deterministic "under shedding" setup as
+``tests/cluster/test_shard_invariance.py``: a soccer stream, Q1 with an
+eSPICE shedder driven by a static drop command (detector-driven
+activation reacts to wall clock and is not replayable), and a
+sequential ``simulate_pipeline`` run as the ground truth every chaos
+run must match bit-for-bit.
+"""
+
+import pytest
+
+from repro.core.partitions import plan_partitions
+from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.pipeline import (
+    Pipeline,
+    SimulationConfig,
+    measure_mean_memberships,
+    simulate_pipeline,
+)
+from repro.queries import build_q1
+from repro.shedding.base import DropCommand
+
+
+def keys(events):
+    return [c.key for c in events]
+
+
+def make_drop_command(model, fraction=0.2):
+    plan = plan_partitions(model.reference_size, qmax=1000.0, f=0.8)
+    return DropCommand(
+        x=fraction * plan.partition_size,
+        partition_count=plan.partition_count,
+        partition_size=plan.partition_size,
+    )
+
+
+def make_deployed_pipeline(query, model):
+    pipeline = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .latency_bound(1.0)
+        .bin_size(8)
+        .model(model)
+        .build()
+    )
+    pipeline.deploy()
+    return pipeline
+
+
+def run_with_chaos(workload, inject, shards=2, **cluster_options):
+    """Run the standard workload with ``inject(controller)`` scheduled.
+
+    ``inject`` receives the :class:`~chaos.controller.ChaosController`
+    before the stream starts and schedules its faults; the merged
+    :class:`~repro.cluster.ShardedPipeline` result and the controller
+    (for its fault log) are returned.
+    """
+    from repro.cluster import ShardedPipeline
+
+    from chaos.controller import ChaosController
+
+    query, model, live, command = workload
+    pipeline = make_deployed_pipeline(query, model)
+    pipeline.chains[0].shedder.on_drop_command(command)
+    pipeline.chains[0].shedder.activate()
+    sharded = ShardedPipeline(pipeline, shards=shards, **cluster_options)
+    controller = ChaosController(sharded)
+    with sharded:
+        sharded.start()
+        inject(controller)
+        result = sharded.run(controller.wrap(live))
+    return result, controller
+
+
+@pytest.fixture(scope="package")
+def workload():
+    """(query, model, live stream, static drop command) for Q1/soccer."""
+    stream = generate_soccer_stream(SoccerStreamConfig(duration_seconds=1200))
+    train, live = split_stream(stream, train_fraction=0.5)
+    query = build_q1(pattern_size=2, window_seconds=15.0)
+    model = (
+        Pipeline.builder()
+        .query(query)
+        .shedder("espice", f=0.8)
+        .bin_size(8)
+        .build()
+        .train(train)
+        .model
+    )
+    return query, model, live, make_drop_command(model)
+
+
+@pytest.fixture(scope="package")
+def reference(workload):
+    """Sequential detections: the bit-identical target for every run."""
+    query, model, live, command = workload
+    pipeline = make_deployed_pipeline(query, model)
+    pipeline.chains[0].shedder.on_drop_command(command)
+    pipeline.chains[0].shedder.activate()
+    config = SimulationConfig(
+        input_rate=1200.0,
+        throughput=1000.0,
+        mean_memberships=measure_mean_memberships(query, live),
+    )
+    detections = simulate_pipeline(pipeline, live, config)[query.name]
+    assert detections.complex_events  # the invariance must not be vacuous
+    return keys(detections.complex_events)

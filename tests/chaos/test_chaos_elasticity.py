@@ -1,0 +1,92 @@
+"""Chaos: membership changes mid-run; detections must not change.
+
+Scale-up and scale-down are injected at exact event indices while the
+stream replays.  With the consistent-hash router only the moved key
+ranges change owner on a membership change, and the coordinator's
+merge-by-dispatch-index keeps emission sequential -- so detections must
+stay bit-identical and identically ordered vs the sequential reference
+through any number of membership changes, on any router.
+"""
+
+from chaos.conftest import keys, run_with_chaos
+
+
+class TestScaleUp:
+    def test_scale_up_mid_run_is_bit_identical(self, workload, reference):
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(2000, c.add_shard),
+            shards=2,
+            router="consistent-hash",
+        )
+        assert keys(result.complex_events) == reference
+        snapshot = result.snapshot
+        assert len(snapshot.shards) == 3
+        assert snapshot.rebalances == 1
+
+    def test_repeated_scale_up(self, workload, reference):
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(1000, c.add_shard).at_event(
+                3000, c.add_shard
+            ),
+            shards=1,
+            router="consistent-hash",
+        )
+        assert keys(result.complex_events) == reference
+        assert len(result.snapshot.shards) == 3
+        assert result.snapshot.rebalances == 2
+
+
+class TestScaleDown:
+    def test_scale_down_mid_run_is_bit_identical(self, workload, reference):
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(2000, c.remove_shard),
+            shards=3,
+            router="consistent-hash",
+        )
+        assert keys(result.complex_events) == reference
+        snapshot = result.snapshot
+        assert len(snapshot.shards) == 2
+        assert snapshot.rebalances == 1
+        # the retired shard's work is folded into the chain totals, so
+        # the dispatch accounting survives the membership change
+        assert sum(snapshot.windows_dispatched.values()) > 0
+
+    def test_scale_up_then_down(self, workload, reference):
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(1500, c.add_shard).at_event(
+                3500, c.remove_shard
+            ),
+            shards=2,
+            router="consistent-hash",
+        )
+        assert keys(result.complex_events) == reference
+        assert len(result.snapshot.shards) == 2
+        assert result.snapshot.rebalances == 2
+
+
+class TestElasticityWithFaults:
+    def test_scale_up_with_fault_tolerance_and_kill(
+        self, workload, reference, tmp_path
+    ):
+        """Membership change plus a kill -9 in the same run: both the
+        rebalance and the recovery must preserve exactly-once."""
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(1500, c.add_shard).at_event(
+                3000, c.kill_worker, 0
+            ),
+            shards=2,
+            router="consistent-hash",
+            fault_tolerant=True,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_interval=10,
+        )
+        assert keys(result.complex_events) == reference
+        snapshot = result.snapshot
+        assert len(snapshot.shards) == 3
+        assert snapshot.rebalances == 1
+        assert snapshot.restarts == 1

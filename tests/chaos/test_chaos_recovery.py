@@ -1,0 +1,106 @@
+"""Chaos: kill -9 a worker mid-run; detections must not change.
+
+The exactly-once acceptance criterion of the elastic-cluster issue:
+kill a shard worker mid-run, let the pipeline respawn it (resuming
+from its checkpoint when one is configured) and replay its unacked
+windows, and the merged detections must be bit-identical and
+identically ordered vs the sequential reference -- no loss, no
+duplicates -- in every configuration.
+"""
+
+import json
+
+import pytest
+
+from repro.core.persistence import read_json_checkpoint
+
+from chaos.conftest import keys, run_with_chaos
+
+
+class TestKillRespawn:
+    def test_kill_with_checkpoint_is_bit_identical(
+        self, workload, reference, tmp_path
+    ):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(2000, c.kill_worker, 0),
+            fault_tolerant=True,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=10,
+        )
+        assert keys(result.complex_events) == reference
+        snapshot = result.snapshot
+        assert snapshot.restarts == 1
+        assert snapshot.shards[0].restarts == 1
+        # the respawned worker really did resume from a checkpoint file
+        payload = read_json_checkpoint(
+            f"{checkpoint_dir}/shard-0.json", "shard"
+        )
+        assert payload is not None
+        assert payload["stamp"] > 0.0
+        assert set(payload["chains"]) == {workload[0].name}
+
+    def test_kill_without_checkpoint_is_bit_identical(
+        self, workload, reference
+    ):
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(2000, c.kill_worker, 1),
+            fault_tolerant=True,
+        )
+        assert keys(result.complex_events) == reference
+        assert result.snapshot.restarts == 1
+
+    def test_two_kills_same_shard(self, workload, reference, tmp_path):
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(1500, c.kill_worker, 0).at_event(
+                4000, c.kill_worker, 0
+            ),
+            fault_tolerant=True,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_interval=10,
+        )
+        assert keys(result.complex_events) == reference
+        assert result.snapshot.restarts == 2
+
+    def test_kill_without_fault_tolerance_still_raises(self, workload):
+        with pytest.raises(RuntimeError, match="died|failed"):
+            run_with_chaos(
+                workload,
+                lambda c: c.at_event(2000, c.kill_worker, 0),
+                fault_tolerant=False,
+            )
+
+    def test_coordinator_checkpoint_written(self, workload, tmp_path):
+        checkpoint_dir = tmp_path / "ckpt"
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c,
+            fault_tolerant=True,
+            checkpoint_dir=str(checkpoint_dir),
+            checkpoint_interval=10,
+        )
+        assert result.complex_events
+        payload = json.loads((checkpoint_dir / "coordinator.json").read_text())
+        assert payload["kind"] == "coordinator"
+        assert payload["shards"] == 2
+        assert workload[0].name in payload["replay_cursors"]
+
+
+class TestWedgedWorker:
+    def test_stopped_worker_is_detected_and_replaced(
+        self, workload, reference
+    ):
+        """SIGSTOP: alive but silent while owing results -> heartbeat
+        timeout declares it failed; the run must still complete with
+        bit-identical detections."""
+        result, _controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(2000, c.stop_worker, 0),
+            fault_tolerant=True,
+            heartbeat_timeout=1.5,
+        )
+        assert keys(result.complex_events) == reference
+        assert result.snapshot.restarts >= 1

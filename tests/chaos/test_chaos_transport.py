@@ -1,0 +1,59 @@
+"""Chaos: IPC-level faults; detections must not change.
+
+A :class:`~chaos.controller.FaultyQueue` proxy is swapped into a
+shard's :class:`~repro.cluster.transport.BatchingSender`, duplicating
+or reordering window batches on the wire.  Duplicated batches make the
+worker process (and answer) the same windows twice -- the coordinator's
+in-flight guard must drop the second answer; reordered batches make
+results arrive out of dispatch order -- the merge buffer must restore
+it.  Either way the detections must stay bit-identical and identically
+ordered vs the sequential reference.
+"""
+
+from chaos.conftest import keys, run_with_chaos
+
+
+class TestDuplicateBatches:
+    def test_duplicated_batches_are_deduplicated(self, workload, reference):
+        result, controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(0, c.duplicate_ipc, 0, 2),
+        )
+        assert keys(result.complex_events) == reference
+        snapshot = result.snapshot
+        # the fault really fired, and every duplicate was ignored
+        assert controller.faulty_queues[0].duplicated > 0
+        assert snapshot.duplicates_ignored > 0
+
+    def test_duplicate_every_batch(self, workload, reference):
+        """Worst case: the whole data plane to one shard is doubled."""
+        result, controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(0, c.duplicate_ipc, 1, 1),
+        )
+        assert keys(result.complex_events) == reference
+        assert controller.faulty_queues[1].duplicated > 0
+        assert result.snapshot.duplicates_ignored > 0
+
+
+class TestDelayedBatches:
+    def test_swapped_batches_are_reordered_by_merge(
+        self, workload, reference
+    ):
+        result, controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(0, c.delay_ipc, 0, 2),
+        )
+        assert keys(result.complex_events) == reference
+        assert controller.faulty_queues[0].delayed > 0
+
+    def test_duplicate_and_delay_together(self, workload, reference):
+        result, controller = run_with_chaos(
+            workload,
+            lambda c: c.at_event(0, c.duplicate_ipc, 0, 3).at_event(
+                0, c.delay_ipc, 1, 3
+            ),
+        )
+        assert keys(result.complex_events) == reference
+        assert controller.faulty_queues[0].duplicated > 0
+        assert controller.faulty_queues[1].delayed > 0

@@ -1,0 +1,29 @@
+"""Shared helpers for the cluster test suite.
+
+``wait_until`` is the condition-wait primitive that replaces fixed
+joins/sleeps in process-lifecycle tests: a loaded 1-core CI runner
+waits exactly as long as the condition needs, and a failure surfaces
+as an explicit :class:`TimeoutError` instead of an assertion on a
+half-dead process.
+"""
+
+import time
+
+import pytest
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while True:
+        result = predicate()
+        if result:
+            return result
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"condition not met within {timeout:.1f}s")
+        time.sleep(interval)
+
+
+@pytest.fixture
+def wait_until():
+    """Poll a predicate until truthy; raise ``TimeoutError`` on timeout."""
+    return _wait_until

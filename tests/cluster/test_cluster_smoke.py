@@ -270,13 +270,13 @@ class TestHotModelSwap:
 
 
 class TestFailureHandling:
-    def test_dead_worker_is_reported(self, soccer, query):
+    def test_dead_worker_is_reported(self, soccer, query, wait_until):
         _train, live = soccer
         sharded = sharded_builder(query).build()
         try:
             sharded.start()
             sharded._workers[0].terminate()
-            sharded._workers[0].join(timeout=5.0)
+            wait_until(lambda: not sharded._workers[0].is_alive())
             with pytest.raises(RuntimeError, match="died|failed"):
                 sharded.run(live)
         finally:

@@ -1,0 +1,151 @@
+"""Units for the elasticity policy and the failure detector.
+
+Both are pure policy objects by design: the :class:`Autoscaler` sees
+only :class:`ClusterSnapshot` values and an injected clock, the
+:class:`FailureDetector` only observation timestamps from the same
+clock -- so every decision path is exercised here deterministically,
+with no processes and no wall-clock waits.
+"""
+
+import pytest
+
+from repro.cluster.coordinator import ClusterSnapshot, ShardStatus
+from repro.cluster.elastic import Autoscaler
+from repro.cluster.transport import FailureDetector
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def snapshot(utilizations, depths=None):
+    depths = depths if depths is not None else [0] * len(utilizations)
+    shards = [
+        ShardStatus(shard_id=i, utilization=u, pending_windows=d)
+        for i, (u, d) in enumerate(zip(utilizations, depths))
+    ]
+    return ClusterSnapshot(
+        shards=shards,
+        events_ingested=0,
+        windows_dispatched={},
+        complex_events={},
+        shedding={},
+        drift={},
+        router={},
+        transport={},
+        model_versions={},
+    )
+
+
+class TestAutoscaler:
+    def test_holds_in_the_comfortable_band(self):
+        scaler = Autoscaler(clock=FakeClock())
+        assert scaler.decide(snapshot([0.5, 0.5])) is None
+        assert scaler.decisions == 0
+
+    def test_scales_up_on_high_mean_utilization(self):
+        scaler = Autoscaler(clock=FakeClock())
+        assert scaler.decide(snapshot([0.9, 0.85])) == 3
+
+    def test_scales_up_on_one_hot_queue(self):
+        """A routing hot spot saturates one shard before the mean moves."""
+        scaler = Autoscaler(clock=FakeClock())
+        assert scaler.decide(snapshot([0.2, 0.2], depths=[500, 0])) == 3
+
+    def test_scales_down_when_idle_and_drained(self):
+        scaler = Autoscaler(clock=FakeClock())
+        assert scaler.decide(snapshot([0.1, 0.1, 0.1])) == 2
+
+    def test_never_scales_down_with_outstanding_work(self):
+        scaler = Autoscaler(clock=FakeClock())
+        assert scaler.decide(snapshot([0.1, 0.1], depths=[0, 3])) is None
+
+    def test_respects_max_shards(self):
+        scaler = Autoscaler(max_shards=2, clock=FakeClock())
+        assert scaler.decide(snapshot([0.95, 0.95])) is None
+
+    def test_respects_min_shards(self):
+        scaler = Autoscaler(min_shards=2, clock=FakeClock())
+        assert scaler.decide(snapshot([0.0, 0.0])) is None
+
+    def test_cooldown_blocks_consecutive_decisions(self):
+        clock = FakeClock()
+        scaler = Autoscaler(cooldown_seconds=5.0, clock=clock)
+        assert scaler.decide(snapshot([0.9, 0.9])) == 3
+        clock.advance(4.9)
+        assert scaler.decide(snapshot([0.9, 0.9, 0.9])) is None
+        clock.advance(0.2)
+        assert scaler.decide(snapshot([0.9, 0.9, 0.9])) == 4
+        assert scaler.decisions == 2
+
+    def test_hold_does_not_start_cooldown(self):
+        clock = FakeClock()
+        scaler = Autoscaler(cooldown_seconds=5.0, clock=clock)
+        assert scaler.decide(snapshot([0.5, 0.5])) is None
+        assert scaler.decide(snapshot([0.9, 0.9])) == 3
+
+    def test_empty_cluster_is_a_hold(self):
+        scaler = Autoscaler(clock=FakeClock())
+        assert scaler.decide(snapshot([])) is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_shards": 0},
+            {"min_shards": 4, "max_shards": 2},
+            {"low_utilization": 0.9, "high_utilization": 0.8},
+            {"high_utilization": 1.5},
+        ],
+    )
+    def test_rejects_inconsistent_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            Autoscaler(**kwargs)
+
+
+class TestFailureDetector:
+    def test_fresh_shard_is_not_suspect(self):
+        clock = FakeClock()
+        detector = FailureDetector(timeout=2.0, clock=clock)
+        detector.register(0)
+        assert detector.suspects() == []
+
+    def test_silence_past_timeout_raises_suspicion(self):
+        clock = FakeClock()
+        detector = FailureDetector(timeout=2.0, clock=clock)
+        detector.register(0)
+        detector.register(1)
+        clock.advance(1.0)
+        detector.observe(1)
+        clock.advance(1.5)  # shard 0 silent 2.5s, shard 1 only 1.5s
+        assert detector.suspects() == [0]
+
+    def test_observation_clears_suspicion(self):
+        clock = FakeClock()
+        detector = FailureDetector(timeout=1.0, clock=clock)
+        detector.register(0)
+        clock.advance(5.0)
+        assert detector.suspects() == [0]
+        detector.observe(0)
+        assert detector.suspects() == []
+
+    def test_silence_reports_seconds_since_last_evidence(self):
+        clock = FakeClock()
+        detector = FailureDetector(timeout=1.0, clock=clock)
+        detector.register(0)
+        clock.advance(3.5)
+        assert detector.silence(0) == pytest.approx(3.5)
+
+    def test_forget_removes_the_shard(self):
+        clock = FakeClock()
+        detector = FailureDetector(timeout=1.0, clock=clock)
+        detector.register(0)
+        clock.advance(5.0)
+        detector.forget(0)
+        assert detector.suspects() == []

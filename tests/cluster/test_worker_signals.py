@@ -35,7 +35,7 @@ def build_sharded():
 
 
 @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
-def test_idle_workers_exit_zero_on_signal(signum):
+def test_idle_workers_exit_zero_on_signal(signum, wait_until):
     sharded = build_sharded()
     try:
         sharded.start()
@@ -43,14 +43,15 @@ def test_idle_workers_exit_zero_on_signal(signum):
         workers = list(sharded._workers)
         for worker in workers:
             os.kill(worker.pid, signum)
-        for worker in workers:
-            worker.join(timeout=10.0)
+        wait_until(
+            lambda: all(worker.exitcode is not None for worker in workers)
+        )
         assert [worker.exitcode for worker in workers] == [0] * SHARDS
     finally:
         sharded.shutdown()
 
 
-def test_busy_workers_exit_zero_on_sigterm(live):
+def test_busy_workers_exit_zero_on_sigterm(live, wait_until):
     """A worker mid-stream still drains and exits 0 on SIGTERM."""
     sharded = build_sharded()
     try:
@@ -59,14 +60,15 @@ def test_busy_workers_exit_zero_on_sigterm(live):
         workers = list(sharded._workers)
         for worker in workers:
             os.kill(worker.pid, signal.SIGTERM)
-        for worker in workers:
-            worker.join(timeout=10.0)
+        wait_until(
+            lambda: all(worker.exitcode is not None for worker in workers)
+        )
         assert [worker.exitcode for worker in workers] == [0] * SHARDS
     finally:
         sharded.shutdown()
 
 
-def test_signalled_worker_still_counts_as_dead(live):
+def test_signalled_worker_still_counts_as_dead(live, wait_until):
     """Graceful exit must not hide worker loss from the coordinator."""
     sharded = build_sharded()
     try:
@@ -74,7 +76,7 @@ def test_signalled_worker_still_counts_as_dead(live):
         sharded.ping()
         worker = sharded._workers[0]
         os.kill(worker.pid, signal.SIGTERM)
-        worker.join(timeout=10.0)
+        wait_until(lambda: worker.exitcode is not None)
         assert worker.exitcode == 0
         with pytest.raises(RuntimeError, match="died|failed"):
             sharded.run(live)

@@ -44,6 +44,31 @@ class TestCsvRoundtrip:
         with pytest.raises(ValueError):
             load_stream_csv(path)
 
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_stream_csv(path)
+
+    def test_non_ascii_types_and_attrs_roundtrip(self, tmp_path):
+        stream = EventStream(
+            [
+                Event(
+                    "tête",
+                    0,
+                    0.5,
+                    attrs={"spieler": "Müller", "città": "København"},
+                ),
+                Event("ψ", 1, 1.0, attrs={"λ": 2.5, "emoji": "⚽"}),
+            ]
+        )
+        path = tmp_path / "unicode.csv"
+        save_stream_csv(stream, path)
+        loaded = load_stream_csv(path)
+        assert [e.event_type for e in loaded] == ["tête", "ψ"]
+        assert loaded[0].attrs == {"spieler": "Müller", "città": "København"}
+        assert loaded[1].attrs == {"λ": 2.5, "emoji": "⚽"}
+
 
 class TestSplitStream:
     def test_split_sizes(self):
@@ -63,3 +88,31 @@ class TestSplitStream:
         for fraction in (0.0, 1.0, -0.1, 1.5):
             with pytest.raises(ValueError):
                 split_stream(stream, fraction)
+
+    def test_split_is_a_partition_for_any_fraction(self):
+        """No event lost, duplicated, or reordered at any cut point."""
+        stream = EventStream(Event("A", i, float(i)) for i in range(7))
+        for numerator in range(1, 100):
+            train, test = split_stream(stream, numerator / 100.0)
+            combined = [e.seq for e in train] + [e.seq for e in test]
+            assert combined == list(range(7)), f"fraction={numerator}/100"
+
+    def test_boundary_fractions_truncate_not_round(self):
+        """The cut is floor(len * fraction): just below an integer
+        boundary the extra event stays in the evaluation part."""
+        stream = EventStream(Event("A", i, float(i)) for i in range(10))
+        train_low, _ = split_stream(stream, 0.69999)
+        train_exact, _ = split_stream(stream, 0.7)
+        assert len(train_low) == 6
+        assert len(train_exact) == 7
+
+    def test_tiny_fraction_of_tiny_stream_gives_empty_train(self):
+        stream = EventStream([Event("A", 0, 0.0), Event("B", 1, 1.0)])
+        train, test = split_stream(stream, 0.25)
+        assert len(train) == 0
+        assert [e.seq for e in test] == [0, 1]
+
+    def test_split_empty_stream(self):
+        train, test = split_stream(EventStream(), 0.5)
+        assert len(train) == 0
+        assert len(test) == 0
