@@ -65,7 +65,7 @@ from repro.core.persistence import (
     window_to_dict,
     write_json_atomic,
 )
-from repro.pipeline.batching import iter_batches
+from repro.pipeline.batching import EventBatch, iter_batches
 from repro.pipeline.pipeline import Pipeline
 from repro.shedding.base import DropCommand
 
@@ -214,6 +214,8 @@ class ShardedPipeline:
         self._last_command: Dict[str, Tuple[Optional[DropCommand], bool]] = {}
         self._sync_token = 0
         self._last_check = 0.0
+        #: live-feed micro-batch of the serve surface (feed/finish)
+        self._live_batch: Optional[EventBatch] = None
         self._failure_detector = FailureDetector(timeout=heartbeat_timeout)
         self._windows_since_checkpoint = 0
         self.coordinator: Optional[ClusterCoordinator] = None
@@ -456,42 +458,9 @@ class ShardedPipeline:
         coordinator = self.coordinator
         t_start = time.perf_counter()
         events_fed = 0
-        # bounded queues need per-event admission; the batched ingress
-        # is only equivalent when rejections cannot depend on drain
-        # interleaving (see Pipeline.run)
-        batched_ingress = self.pipeline.config.queue_capacity is None
         for batch in iter_batches(stream, self.batch_size):
-            for state in self._chain_states:
-                chain = state.chain
-                if batched_ingress:
-                    # synchronous drain, like QueryChain.run_batch: the
-                    # staging depth of the batch is not backlog
-                    assign_stage = chain.window_assign
-                    depth_before = assign_stage.max_queue_depth
-                    chain.ingest_batch(batch)
-                    items = chain.queue.pop_all()
-                    assign_stage.max_queue_depth = max(
-                        depth_before, 1 if items else 0
-                    )
-                else:
-                    items = []
-                    for event, now in zip(batch.events, batch.nows):
-                        if chain.ingest(event, now):
-                            queue = chain.queue
-                            while queue:
-                                items.append(queue.pop())
-                per_shard: Dict[int, List[tuple]] = {}
-                for item in items:
-                    for window in item.closed_windows:
-                        shard, entry = self._stamp(state, window)
-                        per_shard.setdefault(shard, []).append(entry)
-                self._ship(state, per_shard)
+            self._ingest_batch(batch, live=False)
             events_fed += len(batch.events)
-            coordinator.events_ingested += len(batch.events)
-            self._drain_results()
-            if self.fault_tolerant:
-                self._check_health()
-            self._check_overload()
         # end of stream: still-open windows flush as truncated windows
         for state in self._chain_states:
             per_shard = {}
@@ -518,6 +487,146 @@ class ShardedPipeline:
             wall_seconds=wall,
             snapshot=self.snapshot(),
         )
+
+    def _ingest_batch(self, batch: EventBatch, live: bool) -> None:
+        """Run one event batch through every chain's ingress and ship it.
+
+        The shared per-batch step of :meth:`run` (replay) and the live
+        feed surface (:meth:`feed`/:meth:`feed_many`): ingress stages,
+        window stamping/routing, the ``winbatch`` ship, a result drain
+        and the periodic health/overload duty.  ``live`` selects the
+        overload-check semantics (see :meth:`_check_overload`).
+        """
+        coordinator = self.coordinator
+        # bounded queues need per-event admission; the batched ingress
+        # is only equivalent when rejections cannot depend on drain
+        # interleaving (see Pipeline.run)
+        batched_ingress = self.pipeline.config.queue_capacity is None
+        for state in self._chain_states:
+            chain = state.chain
+            if batched_ingress:
+                # synchronous drain, like QueryChain.run_batch: the
+                # staging depth of the batch is not backlog
+                assign_stage = chain.window_assign
+                depth_before = assign_stage.max_queue_depth
+                chain.ingest_batch(batch)
+                items = chain.queue.pop_all()
+                assign_stage.max_queue_depth = max(
+                    depth_before, 1 if items else 0
+                )
+            else:
+                items = []
+                for event, now in zip(batch.events, batch.nows):
+                    if chain.ingest(event, now):
+                        queue = chain.queue
+                        while queue:
+                            items.append(queue.pop())
+            per_shard: Dict[int, List[tuple]] = {}
+            for item in items:
+                for window in item.closed_windows:
+                    shard, entry = self._stamp(state, window)
+                    per_shard.setdefault(shard, []).append(entry)
+            self._ship(state, per_shard)
+        coordinator.events_ingested += len(batch.events)
+        self._drain_results()
+        if self.fault_tolerant:
+            self._check_health()
+        self._check_overload(live=live)
+
+    # ------------------------------------------------------------------
+    # live feed surface (the serve front door drives these)
+    # ------------------------------------------------------------------
+    def feed(
+        self, event: Event, now: Optional[float] = None
+    ) -> Dict[str, List[ComplexEvent]]:
+        """Push one live event into the cluster (serve-compatible).
+
+        The sharded twin of :meth:`repro.pipeline.Pipeline.feed`:
+        events buffer into a ``batch_size`` micro-batch; a full batch
+        runs the ingress half, ships windows to the shards and releases
+        whatever the coordinator has merged so far -- in dispatch
+        order, through the emit stage, so subscribed sinks observe the
+        exact sequential detection stream.  Returns the detections
+        released as a consequence of this call (usually empty while
+        buffering).
+        """
+        self.start()
+        if self._live_batch is None:
+            self._live_batch = EventBatch()
+        self._live_batch.append(
+            event, now if now is not None else event.timestamp
+        )
+        if len(self._live_batch) >= self.batch_size:
+            return self.flush_pending()
+        return {state.name: [] for state in self._chain_states}
+
+    def feed_many(
+        self, events: Iterable[Event], now: Optional[float] = None
+    ) -> Dict[str, List[ComplexEvent]]:
+        """Push a slice of live events, in order (serve-compatible)."""
+        self.start()
+        out: Dict[str, List[ComplexEvent]] = {
+            state.name: [] for state in self._chain_states
+        }
+        for event in events:
+            for name, detected in self.feed(event, now=now).items():
+                if detected:
+                    out[name].extend(detected)
+        return out
+
+    def flush_pending(self) -> Dict[str, List[ComplexEvent]]:
+        """Run the buffered live micro-batch and release merged results."""
+        self.start()
+        out: Dict[str, List[ComplexEvent]] = {
+            state.name: [] for state in self._chain_states
+        }
+        batch, self._live_batch = self._live_batch, None
+        if batch:
+            self._ingest_batch(batch, live=True)
+        self._release(out)
+        return out
+
+    def finish(self) -> Dict[str, List[ComplexEvent]]:
+        """End a live feed session: flush buffers, windows and shards.
+
+        The sharded twin of :meth:`repro.pipeline.Pipeline.finish`:
+        processes the pending micro-batch, completes still-open windows
+        as truncated windows on the shards, waits for every shard to
+        catch up (sync barrier) and releases the remaining detections
+        through the emit stage.  The cluster stays usable: later feeds
+        simply open new windows.
+        """
+        if not self.started:
+            return {state.name: [] for state in self._chain_states}
+        out = self.flush_pending()
+        for state in self._chain_states:
+            per_shard: Dict[int, List[tuple]] = {}
+            for window in state.chain.window_assign.flush():
+                shard, entry = self._stamp(state, window)
+                per_shard.setdefault(shard, []).append(entry)
+            self._ship(state, per_shard)
+        self._sync()
+        self._release(out)
+        return out
+
+    def _release(self, out: Dict[str, List[ComplexEvent]]) -> None:
+        """Dispatch everything the merge buffer has released, in order."""
+        for state in self._chain_states:
+            ready = self.coordinator.take_ordered(state.name)
+            if ready:
+                state.chain.emit.dispatch(ready)
+                out[state.name].extend(ready)
+
+    def backpressure(self) -> Dict[str, Dict[str, object]]:
+        """Per-chain queue/rejection counters plus cluster backpressure."""
+        report: Dict[str, Dict[str, object]] = {}
+        for state in self._chain_states or [
+            _ChainState(chain) for chain in self.pipeline.chains
+        ]:
+            entry = dict(state.chain.backpressure())
+            entry["cluster_pending_events"] = state.pending_events
+            report[state.name] = entry
+        return report
 
     def _stamp(self, state: _ChainState, window) -> Tuple[int, tuple]:
         """Route + stamp one window; returns its shard and wire entry."""
@@ -934,7 +1043,7 @@ class ShardedPipeline:
             sender.send(message)
             sender.flush()
 
-    def _check_overload(self) -> None:
+    def _check_overload(self, live: bool = True) -> None:
         """Coordinated shedding: one detector decision, every shard obeys.
 
         The coordinator owns each chain's overload detector; the
@@ -942,6 +1051,18 @@ class ShardedPipeline:
         dispatched to shards but not yet matched).  State changes are
         broadcast so all shards activate, re-command or deactivate
         together -- shards never make independent shedding decisions.
+
+        ``live=False`` (the :meth:`run` replay path) skips the detector
+        entirely: a sequential ``Pipeline.run`` drains its queue
+        synchronously, so its detector never sees backlog during a
+        replay ("no shedding unless a shedder was activated
+        explicitly").  Feeding the detector the wall-clock-dependent
+        cluster backpressure here instead made ``run()`` shed a
+        timing-dependent set of windows -- the tests/obs two-shard
+        determinism flake (missing tail detections).  The autoscaler
+        stays active in both modes: membership changes are
+        detection-invariant.  Live feeds (:meth:`feed`) keep the full
+        wall-clock semantics -- backpressure there is physical.
         """
         now = time.monotonic()
         interval = self.pipeline.config.check_interval
@@ -952,6 +1073,8 @@ class ShardedPipeline:
             target = self.autoscaler.decide(self.snapshot())
             if target is not None:
                 self.scale_to(target)
+        if not live:
+            return
         for state in self._chain_states:
             detector = state.chain.detector
             if detector is None:

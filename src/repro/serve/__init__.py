@@ -23,13 +23,27 @@ the wire instead of unbounded buffering.  ``stop()`` drains
 gracefully: stop accepting, flush the live micro-batch and still-open
 windows, emit the final detections.
 
+Robustness is graded, not binary: a
+:class:`~repro.serve.health.HealthMonitor` degradation ladder
+(HEALTHY → DEGRADED → OVERLOADED → DRAINING) tightens rate limits,
+refuses non-essential ops and raises coordinated shedding as pressure
+builds; :class:`~repro.serve.admission.DeadlineAdmission` rejects
+requests whose latency budget the measured queue wait would already
+blow; and :mod:`repro.serve.resilience` gives clients seeded-jitter
+exponential backoff plus a circuit breaker.  The server drives either
+a :class:`~repro.pipeline.Pipeline` or a fault-tolerant
+:class:`~repro.cluster.sharded.ShardedPipeline` through the same
+consumer loop.
+
 The ``repro-serve`` console script (:mod:`repro.serve.cli`) serves a
 trained pipeline directly; :func:`repro.runtime.serving.serve_replay`
 is the test/benchmark harness replaying stored streams through a real
 socket.
 """
 
+from repro.serve.admission import DeadlineAdmission
 from repro.serve.client import IngestReport, ServeClient
+from repro.serve.health import HealthMonitor, HealthPolicy, HealthState
 from repro.serve.middleware import (
     MaxInFlight,
     Rejection,
@@ -47,9 +61,16 @@ from repro.serve.protocol import (
     wire_to_event,
     wire_to_events,
 )
+from repro.serve.resilience import CircuitBreaker, ExponentialBackoff
 from repro.serve.server import PipelineServer, ServeConfig
 
 __all__ = [
+    "CircuitBreaker",
+    "DeadlineAdmission",
+    "ExponentialBackoff",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthState",
     "IngestReport",
     "MaxInFlight",
     "PipelineServer",

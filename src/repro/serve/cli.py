@@ -11,6 +11,10 @@ windows, emit final detections) and prints the final metrics as JSON.
 
     repro-serve --port 7807 --shedder espice --f 0.8 \\
         --rate-limit 5000 --auth-secret s3cret --max-pending 65536
+
+``--shards N`` serves a fault-tolerant ``ShardedPipeline`` instead of
+the in-process pipeline: N forked worker processes behind the same
+front door, with worker respawn and exactly-once replay on failure.
 """
 
 from __future__ import annotations
@@ -117,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed explanations kept per window trace (with --obs)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "serve a fault-tolerant ShardedPipeline with this many "
+            "worker processes (0 = in-process pipeline)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="skip the startup banner"
     )
     return parser
@@ -176,6 +189,12 @@ def build_middleware(
 
 async def _serve(args: argparse.Namespace) -> dict:
     pipeline = build_pipeline(args)
+    if args.shards > 0:
+        from repro.cluster import ShardedPipeline
+
+        pipeline = ShardedPipeline(
+            pipeline, shards=args.shards, fault_tolerant=True
+        )
     observability = build_observability(args)
     server = PipelineServer(
         pipeline,
@@ -194,6 +213,7 @@ async def _serve(args: argparse.Namespace) -> dict:
             f"repro-serve listening on {args.host}:{server.port} "
             f"(framed TCP + HTTP: {routes}); "
             f"shedder={args.shedder} max_pending={args.max_pending}"
+            f"{f' shards={args.shards}' if args.shards > 0 else ''}"
             f"{' obs=on' if observability is not None else ''}",
             flush=True,
         )
@@ -209,6 +229,12 @@ async def _serve(args: argparse.Namespace) -> dict:
         print("repro-serve: draining...", flush=True)
     final = await server.stop()
     metrics = server.metrics()
+    if args.shards > 0:
+        metrics["cluster"] = {
+            "shards": len(pipeline.snapshot().shards),
+            "restarts": pipeline.snapshot().restarts,
+        }
+        pipeline.shutdown()
     metrics["final_flush_detections"] = {
         name: len(events) for name, events in final.items()
     }

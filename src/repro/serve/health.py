@@ -1,0 +1,263 @@
+"""The server's degradation ladder: graded overload, not a cliff.
+
+PR 4's front door had exactly two behaviours: admit, or refuse with
+``overloaded``.  The ladder in between is what production middleboxes
+actually do (Slick, PAPERS.md): as pressure builds the server *first*
+tightens what it accepts, *then* sheds work it already accepted, and
+only at the top refuses non-essential traffic outright.  Four states::
+
+    HEALTHY ──▶ DEGRADED ──▶ OVERLOADED ──▶ DRAINING
+       ▲            │             │             (terminal: stop())
+       └────────────┴─────────────┘  recovery, one rung at a time
+
+- **HEALTHY**: everything admitted, no interference.
+- **DEGRADED**: queue utilization or shed rate elevated -- token
+  buckets tighten (``rate_limit_factor``), non-essential ops
+  (``/trace`` by default) are refused.
+- **OVERLOADED**: utilization critical or downstream failures --
+  shedding is raised through the coordinated-shedding hook on top of
+  the tightened limits.
+- **DRAINING**: entered by ``stop()`` only; nothing new is admitted.
+
+:class:`HealthMonitor` is a pure, clock-injected state machine
+(deterministic under test, R001): the server feeds it utilization /
+shed-rate / failure signals and applies the per-state policy returned
+by each transition.  Transitions are recorded (bounded history) and
+published as the ``repro_server_health_state`` gauge plus
+``repro_server_health_transitions_total`` counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["HealthState", "HealthPolicy", "HealthMonitor"]
+
+
+class HealthState:
+    """The ladder's rungs, ordered by severity (gauge-friendly ints)."""
+
+    HEALTHY = 0
+    DEGRADED = 1
+    OVERLOADED = 2
+    DRAINING = 3
+
+    NAMES = {
+        HEALTHY: "healthy",
+        DEGRADED: "degraded",
+        OVERLOADED: "overloaded",
+        DRAINING: "draining",
+    }
+
+    @classmethod
+    def name(cls, state: int) -> str:
+        return cls.NAMES[state]
+
+
+@dataclass
+class HealthPolicy:
+    """Thresholds driving the ladder and the per-state countermeasures.
+
+    Attributes
+    ----------
+    degraded_utilization / overloaded_utilization:
+        Ingest-queue utilization (pending/capacity) at which the server
+        climbs to DEGRADED / OVERLOADED.
+    recover_utilization:
+        Utilization below which the server may descend one rung (with
+        hysteresis: strictly below both climb thresholds, plus dwell).
+    degraded_shed_rate:
+        Pipeline membership drop rate that alone justifies DEGRADED
+        (shedding is already paying for overload downstream).
+    failure_window / failure_threshold:
+        ``failure_threshold`` downstream failures within
+        ``failure_window`` seconds force OVERLOADED.
+    min_dwell_seconds:
+        Minimum time on a rung before descending (flap damping).
+    rate_limit_factor:
+        Token-bucket rate multiplier per state (HEALTHY restores 1.0).
+    shed_fraction:
+        Per-partition drop fraction the OVERLOADED shedding hook
+        applies (of the planned partition size).
+    nonessential_ops:
+        Ops refused per state; anything not listed for the current
+        state is admitted (DRAINING refusals are handled by the
+        server's lifecycle, not here).
+    """
+
+    degraded_utilization: float = 0.60
+    overloaded_utilization: float = 0.85
+    recover_utilization: float = 0.40
+    degraded_shed_rate: float = 0.05
+    failure_window: float = 10.0
+    failure_threshold: int = 3
+    min_dwell_seconds: float = 1.0
+    rate_limit_factor: Dict[int, float] = field(
+        default_factory=lambda: {
+            HealthState.HEALTHY: 1.0,
+            HealthState.DEGRADED: 0.5,
+            HealthState.OVERLOADED: 0.25,
+            HealthState.DRAINING: 0.0,
+        }
+    )
+    shed_fraction: float = 0.2
+    nonessential_ops: Dict[int, Tuple[str, ...]] = field(
+        default_factory=lambda: {
+            HealthState.HEALTHY: (),
+            HealthState.DEGRADED: ("trace",),
+            HealthState.OVERLOADED: ("trace",),
+            HealthState.DRAINING: ("trace", "ingest"),
+        }
+    )
+
+    def __post_init__(self) -> None:
+        if not (
+            0.0
+            <= self.recover_utilization
+            < self.degraded_utilization
+            < self.overloaded_utilization
+            <= 1.0
+        ):
+            raise ValueError(
+                "need 0 <= recover < degraded < overloaded <= 1 utilization"
+            )
+        if self.failure_threshold <= 0:
+            raise ValueError("failure threshold must be positive")
+        if not 0.0 <= self.shed_fraction <= 1.0:
+            raise ValueError("shed fraction must lie in [0, 1]")
+
+
+class HealthMonitor:
+    """Clock-injected ladder state machine (see module docstring)."""
+
+    __slots__ = (
+        "policy",
+        "_clock",
+        "_state",
+        "_entered_at",
+        "_failures",
+        "transitions",
+        "transition_counts",
+        "history_limit",
+    )
+
+    def __init__(
+        self,
+        policy: Optional[HealthPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        history_limit: int = 64,
+    ) -> None:
+        self.policy = policy if policy is not None else HealthPolicy()
+        self._clock = clock
+        self._state = HealthState.HEALTHY
+        self._entered_at = clock()
+        self._failures: List[float] = []  # downstream failure timestamps
+        #: bounded transition history (newest last), served over the wire
+        self.transitions: List[Dict[str, object]] = []
+        #: (from, to) -> count, the transition-counter families' source
+        self.transition_counts: Dict[Tuple[int, int], int] = {}
+        self.history_limit = history_limit
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @property
+    def state_name(self) -> str:
+        return HealthState.name(self._state)
+
+    def record_failure(self) -> None:
+        """Count one downstream failure (consumer exception, shard death)."""
+        self._failures.append(self._clock())
+
+    def _recent_failures(self, now: float) -> int:
+        cutoff = now - self.policy.failure_window
+        self._failures = [t for t in self._failures if t >= cutoff]
+        return len(self._failures)
+
+    def evaluate(
+        self, utilization: float, shed_rate: float = 0.0
+    ) -> Optional[Tuple[int, int]]:
+        """One periodic check; returns ``(old, new)`` on a transition.
+
+        Climbing is immediate (overload must not wait out a dwell
+        timer); descending happens one rung at a time, only after
+        ``min_dwell_seconds`` on the current rung and with utilization
+        back under ``recover_utilization`` -- the hysteresis that keeps
+        the ladder from flapping at a threshold boundary.
+        """
+        if self._state == HealthState.DRAINING:
+            return None  # terminal: only stop() puts us here
+        now = self._clock()
+        policy = self.policy
+        failures = self._recent_failures(now)
+        target = self._state
+        if (
+            utilization >= policy.overloaded_utilization
+            or failures >= policy.failure_threshold
+        ):
+            target = HealthState.OVERLOADED
+        elif (
+            utilization >= policy.degraded_utilization
+            or shed_rate >= policy.degraded_shed_rate
+        ):
+            target = max(self._state, HealthState.DEGRADED)
+        elif (
+            self._state > HealthState.HEALTHY
+            and utilization <= policy.recover_utilization
+            and shed_rate < policy.degraded_shed_rate
+            and failures == 0
+            and now - self._entered_at >= policy.min_dwell_seconds
+        ):
+            target = self._state - 1  # descend one rung at a time
+        if target == self._state:
+            return None
+        return self._transition(target, now, utilization)
+
+    def force(self, state: int, reason: str = "forced") -> Tuple[int, int]:
+        """Jump to ``state`` unconditionally (``stop()`` → DRAINING)."""
+        return self._transition(state, self._clock(), None, reason=reason)
+
+    def _transition(
+        self,
+        target: int,
+        now: float,
+        utilization: Optional[float],
+        reason: str = "evaluated",
+    ) -> Tuple[int, int]:
+        old = self._state
+        self._state = target
+        self._entered_at = now
+        self.transition_counts[(old, target)] = (
+            self.transition_counts.get((old, target), 0) + 1
+        )
+        self.transitions.append(
+            {
+                "from": HealthState.name(old),
+                "to": HealthState.name(target),
+                "at": now,
+                "utilization": utilization,
+                "reason": reason,
+            }
+        )
+        if len(self.transitions) > self.history_limit:
+            del self.transitions[: -self.history_limit]
+        return old, target
+
+    def rate_limit_factor(self) -> float:
+        """The token-bucket multiplier of the current rung."""
+        return self.policy.rate_limit_factor.get(self._state, 1.0)
+
+    def rejects_op(self, op: str) -> bool:
+        """Whether the current rung refuses ``op`` as non-essential."""
+        return op in self.policy.nonessential_ops.get(self._state, ())
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "state": self.state_name,
+            "state_code": self._state,
+            "transitions": len(self.transitions),
+            "recent": self.transitions[-5:],
+        }

@@ -63,6 +63,9 @@ class Request:
     events: List[object] = field(default_factory=list)
     auth: Optional[str] = None
     path: str = ""  #: HTTP path ("" for framed requests)
+    #: remaining client budget in seconds (``deadline_ms`` frame field /
+    #: ``X-Deadline-Ms`` header); None = no deadline attached
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -135,6 +138,20 @@ class TokenBucketLimiter(ServerMiddleware):
         self._buckets: Dict[str, Tuple[float, float]] = {}  # key -> (tokens, last)
         self.passed = 0
         self.limited = 0
+        #: degradation-ladder multiplier on the refill rate (1.0 =
+        #: healthy); the server's health monitor tightens it on the way
+        #: up the ladder and restores it on recovery
+        self.pressure_factor = 1.0
+
+    def set_pressure(self, factor: float) -> None:
+        """Scale the effective refill rate (health-ladder tightening)."""
+        if factor < 0.0:
+            raise ValueError("pressure factor must be non-negative")
+        self.pressure_factor = factor
+
+    @property
+    def effective_rate(self) -> float:
+        return self.rate * self.pressure_factor
 
     def on_request(self, request: Request) -> Optional[Rejection]:
         if request.op not in self.ops:
@@ -142,7 +159,7 @@ class TokenBucketLimiter(ServerMiddleware):
         key = self.key_func(request)
         now = self.clock()
         tokens, last = self._buckets.get(key, (self.burst, now))
-        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        tokens = min(self.burst, tokens + (now - last) * self.effective_rate)
         # epsilon absorbs float drift from repeated elapsed-time sums
         if tokens >= 1.0 - 1e-9:
             self._buckets[key] = (max(0.0, tokens - 1.0), now)
@@ -150,10 +167,12 @@ class TokenBucketLimiter(ServerMiddleware):
             return None
         self._buckets[key] = (tokens, now)
         self.limited += 1
+        refill = self.effective_rate
+        retry_after = (1.0 - tokens) / refill if refill > 0.0 else 60.0
         return Rejection(
             error="rate_limited",
             status=429,
-            detail={"retry_after": round((1.0 - tokens) / self.rate, 4)},
+            detail={"retry_after": round(retry_after, 4)},
         )
 
     def metrics(self) -> Dict[str, object]:
@@ -161,6 +180,7 @@ class TokenBucketLimiter(ServerMiddleware):
             "passed": self.passed,
             "limited": self.limited,
             "clients": len(self._buckets),
+            "pressure_factor": self.pressure_factor,
         }
 
 

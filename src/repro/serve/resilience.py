@@ -1,0 +1,181 @@
+"""Client-side resilience primitives: backoff and circuit breaking.
+
+A replay harness pointed at a real server must survive the server
+being slow, restarting, or resetting connections mid-stream.  The two
+primitives here are deliberately pure state machines -- no sleeping, no
+I/O -- so :class:`repro.serve.client.ServeClient` composes them into
+its retry loop while the unit tests drive them exhaustively with a
+fake clock and a seeded RNG (determinism rules R001/R002):
+
+- :class:`ExponentialBackoff` computes the wait before retry ``n``:
+  ``base * factor**n`` capped at ``cap``, plus a proportional jitter
+  drawn from a *seeded* RNG (full-jitter spreads synchronized retry
+  herds without sacrificing replayability);
+- :class:`CircuitBreaker` is the classic closed → open → half-open
+  machine: ``failure_threshold`` consecutive failures open the
+  circuit, calls are refused until ``recovery_timeout`` elapsed, then
+  exactly one probe is allowed through (half-open); its success closes
+  the circuit, its failure re-opens it and re-arms the timer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["ExponentialBackoff", "CircuitBreaker"]
+
+
+class ExponentialBackoff:
+    """Seeded-jitter exponential backoff schedule.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is
+    ``min(cap, base * factor**attempt)`` plus up to ``jitter`` of that
+    value, drawn from a private :class:`random.Random` seeded at
+    construction -- two schedules built with the same seed produce the
+    same delays (R002: no global, unseeded randomness).
+    """
+
+    __slots__ = ("base", "factor", "cap", "jitter", "_rng")
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        cap: float = 5.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0.0:
+            raise ValueError("base delay must be positive")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if cap < base:
+            raise ValueError("cap must be >= base")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def backoff(self, attempt: int) -> float:
+        """The deterministic (jitter-free) delay before retry ``attempt``."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(self.cap, self.base * self.factor**attempt)
+
+    def delay(self, attempt: int) -> float:
+        """The jittered delay before retry ``attempt`` (monotone base)."""
+        backoff = self.backoff(attempt)
+        if self.jitter == 0.0:
+            return backoff
+        return backoff * (1.0 + self.jitter * self._rng.random())
+
+
+class CircuitBreaker:
+    """Closed/open/half-open circuit breaker (a pure state machine).
+
+    Protocol: call :meth:`allow` before attempting the guarded
+    operation; on ``False`` do not attempt it (the circuit is open or a
+    half-open probe is already in flight).  Report the outcome with
+    :meth:`record_success` / :meth:`record_failure`.  The ``clock`` is
+    injectable (fake clocks in tests, R001); only the recovery timer
+    reads it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    __slots__ = (
+        "failure_threshold",
+        "recovery_timeout",
+        "_clock",
+        "_state",
+        "_consecutive_failures",
+        "_opened_at",
+        "_probe_in_flight",
+        "opens",
+        "rejected_calls",
+    )
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError("failure threshold must be positive")
+        if recovery_timeout <= 0.0:
+            raise ValueError("recovery timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.opens = 0
+        self.rejected_calls = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, with the open → half-open timer applied."""
+        if (
+            self._state == self.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.recovery_timeout
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the next call may proceed (claims the probe slot)."""
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probe_in_flight:
+            # exactly one probe per half-open period
+            self._probe_in_flight = True
+            return True
+        self.rejected_calls += 1
+        return False
+
+    def record_success(self) -> None:
+        """The guarded call succeeded: close and reset the circuit."""
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """The guarded call failed: count, and open past the threshold."""
+        if self.state == self.HALF_OPEN:
+            # the probe failed: straight back to open, timer re-armed
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == self.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self._consecutive_failures = 0
+        self.opens += 1
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "opens": self.opens,
+            "rejected_calls": self.rejected_calls,
+        }

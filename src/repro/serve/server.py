@@ -28,6 +28,14 @@ Design decisions, each mirroring a paper/ROADMAP concern:
   the event order seen by the pipeline is the admission order, so a
   single client replaying a stream gets detections bit-identical to
   an in-process replay (property-tested).
+- **Graded overload, not a cliff.**  A :class:`~repro.serve.health.
+  HealthMonitor` ladder (HEALTHY → DEGRADED → OVERLOADED → DRAINING)
+  watches queue utilization, shed rate and downstream failures; each
+  rung tightens token buckets, refuses non-essential ops, and -- at
+  OVERLOADED -- raises load shedding through the coordinated-shedding
+  hook.  Requests may carry a deadline (``deadline_ms`` /
+  ``X-Deadline-Ms``); :class:`~repro.serve.admission.DeadlineAdmission`
+  refuses ones the measured queue wait would already blow.
 - **Graceful drain.**  ``stop()`` stops accepting, lets the consumer
   drain the queue, then runs :meth:`repro.pipeline.Pipeline.finish`
   (flush of the live micro-batcher plus still-open windows), so the
@@ -43,8 +51,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cep.events import ComplexEvent
+from repro.cluster.sharded import ShardedPipeline
+from repro.core.partitions import plan_partitions
 from repro.pipeline.pipeline import Pipeline
 from repro.serve import http as http_surface
+from repro.serve.health import HealthMonitor, HealthPolicy, HealthState
 from repro.serve.middleware import Rejection, Request, ServerMiddleware
 from repro.serve.protocol import (
     MAGIC,
@@ -53,6 +64,7 @@ from repro.serve.protocol import (
     read_frame,
     wire_to_events,
 )
+from repro.shedding.base import DropCommand
 
 __all__ = ["ServeConfig", "PipelineServer"]
 
@@ -93,7 +105,14 @@ class ServeConfig:
 
 
 class PipelineServer:
-    """Serve a built :class:`~repro.pipeline.Pipeline` over TCP/HTTP."""
+    """Serve a built :class:`~repro.pipeline.Pipeline` over TCP/HTTP.
+
+    Also accepts a :class:`~repro.cluster.sharded.ShardedPipeline`:
+    the cluster exposes the same ``feed``/``finish``/``backpressure``
+    surface, so the front door drives a multi-process deployment
+    through the identical consumer loop (detections keep sequential
+    order via the coordinator's dispatch-index merge).
+    """
 
     def __init__(
         self,
@@ -101,16 +120,30 @@ class PipelineServer:
         config: Optional[ServeConfig] = None,
         middleware: Sequence[ServerMiddleware] = (),
         observability=None,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
-        if not isinstance(pipeline, Pipeline):
+        if not isinstance(pipeline, (Pipeline, ShardedPipeline)):
             raise TypeError(
-                "PipelineServer drives a built Pipeline; for a "
-                "ShardedPipeline put the server in front of the wrapped "
-                "pipeline or run the cluster behind a plain Pipeline "
-                "ingress (sharded serving is a ROADMAP item)"
+                "PipelineServer drives a built Pipeline or a "
+                f"ShardedPipeline, not {type(pipeline).__name__}"
+            )
+        # a sharded pipeline is fed through its live serve surface
+        # (feed/finish); its workers fork on server start()
+        self._sharded = isinstance(pipeline, ShardedPipeline)
+        if self._sharded and observability is not None and pipeline.started:
+            raise RuntimeError(
+                "pass the ShardedPipeline unstarted when serving with "
+                "observability: workers inherit instrumentation at fork"
             )
         self.pipeline = pipeline
         self.config = config if config is not None else ServeConfig()
+        #: the degradation ladder (always on; see repro.serve.health)
+        self.health = HealthMonitor(health_policy)
+        #: query -> shedding the ladder itself activated (and may undo)
+        self._health_shedding: set = set()
+        self.nonessential_rejected = 0
+        self.feed_errors = 0
+        self._last_feed_error: Optional[str] = None
         self.middlewares: List[ServerMiddleware] = []
         for mw in middleware:
             mw.setup_middleware(self)
@@ -169,6 +202,11 @@ class PipelineServer:
         """Bind the listener and start the consumer (idempotent)."""
         if self._state in ("serving", "draining"):
             return self
+        if self._sharded:
+            # fork the shard workers before the listener binds: the
+            # first admitted event must find the cluster live, and the
+            # fork must happen before the loop owns any sockets
+            self.pipeline.start()
         # bounded in *batches* by the same knob that bounds pending
         # *events*: every queued entry carries >= 1 event and _admit
         # refuses batches beyond max_pending_events, so this capacity
@@ -211,6 +249,9 @@ class PipelineServer:
             self._state = "stopped"
             return {}
         self._state = "draining"
+        # bottom of the ladder: nothing new is essential while draining
+        self.health.force(HealthState.DRAINING, reason="stop")
+        self._apply_rate_limits()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -264,7 +305,19 @@ class PipelineServer:
             started = time.perf_counter()
             try:
                 for event in events:
-                    feed(event)
+                    try:
+                        feed(event)
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:
+                        # a downstream failure must not kill the feeder:
+                        # count it, tell the ladder, keep draining --
+                        # the degraded state is visible on /healthz
+                        self.feed_errors += 1
+                        self._last_feed_error = (
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        self.health.record_failure()
             finally:
                 self._pending -= len(events)
                 self.events_fed += len(events)
@@ -277,6 +330,7 @@ class PipelineServer:
                     if self._drain_rate is None
                     else 0.8 * self._drain_rate + 0.2 * rate
                 )
+            self._health_check()
             # yield so connection handlers interleave between batches
             await asyncio.sleep(0)
 
@@ -290,6 +344,110 @@ class PipelineServer:
         return sink
 
     # ------------------------------------------------------------------
+    # the degradation ladder (repro.serve.health)
+    # ------------------------------------------------------------------
+    def estimated_wait(self) -> float:
+        """Estimated seconds an admitted batch waits before the pipeline.
+
+        Queue wait from the drain-rate EMA plus the p95 request service
+        time from the request-latency histogram (when a
+        ``RequestLogMiddleware`` publishes one) -- the live signals the
+        deadline-admission middleware compares a request's budget to.
+        """
+        wait = 0.0
+        if self._drain_rate is not None and self._drain_rate > 0.0:
+            wait += self._pending / self._drain_rate
+        for mw in self.middlewares:
+            hist = getattr(mw, "_request_seconds", None)
+            if hist is None:
+                continue
+            try:
+                wait += hist.labels(op="ingest").quantile(0.95)
+            except (KeyError, ValueError):
+                pass  # no ingest sample yet
+            break
+        return wait
+
+    def _health_check(self) -> None:
+        """Feed live signals to the ladder; apply policy on transition."""
+        utilization = self._pending / self.config.max_pending_events
+        shed_rate = 0.0
+        for chain_state in self._shedding_snapshot().values():
+            if chain_state.get("active"):
+                shed_rate = max(
+                    shed_rate, float(chain_state.get("drop_rate") or 0.0)
+                )
+        transition = self.health.evaluate(utilization, shed_rate=shed_rate)
+        if transition is not None:
+            self._apply_health_policy(*transition)
+
+    def _apply_health_policy(self, old: int, new: int) -> None:
+        """The countermeasures of one ladder transition."""
+        self._apply_rate_limits()
+        if (
+            new >= HealthState.OVERLOADED
+            and old < HealthState.OVERLOADED
+            and new != HealthState.DRAINING
+        ):
+            self._raise_shedding()
+        elif new < HealthState.OVERLOADED <= old:
+            self._lower_shedding()
+
+    def _apply_rate_limits(self) -> None:
+        """Scale every pressure-aware middleware to the current rung."""
+        factor = self.health.rate_limit_factor()
+        for mw in self.middlewares:
+            set_pressure = getattr(mw, "set_pressure", None)
+            if set_pressure is not None:
+                set_pressure(factor)
+
+    def _raise_shedding(self) -> None:
+        """Entering OVERLOADED: activate load shedding where it is off.
+
+        Uses each chain's deployed overload plan when one exists (the
+        detector's ``qmax``/``f``), falling back to the paper's default
+        partitioning; only chains whose shedder the ladder itself turned
+        on are remembered, so operator- or detector-driven shedding is
+        never clobbered on recovery.
+        """
+        fraction = self.health.policy.shed_fraction
+        for chain in self.pipeline.chains:
+            shedder, model = chain.shedder, chain.model
+            if shedder is None or model is None or shedder.active:
+                continue
+            detector = chain.detector
+            if detector is not None:
+                plan = plan_partitions(
+                    detector.reference_size, detector.qmax(), detector.f
+                )
+            else:
+                plan = plan_partitions(model.reference_size, 1000.0, 0.8)
+            command = DropCommand(
+                x=fraction * plan.partition_size,
+                partition_count=plan.partition_count,
+                partition_size=plan.partition_size,
+            )
+            name = chain.query.name
+            if self._sharded:
+                self.pipeline.broadcast_shedding(command, chain=name)
+            else:
+                shedder.on_drop_command(command)
+                shedder.activate()
+            self._health_shedding.add(name)
+
+    def _lower_shedding(self) -> None:
+        """Leaving OVERLOADED: undo exactly the shedding we activated."""
+        for chain in self.pipeline.chains:
+            name = chain.query.name
+            if name not in self._health_shedding:
+                continue
+            if self._sharded:
+                self.pipeline.stop_shedding(chain=name)
+            elif chain.shedder is not None:
+                chain.shedder.deactivate()
+        self._health_shedding.clear()
+
+    # ------------------------------------------------------------------
     # request dispatch (shared by both wire surfaces)
     # ------------------------------------------------------------------
     def _dispatch(self, request: Request) -> Tuple[int, Dict[str, object]]:
@@ -299,6 +457,17 @@ class PipelineServer:
         middlewares whose ``on_request`` ran (vetoes included), so
         stateful middleware (in-flight slots) cannot leak.
         """
+        if self.health.rejects_op(request.op):
+            # the ladder's non-essential list for the current rung --
+            # checked before the middleware chain so a degraded server
+            # spends nothing on work it is about to refuse
+            self.nonessential_rejected += 1
+            return 503, {
+                "ok": False,
+                "error": "degraded",
+                "state": self.health.state_name,
+                "retry_after": self.config.retry_after_min,
+            }
         ran: List[ServerMiddleware] = []
         rejection: Optional[Rejection] = None
         for mw in self.middlewares:
@@ -321,6 +490,7 @@ class PipelineServer:
             return 200, {
                 "ok": True,
                 "status": self._state,
+                "health": self.health.state_name,
                 "pending": self._pending,
                 "capacity": self.config.max_pending_events,
             }
@@ -413,6 +583,25 @@ class PipelineServer:
     # connection handling
     # ------------------------------------------------------------------
     @staticmethod
+    def _parse_deadline_ms(raw) -> Optional[float]:
+        """``deadline_ms`` field / ``X-Deadline-Ms`` header -> seconds.
+
+        Malformed or non-positive budgets are treated as "no deadline"
+        rather than rejected: the deadline is an optional client hint,
+        and a bad hint must not break a request that would otherwise
+        succeed.
+        """
+        if raw is None or isinstance(raw, bool):
+            return None
+        try:
+            ms = float(raw)
+        except (TypeError, ValueError):
+            return None
+        if ms <= 0.0:
+            return None
+        return ms / 1000.0
+
+    @staticmethod
     def _peer_key(writer: asyncio.StreamWriter) -> str:
         peer = writer.get_extra_info("peername")
         if isinstance(peer, tuple) and peer:
@@ -488,6 +677,7 @@ class PipelineServer:
                 transport="frame",
                 events=events,
                 auth=auth if isinstance(auth, str) else None,
+                deadline=self._parse_deadline_ms(message.get("deadline_ms")),
             )
             _status, payload = self._dispatch(request)
             payload.setdefault("op", op)
@@ -576,6 +766,9 @@ class PipelineServer:
                 events=events,
                 auth=request.bearer_token(),
                 path=request.path,
+                deadline=self._parse_deadline_ms(
+                    request.header("x-deadline-ms")
+                ),
             )
             status, payload = self._dispatch(wire_request)
             if (
@@ -681,6 +874,23 @@ class PipelineServer:
             "Requests vetoed by a middleware",
             labels=("middleware",),
         )
+        health_state = registry.gauge(
+            "repro_server_health_state",
+            "Degradation-ladder rung (0 healthy .. 3 draining)",
+        )
+        health_transitions = registry.counter(
+            "repro_server_health_transitions_total",
+            "Degradation-ladder transitions",
+            labels=("from_state", "to_state"),
+        )
+        deadline_rejected = registry.counter(
+            "repro_server_deadline_rejected_total",
+            "Requests refused because their deadline was already doomed",
+        )
+        feed_errors = registry.counter(
+            "repro_server_feed_errors_total",
+            "Downstream pipeline failures absorbed by the consumer",
+        )
 
         def collect() -> None:
             connections.labels().set_total(self.connections_total)
@@ -702,8 +912,24 @@ class PipelineServer:
                 mw_metrics = mw.metrics()
                 vetoed = mw_metrics.get("rejected", 0) + mw_metrics.get("limited", 0)
                 rejected.labels(middleware=mw.name).set_total(vetoed)
+            health_state.labels().set(self.health.state)
+            for (old, new), count in self.health.transition_counts.items():
+                health_transitions.labels(
+                    from_state=HealthState.name(old),
+                    to_state=HealthState.name(new),
+                ).set_total(count)
+            deadline_rejected.labels().set_total(self._deadline_rejections())
+            feed_errors.labels().set_total(self.feed_errors)
 
         return registry.register_collector(collect)
+
+    def _deadline_rejections(self) -> int:
+        """Total deadline vetoes across DeadlineAdmission middlewares."""
+        total = 0
+        for mw in self.middlewares:
+            if getattr(mw, "name", "") == "deadline":
+                total += getattr(mw, "rejected", 0)
+        return total
 
     def metrics(self) -> Dict[str, object]:
         """Wire-level counters + middleware + pipeline backpressure."""
@@ -738,6 +964,13 @@ class PipelineServer:
                 "by_query": dict(self._detections_by_query),
             },
             "middleware": {mw.name: mw.metrics() for mw in self.middlewares},
+            "health": {
+                **self.health.metrics(),
+                "nonessential_rejected": self.nonessential_rejected,
+                "deadline_rejected": self._deadline_rejections(),
+                "feed_errors": self.feed_errors,
+                "last_feed_error": self._last_feed_error,
+            },
             "shedding": self._shedding_snapshot(),
             "backpressure": self.pipeline.backpressure(),
             # the same per-stage numbers Pipeline.metrics() reports

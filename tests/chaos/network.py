@@ -1,0 +1,190 @@
+"""``NetworkChaos``: a fault-injecting TCP proxy for the serve protocol.
+
+The cluster chaos harness (:mod:`tests.chaos.controller`) breaks the
+*inside* of a deployment -- IPC queues, worker processes.  This proxy
+breaks the *wire in front of it*: it sits between a
+:class:`repro.serve.client.ServeClient` and a
+:class:`repro.serve.server.PipelineServer`, parses the client->server
+byte stream at RPV1 frame granularity, and injects faults at **exact
+frame indices** so failure tests are reproducible instead of racy:
+
+- ``drop``     -- swallow the frame (the client sees a response that
+  never comes: its per-request timeout fires);
+- ``delay``    -- hold the frame for a fixed time before forwarding;
+- ``truncate`` -- forward only half the frame's bytes, then cut the
+  connection (the server sees a mid-frame EOF);
+- ``reset``    -- abort the connection before the frame is forwarded.
+
+Faults fire when a frame has been *fully read from the client but not
+yet forwarded*, so a faulted ingest batch provably never reached the
+server -- the client's resend after reconnect cannot duplicate events,
+which is what lets the chaos suite assert exactly-once end to end.
+
+The frame counter is global across proxied connections (a reconnect
+continues the count), so one schedule spans an entire client session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Dict, Optional, Tuple
+
+MAGIC = b"RPV1"
+_LEN = struct.Struct(">I")
+
+
+class NetworkChaos:
+    """TCP proxy injecting faults at exact client->server frame indices."""
+
+    def __init__(self, target_host: str, target_port: int) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        #: frame index -> (kind, arg); one fault per index
+        self._faults: Dict[int, Tuple[str, float]] = {}
+        self.frames_seen = 0
+        self.faults_fired = 0
+        self.connections = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    # schedule
+    # ------------------------------------------------------------------
+    def drop_frame(self, index: int) -> "NetworkChaos":
+        self._faults[index] = ("drop", 0.0)
+        return self
+
+    def delay_frame(self, index: int, seconds: float) -> "NetworkChaos":
+        self._faults[index] = ("delay", seconds)
+        return self
+
+    def truncate_frame(self, index: int) -> "NetworkChaos":
+        self._faults[index] = ("truncate", 0.0)
+        return self
+
+    def reset_at_frame(self, index: int) -> "NetworkChaos":
+        self._faults[index] = ("reset", 0.0)
+        return self
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind an ephemeral listening port; returns it."""
+        self._server = await asyncio.start_server(
+            self._handle, host="127.0.0.1", port=0
+        )
+        return self.port
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # proxying
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.target_host, self.target_port
+            )
+        except OSError:
+            client_writer.close()
+            return
+        try:
+            downstream = asyncio.create_task(
+                self._pipe(up_reader, client_writer)
+            )
+            await self._forward_frames(client_reader, up_writer, client_writer)
+            downstream.cancel()
+            try:
+                await downstream
+            except asyncio.CancelledError:
+                pass
+        finally:
+            for writer in (client_writer, up_writer):
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+    @staticmethod
+    async def _pipe(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Byte-for-byte server->client relay (responses are never faulted)."""
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def _forward_frames(
+        self,
+        client_reader: asyncio.StreamReader,
+        up_writer: asyncio.StreamWriter,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Parse and forward the framed client stream, firing faults."""
+        try:
+            magic = await client_reader.readexactly(len(MAGIC))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return
+        up_writer.write(magic)
+        await up_writer.drain()
+        while True:
+            try:
+                header = await client_reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                payload = await client_reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+            index = self.frames_seen
+            self.frames_seen += 1
+            fault = self._faults.pop(index, None)
+            try:
+                if fault is None:
+                    up_writer.write(header + payload)
+                    await up_writer.drain()
+                    continue
+                kind, arg = fault
+                self.faults_fired += 1
+                if kind == "delay":
+                    await asyncio.sleep(arg)
+                    up_writer.write(header + payload)
+                    await up_writer.drain()
+                elif kind == "drop":
+                    continue  # swallowed: the client waits in vain
+                elif kind == "truncate":
+                    up_writer.write(header + payload[: max(1, length // 2)])
+                    await up_writer.drain()
+                    self._abort(client_writer)
+                    self._abort(up_writer)
+                    return
+                elif kind == "reset":
+                    self._abort(client_writer)
+                    self._abort(up_writer)
+                    return
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                return
+
+    @staticmethod
+    def _abort(writer: asyncio.StreamWriter) -> None:
+        """Hard-close: pending data discarded, peer sees a reset/EOF."""
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()

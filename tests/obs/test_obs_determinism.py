@@ -133,6 +133,52 @@ class TestSharded:
             with pytest.raises(RuntimeError, match="before start"):
                 sharded.enable_observability()
 
+    def test_replay_never_consults_the_overload_detector(self, soccer):
+        """Regression for the two-shard determinism flake.
+
+        ``ShardedPipeline.run()`` used to feed the wall-clock cluster
+        backpressure to the deployed overload detector, so a slow
+        machine could activate shedding mid-replay and silently drop a
+        timing-dependent set of tail detections.  The replay path now
+        skips the detector (``_check_overload(live=False)``): replays
+        shed only what was explicitly commanded.
+
+        The deployment here is a hair trigger -- a detector sized for a
+        throughput of 1 event/s checked on every ingest batch -- so if
+        the replay path ever consults it again, shedding fires on the
+        first check and the equality below breaks on every run rather
+        than flaking rarely.  Looped to catch any residual timing
+        sensitivity.
+        """
+        train, live = soccer
+        baseline = [
+            c.key
+            for c in (
+                Pipeline.builder()
+                .query(build_q1(pattern_size=3, window_seconds=10.0))
+                .build()
+                .train(train)
+                .run(live)
+                .complex_events
+            )
+        ]
+        for attempt in range(3):
+            pipeline = (
+                Pipeline.builder()
+                .query(build_q1(pattern_size=3, window_seconds=10.0))
+                .shedder("espice", f=0.8)
+                .check_interval(1e-6)
+                .build()
+                .train(train)
+                .deploy(expected_throughput=1.0, expected_input_rate=10_000.0)
+            )
+            sharded = ShardedPipeline(pipeline, shards=2, batch_size=32)
+            with sharded:
+                result = sharded.run(live)
+            observed = [c.key for c in result.complex_events]
+            assert observed == baseline, f"attempt {attempt} diverged"
+            assert not any(sharded.coordinator.shedding.values())
+
 
 class TestBuilderKnob:
     def test_builder_enables_observability(self, soccer):

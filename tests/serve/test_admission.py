@@ -1,0 +1,211 @@
+"""Unit tests of deadline-aware admission (DeadlineAdmission).
+
+The middleware is pure given an injected wait estimator, so every
+branch is driven directly; the wire-level integration (framed
+``deadline_ms`` / HTTP ``X-Deadline-Ms`` parsing, 504 responses) is
+covered in ``test_server.py``-style end-to-end tests below.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.datasets import SoccerStreamConfig, generate_soccer_stream, split_stream
+from repro.pipeline import Pipeline
+from repro.queries import build_q1
+from repro.serve.admission import DeadlineAdmission
+from repro.serve.client import ServeClient
+from repro.serve.middleware import Request
+from repro.serve.server import PipelineServer, ServeConfig
+
+
+def make_request(op="ingest", deadline=None):
+    return Request(op=op, client="1.2.3.4", transport="frame", deadline=deadline)
+
+
+class TestDeadlineAdmission:
+    def test_no_deadline_passes_untouched(self):
+        admission = DeadlineAdmission(estimator=lambda: 100.0)
+        assert admission.on_request(make_request()) is None
+        assert admission.no_deadline == 1
+        assert admission.rejected == 0
+
+    def test_other_ops_exempt(self):
+        admission = DeadlineAdmission(estimator=lambda: 100.0)
+        request = make_request(op="metrics", deadline=0.001)
+        assert admission.on_request(request) is None
+
+    def test_admits_when_budget_covers_the_wait(self):
+        admission = DeadlineAdmission(estimator=lambda: 0.05)
+        assert admission.on_request(make_request(deadline=0.2)) is None
+        assert admission.admitted == 1
+
+    def test_rejects_doomed_request_with_structured_payload(self):
+        admission = DeadlineAdmission(estimator=lambda: 0.5)
+        rejection = admission.on_request(make_request(deadline=0.1))
+        assert rejection is not None
+        assert rejection.error == "deadline_exceeded"
+        assert rejection.status == 504
+        payload = rejection.payload()
+        assert payload["deadline"] == 0.1
+        assert payload["estimated_wait"] == 0.5
+        assert payload["retry_after"] == 0.5
+        assert admission.rejected == 1
+
+    def test_safety_factor_rejects_earlier(self):
+        admission = DeadlineAdmission(estimator=lambda: 0.1, safety_factor=2.0)
+        assert admission.on_request(make_request(deadline=0.15)) is not None
+        assert admission.on_request(make_request(deadline=0.25)) is None
+
+    def test_retry_after_is_clamped_above_zero(self):
+        admission = DeadlineAdmission(estimator=lambda: 0.0001)
+        rejection = admission.on_request(make_request(deadline=0.00001))
+        assert rejection.payload()["retry_after"] >= 0.001
+
+    def test_metrics(self):
+        admission = DeadlineAdmission(estimator=lambda: 1.0)
+        admission.on_request(make_request(deadline=2.0))
+        admission.on_request(make_request(deadline=0.5))
+        admission.on_request(make_request())
+        assert admission.metrics() == {
+            "admitted": 1,
+            "rejected": 1,
+            "no_deadline": 1,
+        }
+
+    def test_rejects_bad_safety_factor(self):
+        with pytest.raises(ValueError):
+            DeadlineAdmission(safety_factor=0.0)
+
+
+# ----------------------------------------------------------------------
+# wire-level integration
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def soccer_live():
+    stream = generate_soccer_stream(
+        SoccerStreamConfig(duration_seconds=120, seed=9)
+    )
+    train, live = split_stream(stream, train_fraction=0.5)
+    return train, list(live)
+
+
+def build_pipeline(train):
+    return (
+        Pipeline.builder()
+        .query(build_q1(pattern_size=3, window_seconds=10.0))
+        .batch(1)
+        .build()
+        .train(train)
+    )
+
+
+def run_server(scenario, pipeline, middleware=()):
+    async def _run():
+        server = PipelineServer(
+            pipeline, config=ServeConfig(), middleware=middleware
+        )
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(_run())
+
+
+class TestDeadlineOverTheWire:
+    def test_framed_deadline_rejected_when_wait_exceeds_budget(
+        self, soccer_live
+    ):
+        train, live = soccer_live
+        pipeline = build_pipeline(train)
+        # a pinned estimator stands in for a congested queue
+        middleware = [DeadlineAdmission(estimator=lambda: 0.5)]
+
+        async def scenario(server):
+            async with await ServeClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                doomed = await client.ingest(live[:4], deadline_ms=100)
+                viable = await client.ingest(live[4:8], deadline_ms=5000)
+            return doomed, viable, server.metrics()
+
+        doomed, viable, metrics = run_server(scenario, pipeline, middleware)
+        assert doomed["ok"] is False
+        assert doomed["error"] == "deadline_exceeded"
+        assert doomed["retry_after"] == 0.5
+        assert viable["ok"] is True
+        assert metrics["middleware"]["deadline"]["rejected"] == 1
+        assert metrics["health"]["deadline_rejected"] == 1
+
+    def test_http_header_deadline(self, soccer_live):
+        from repro.serve.protocol import events_to_wire
+
+        train, live = soccer_live
+        pipeline = build_pipeline(train)
+        middleware = [DeadlineAdmission(estimator=lambda: 0.5)]
+        payload = json.dumps({"events": events_to_wire(live[:4])}).encode()
+        raw = (
+            b"POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n"
+            b"X-Deadline-Ms: 100\r\nConnection: close\r\n\r\n%s"
+            % (len(payload), payload)
+        )
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(raw)
+            await writer.drain()
+            data = await reader.read(65536)
+            writer.close()
+            return data
+
+        data = run_server(scenario, pipeline, middleware)
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert b"504" in head.split(b"\r\n", 1)[0]
+        decoded = json.loads(body)
+        assert decoded["error"] == "deadline_exceeded"
+        assert decoded["estimated_wait"] == 0.5
+
+    def test_malformed_deadline_is_ignored(self, soccer_live):
+        train, live = soccer_live
+        pipeline = build_pipeline(train)
+        middleware = [DeadlineAdmission(estimator=lambda: 99.0)]
+
+        async def scenario(server):
+            async with await ServeClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                return await client.request(
+                    {
+                        "op": "ingest",
+                        "events": [],
+                        "deadline_ms": "soon",  # not a number
+                    }
+                )
+
+        response = run_server(scenario, pipeline, middleware)
+        assert response["ok"] is True  # treated as no deadline
+
+    def test_default_estimator_wired_to_server_queue_wait(self, soccer_live):
+        """Without an explicit estimator the middleware reads the
+        server's live queue-wait estimate (drain EMA + latency p95)."""
+        train, live = soccer_live
+        pipeline = build_pipeline(train)
+        middleware = [DeadlineAdmission()]
+
+        async def scenario(server):
+            # empty queue, no drain samples: estimated wait is zero, so
+            # even a tiny budget is admitted
+            async with await ServeClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                response = await client.ingest(live[:4], deadline_ms=1)
+            assert server.estimated_wait() == 0.0
+            return response
+
+        response = run_server(scenario, pipeline, middleware)
+        assert response["ok"] is True

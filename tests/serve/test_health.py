@@ -1,0 +1,186 @@
+"""Unit tests of the degradation ladder (HealthMonitor / HealthPolicy).
+
+The monitor is a pure clock-injected state machine; everything here
+runs on a fake clock (R001), so dwell timers and failure windows are
+driven exactly.
+"""
+
+import pytest
+
+from repro.serve.health import HealthMonitor, HealthPolicy, HealthState
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_monitor(**policy_kwargs):
+    clock = FakeClock()
+    monitor = HealthMonitor(HealthPolicy(**policy_kwargs), clock=clock)
+    return monitor, clock
+
+
+class TestClimbing:
+    def test_starts_healthy(self):
+        monitor, _clock = make_monitor()
+        assert monitor.state == HealthState.HEALTHY
+        assert monitor.state_name == "healthy"
+
+    def test_utilization_climbs_to_degraded(self):
+        monitor, _clock = make_monitor()
+        transition = monitor.evaluate(0.70)
+        assert transition == (HealthState.HEALTHY, HealthState.DEGRADED)
+
+    def test_shed_rate_alone_degrades(self):
+        monitor, _clock = make_monitor()
+        assert monitor.evaluate(0.0, shed_rate=0.10) == (
+            HealthState.HEALTHY,
+            HealthState.DEGRADED,
+        )
+
+    def test_critical_utilization_jumps_straight_to_overloaded(self):
+        """Climbing is immediate: no dwell, no intermediate rung."""
+        monitor, _clock = make_monitor()
+        assert monitor.evaluate(0.90) == (
+            HealthState.HEALTHY,
+            HealthState.OVERLOADED,
+        )
+
+    def test_downstream_failures_force_overloaded(self):
+        monitor, clock = make_monitor(failure_threshold=3)
+        for _ in range(3):
+            monitor.record_failure()
+        assert monitor.evaluate(0.0) == (
+            HealthState.HEALTHY,
+            HealthState.OVERLOADED,
+        )
+        # and the window forgets them
+        clock.advance(monitor.policy.failure_window + 1.0)
+        monitor.force(HealthState.HEALTHY)
+        assert monitor.evaluate(0.0) is None
+
+    def test_no_transition_returns_none(self):
+        monitor, _clock = make_monitor()
+        assert monitor.evaluate(0.10) is None
+
+
+class TestRecovery:
+    def test_descends_one_rung_at_a_time_with_dwell(self):
+        monitor, clock = make_monitor(min_dwell_seconds=1.0)
+        monitor.evaluate(0.90)
+        assert monitor.state == HealthState.OVERLOADED
+        # below recover threshold, but dwell not yet met: hold
+        assert monitor.evaluate(0.10) is None
+        clock.advance(1.0)
+        assert monitor.evaluate(0.10) == (
+            HealthState.OVERLOADED,
+            HealthState.DEGRADED,
+        )
+        # one rung only; another dwell before the next step down
+        assert monitor.evaluate(0.10) is None
+        clock.advance(1.0)
+        assert monitor.evaluate(0.10) == (
+            HealthState.DEGRADED,
+            HealthState.HEALTHY,
+        )
+
+    def test_hysteresis_band_holds_the_rung(self):
+        """Utilization between recover and degraded thresholds neither
+        climbs nor descends -- the flap-damping band."""
+        monitor, clock = make_monitor()
+        monitor.evaluate(0.70)
+        clock.advance(10.0)
+        assert monitor.evaluate(0.50) is None
+        assert monitor.state == HealthState.DEGRADED
+
+    def test_recent_failures_block_recovery(self):
+        monitor, clock = make_monitor(failure_threshold=3)
+        monitor.evaluate(0.90)
+        clock.advance(5.0)
+        monitor.record_failure()
+        assert monitor.evaluate(0.0) is None  # one failure: still blocked
+        clock.advance(monitor.policy.failure_window + 1.0)
+        assert monitor.evaluate(0.0) == (
+            HealthState.OVERLOADED,
+            HealthState.DEGRADED,
+        )
+
+    def test_draining_is_terminal(self):
+        monitor, clock = make_monitor()
+        monitor.force(HealthState.DRAINING, reason="stop")
+        clock.advance(100.0)
+        assert monitor.evaluate(0.0) is None
+        assert monitor.state == HealthState.DRAINING
+
+
+class TestPolicyOutputs:
+    def test_rate_limit_factor_tracks_the_rung(self):
+        monitor, _clock = make_monitor()
+        assert monitor.rate_limit_factor() == 1.0
+        monitor.evaluate(0.70)
+        assert monitor.rate_limit_factor() == 0.5
+        monitor.evaluate(0.90)
+        assert monitor.rate_limit_factor() == 0.25
+        monitor.force(HealthState.DRAINING)
+        assert monitor.rate_limit_factor() == 0.0
+
+    def test_nonessential_ops_per_rung(self):
+        monitor, _clock = make_monitor()
+        assert not monitor.rejects_op("trace")
+        monitor.evaluate(0.70)
+        assert monitor.rejects_op("trace")
+        assert not monitor.rejects_op("ingest")
+        monitor.force(HealthState.DRAINING)
+        assert monitor.rejects_op("ingest")
+        assert not monitor.rejects_op("healthz")
+
+    def test_transitions_recorded_and_counted(self):
+        monitor, clock = make_monitor()
+        monitor.evaluate(0.90)
+        clock.advance(1.0)
+        monitor.evaluate(0.10)
+        counts = monitor.transition_counts
+        assert counts[(HealthState.HEALTHY, HealthState.OVERLOADED)] == 1
+        assert counts[(HealthState.OVERLOADED, HealthState.DEGRADED)] == 1
+        assert [t["to"] for t in monitor.transitions] == [
+            "overloaded",
+            "degraded",
+        ]
+        assert monitor.metrics()["state"] == "degraded"
+
+    def test_history_is_bounded(self):
+        clock = FakeClock()
+        monitor = HealthMonitor(
+            HealthPolicy(min_dwell_seconds=0.0), clock=clock, history_limit=4
+        )
+        for _ in range(10):
+            monitor.evaluate(0.90)
+            clock.advance(1.0)
+            monitor.evaluate(0.10)
+            clock.advance(1.0)
+            monitor.evaluate(0.10)
+            clock.advance(1.0)
+        assert len(monitor.transitions) <= 4
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"recover_utilization": 0.7},  # >= degraded
+            {"degraded_utilization": 0.9},  # >= overloaded
+            {"overloaded_utilization": 1.5},
+            {"failure_threshold": 0},
+            {"shed_fraction": 1.5},
+        ],
+    )
+    def test_rejects_inconsistent_thresholds(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthPolicy(**kwargs)

@@ -1,0 +1,237 @@
+"""Property tests for the client resilience primitives.
+
+Both primitives are pure state machines, so hypothesis can drive them
+exhaustively under the determinism rules: a **fake clock** instead of
+wall time (R001) and **seeded** RNGs (R002).  The properties:
+
+- backoff delays are bounded by ``cap * (1 + jitter)``, the jitter-free
+  schedule is monotone non-decreasing, and two schedules with the same
+  seed are identical;
+- the circuit breaker opens after exactly ``failure_threshold``
+  consecutive failures, admits **exactly one** probe per half-open
+  period, and any driving sequence keeps retry counts bounded: between
+  two opens at least ``recovery_timeout`` elapses, so calls admitted
+  over a horizon are bounded by closed-state calls plus one probe per
+  recovery window.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.resilience import CircuitBreaker, ExponentialBackoff
+
+
+class FakeClock:
+    """Manually advanced monotonic clock (R001: no wall time in tests)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestExponentialBackoff:
+    @given(
+        base=st.floats(0.001, 1.0),
+        factor=st.floats(1.0, 4.0),
+        cap=st.floats(1.0, 30.0),
+        jitter=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**16),
+        attempts=st.integers(1, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_delays_bounded_and_base_monotone(
+        self, base, factor, cap, jitter, seed, attempts
+    ):
+        cap = max(cap, base)
+        schedule = ExponentialBackoff(
+            base=base, factor=factor, cap=cap, jitter=jitter, seed=seed
+        )
+        previous = 0.0
+        for attempt in range(attempts):
+            backoff = schedule.backoff(attempt)
+            delay = schedule.delay(attempt)
+            assert backoff >= previous  # monotone non-decreasing
+            assert backoff <= cap
+            assert backoff <= delay <= backoff * (1.0 + jitter) + 1e-9
+            previous = backoff
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_same_seed_same_schedule(self, seed, n):
+        a = ExponentialBackoff(seed=seed)
+        b = ExponentialBackoff(seed=seed)
+        assert [a.delay(i) for i in range(n)] == [
+            b.delay(i) for i in range(n)
+        ]
+
+    def test_zero_jitter_is_pure_exponential(self):
+        schedule = ExponentialBackoff(
+            base=0.1, factor=2.0, cap=1.0, jitter=0.0, seed=3
+        )
+        assert [schedule.delay(i) for i in range(5)] == [
+            0.1,
+            0.2,
+            0.4,
+            0.8,
+            1.0,
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": 0.0},
+            {"factor": 0.5},
+            {"cap": 0.01, "base": 0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(**kwargs)
+
+    def test_rejects_negative_attempt(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff().backoff(-1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_count(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()  # open: refused
+        clock.advance(1.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the single probe slot
+        assert not breaker.allow()  # second caller refused
+        assert not breaker.allow()
+        assert breaker.rejected_calls == 3
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_rearms_the_timer(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 2
+        assert not breaker.allow()  # timer restarted from the re-trip
+        clock.advance(0.5)
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert breaker.allow()
+
+    @given(
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=300),
+        threshold=st.integers(1, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_sequence_keeps_attempts_bounded(self, outcomes, threshold):
+        """Drive allow/record with an arbitrary success pattern under a
+        fake clock that never advances: once open, *nothing* further is
+        admitted -- the attempt count over a stalled-clock horizon is
+        bounded by the calls made while closed."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, recovery_timeout=1.0, clock=clock
+        )
+        admitted = 0
+        opened = False
+        for success in outcomes:
+            if not breaker.allow():
+                assert breaker.state == CircuitBreaker.OPEN
+                continue
+            # with a frozen clock the breaker can never half-open, so
+            # once it opens nothing may be admitted ever again
+            assert not opened
+            admitted += 1
+            if success:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+            opened = opened or breaker.state == CircuitBreaker.OPEN
+        if opened:
+            assert breaker.opens == 1
+            assert admitted < len(outcomes) or outcomes[-1] is False
+
+    @given(
+        rounds=st.integers(1, 20),
+        threshold=st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_one_probe_per_recovery_window(self, rounds, threshold):
+        """Over ``rounds`` recovery windows with a consistently failing
+        downstream, exactly one probe is admitted per window."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, recovery_timeout=1.0, clock=clock
+        )
+        for _ in range(threshold):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        for _ in range(rounds):
+            clock.advance(1.0)
+            probes = sum(1 for _ in range(5) if breaker.allow())
+            assert probes == 1
+            breaker.record_failure()  # the probe fails: back to open
+        assert breaker.opens == 1 + rounds
+
+    def test_metrics_shape(self):
+        breaker = CircuitBreaker(clock=FakeClock())
+        metrics = breaker.metrics()
+        assert metrics == {
+            "state": "closed",
+            "opens": 0,
+            "rejected_calls": 0,
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"failure_threshold": 0}, {"recovery_timeout": 0.0}]
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

@@ -1,0 +1,240 @@
+"""Client resilience against a malformed or dying server.
+
+A stub server speaks just enough RPV1 to go wrong in controlled ways
+-- truncating a response frame, writing garbage, or closing mid-request
+-- and the tests assert :class:`~repro.serve.client.ServeClient`
+surfaces each failure *structurally*: ``request()`` raises
+:class:`ProtocolError`, while :meth:`ingest_stream` converts it into
+``IngestReport.errors`` / ``protocol_errors`` instead of raising
+(the robustness contract: a replay harness reports what the wire did
+to it, it does not explode).
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.datasets import SoccerStreamConfig, generate_soccer_stream
+from repro.serve.client import ServeClient
+from repro.serve.protocol import MAGIC, ProtocolError, encode_frame
+
+
+@pytest.fixture(scope="module")
+def events():
+    stream = generate_soccer_stream(
+        SoccerStreamConfig(duration_seconds=30, seed=3)
+    )
+    return list(stream)[:64]
+
+
+class StubServer:
+    """Accepts framed connections and answers per a scripted behaviour."""
+
+    def __init__(self, behaviour) -> None:
+        self.behaviour = behaviour
+        self.requests = 0
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._handle, host="127.0.0.1", port=0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        try:
+            await reader.readexactly(len(MAGIC))
+            while True:
+                header = await reader.readexactly(4)
+                (length,) = struct.unpack(">I", header)
+                await reader.readexactly(length)
+                self.requests += 1
+                if not await self.behaviour(self.requests, writer):
+                    return
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+
+async def answer_ok(writer):
+    writer.write(encode_frame({"ok": True, "accepted": 1}))
+    await writer.drain()
+
+
+class TestRequestLevel:
+    def test_truncated_response_frame_raises_protocol_error(self, events):
+        async def truncate(_n, writer):
+            frame = encode_frame({"ok": True})
+            writer.write(frame[: len(frame) // 2])
+            await writer.drain()
+            return False  # then close mid-frame
+
+        async def scenario():
+            async with StubServer(truncate) as stub:
+                client = await ServeClient.connect("127.0.0.1", stub.port)
+                with pytest.raises(ProtocolError, match="mid-frame"):
+                    await client.request({"op": "ping"})
+
+        asyncio.run(scenario())
+
+    def test_clean_close_mid_request_raises_protocol_error(self, events):
+        async def vanish(_n, _writer):
+            return False  # close without answering
+
+        async def scenario():
+            async with StubServer(vanish) as stub:
+                client = await ServeClient.connect("127.0.0.1", stub.port)
+                with pytest.raises(ProtocolError, match="mid-request"):
+                    await client.request({"op": "ping"})
+
+        asyncio.run(scenario())
+
+    def test_garbage_length_prefix_raises_protocol_error(self, events):
+        async def garbage(_n, writer):
+            writer.write(b"\xff\xff\xff\xff" + b"junk")
+            await writer.drain()
+            return False
+
+        async def scenario():
+            async with StubServer(garbage) as stub:
+                client = await ServeClient.connect("127.0.0.1", stub.port)
+                with pytest.raises(ProtocolError):
+                    await client.request({"op": "ping"})
+
+        asyncio.run(scenario())
+
+
+class TestIngestStreamSurfacesErrors:
+    def test_protocol_error_lands_in_report_not_raised(self, events):
+        """A server that truncates the very first response: without
+        reconnect the stream aborts, reporting the failure."""
+
+        async def truncate(_n, writer):
+            frame = encode_frame({"ok": True})
+            writer.write(frame[:3])
+            await writer.drain()
+            return False
+
+        async def scenario():
+            async with StubServer(truncate) as stub:
+                client = await ServeClient.connect("127.0.0.1", stub.port)
+                return await client.ingest_stream(events, batch_events=16)
+
+        report = asyncio.run(scenario())
+        assert report.completed is False
+        assert report.protocol_errors == 1
+        assert report.events_sent == 0
+        assert report.errors[0]["error"] == "protocol_error"
+        assert report.errors[0]["type"] == "ProtocolError"
+        assert report.errors[0]["batch_events"] == 16
+
+    def test_flaky_server_recovered_by_reconnect(self, events):
+        """The server dies mid-request once, then behaves: with
+        reconnect=True the stream completes and the blip is recorded."""
+        state = {"failed": False}
+
+        async def flaky(_n, writer):
+            if not state["failed"]:
+                state["failed"] = True
+                return False  # close without answering, once
+            await answer_ok(writer)
+            return True
+
+        async def scenario():
+            async with StubServer(flaky) as stub:
+                client = await ServeClient.connect("127.0.0.1", stub.port)
+                report = await client.ingest_stream(
+                    events, batch_events=16, reconnect=True
+                )
+                await client.close()
+                return report
+
+        report = asyncio.run(scenario())
+        assert report.completed is True
+        assert report.events_sent == len(events)
+        assert report.reconnects == 1
+        assert report.protocol_errors == 1
+        assert len(report.errors) == 1
+
+    def test_timeout_is_reported_as_transport_error(self, events):
+        """A server that admits but never answers: the per-request
+        timeout fires and is recorded, not raised."""
+
+        async def never_answer(_n, _writer):
+            await asyncio.sleep(30.0)
+            return False
+
+        async def scenario():
+            async with StubServer(never_answer) as stub:
+                client = await ServeClient.connect(
+                    "127.0.0.1", stub.port, timeout=0.1
+                )
+                return await client.ingest_stream(
+                    events[:16], batch_events=16
+                )
+
+        report = asyncio.run(scenario())
+        assert report.completed is False
+        assert report.errors[0]["error"] == "transport_error"
+        assert report.errors[0]["type"] in (
+            "TimeoutError",
+            "CancelledError",  # 3.10 spells wait_for timeouts differently
+        )
+
+    def test_non_retryable_rejection_aborts_with_structure(self, events):
+        async def reject(_n, writer):
+            writer.write(
+                encode_frame({"ok": False, "error": "auth_failed"})
+            )
+            await writer.drain()
+            return True
+
+        async def scenario():
+            async with StubServer(reject) as stub:
+                client = await ServeClient.connect("127.0.0.1", stub.port)
+                return await client.ingest_stream(events, batch_events=16)
+
+        report = asyncio.run(scenario())
+        assert report.completed is False
+        assert report.rejected[0]["error"] == "auth_failed"
+        assert report.events_sent == 0
+
+    def test_retryable_rejection_honours_retry_after(self, events):
+        state = {"rejected": False}
+
+        async def busy_once(_n, writer):
+            if not state["rejected"]:
+                state["rejected"] = True
+                writer.write(
+                    encode_frame(
+                        {"ok": False, "error": "busy", "retry_after": 0.01}
+                    )
+                )
+            else:
+                await answer_ok(writer)
+            await writer.drain()
+            return True
+
+        async def scenario():
+            async with StubServer(busy_once) as stub:
+                client = await ServeClient.connect("127.0.0.1", stub.port)
+                report = await client.ingest_stream(
+                    events[:16], batch_events=16
+                )
+                await client.close()
+                return report
+
+        report = asyncio.run(scenario())
+        assert report.completed is True
+        assert report.retries == 1
+        assert report.events_sent == 16
